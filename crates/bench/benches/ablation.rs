@@ -1,0 +1,65 @@
+//! Ablation studies called out in DESIGN.md:
+//!
+//! * pseudo nodes on/off (the resiliency-aware coupling itself),
+//! * delay model gate-based vs path-based (Table II's mechanism),
+//! * fanout-sharing mirror nodes on/off is structural and is exercised by
+//!   comparing the breadth-aware objective against plain latch counting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retime_circuits::small_suite;
+use retime_core::{grar, GrarConfig};
+use retime_liberty::{EdlOverhead, Library};
+use retime_retime::base_retime;
+use retime_sta::DelayModel;
+
+fn bench_ablation(c: &mut Criterion) {
+    let lib = Library::fdsoi28();
+    let spec = small_suite()
+        .into_iter()
+        .find(|s| s.name == "s1423")
+        .expect("s1423 in suite");
+    let circuit = spec.build().expect("builds");
+    let clock = circuit
+        .calibrated_clock(&lib, DelayModel::PathBased)
+        .expect("calibrates");
+    let mut group = c.benchmark_group("ablation_s1423");
+    group.sample_size(10);
+    group.bench_function("grar_with_pseudo_nodes", |b| {
+        b.iter(|| {
+            grar(
+                &circuit.cloud,
+                &lib,
+                clock,
+                &GrarConfig::new(EdlOverhead::HIGH),
+            )
+            .expect("grar")
+        })
+    });
+    group.bench_function("retime_without_pseudo_nodes", |b| {
+        b.iter(|| {
+            base_retime(
+                &circuit.cloud,
+                &lib,
+                clock,
+                DelayModel::PathBased,
+                EdlOverhead::HIGH,
+            )
+            .expect("base")
+        })
+    });
+    group.bench_function("grar_gate_based_delay", |b| {
+        b.iter(|| {
+            grar(
+                &circuit.cloud,
+                &lib,
+                clock,
+                &GrarConfig::new(EdlOverhead::HIGH).with_model(DelayModel::GateBased),
+            )
+            .expect("grar")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! g(t) cut-set construction cost per target master.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retime_circuits::small_suite;
+use retime_core::classify_and_cut_set;
+use retime_liberty::Library;
+use retime_sta::{DelayModel, TimingAnalysis};
+
+fn bench_cutset(c: &mut Criterion) {
+    let lib = Library::fdsoi28();
+    let spec = small_suite().into_iter().last().expect("non-empty");
+    let circuit = spec.build().expect("builds");
+    let clock = circuit
+        .calibrated_clock(&lib, DelayModel::PathBased)
+        .expect("calibrates");
+    let sta = TimingAnalysis::new(&circuit.cloud, &lib, clock, DelayModel::PathBased)
+        .expect("sta");
+    let sinks: Vec<_> = circuit.cloud.sinks().to_vec();
+    let mut g = c.benchmark_group("cutset");
+    g.sample_size(10);
+    g.bench_function("classify_and_cut_set_all_sinks", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &t in &sinks {
+                let bp = sta.backward(t);
+                let (_, g) = classify_and_cut_set(&sta, &bp);
+                total += g.len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cutset);
+criterion_main!(benches);

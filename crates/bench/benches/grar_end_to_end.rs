@@ -1,0 +1,38 @@
+//! End-to-end G-RAR throughput on suite-sized circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retime_circuits::small_suite;
+use retime_core::{grar, GrarConfig};
+use retime_liberty::{EdlOverhead, Library};
+use retime_sta::DelayModel;
+
+fn bench_grar(c: &mut Criterion) {
+    let lib = Library::fdsoi28();
+    let mut group = c.benchmark_group("grar_end_to_end");
+    group.sample_size(10);
+    for spec in small_suite().into_iter().take(3) {
+        let circuit = spec.build().expect("builds");
+        let clock = circuit
+            .calibrated_clock(&lib, DelayModel::PathBased)
+            .expect("calibrates");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    grar(
+                        &circuit.cloud,
+                        &lib,
+                        clock,
+                        &GrarConfig::new(EdlOverhead::HIGH),
+                    )
+                    .expect("grar")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grar);
+criterion_main!(benches);

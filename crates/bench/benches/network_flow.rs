@@ -1,0 +1,59 @@
+//! Scaling of the three solver engines on retiming instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retime_circuits::SynthConfig;
+use retime_liberty::Library;
+use retime_netlist::CombCloud;
+use retime_retime::{Regions, RetimingProblem, SolverEngine};
+use retime_sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
+
+fn instance(gates: usize) -> (CombCloud, RetimingProblem) {
+    let n = SynthConfig {
+        name: format!("nf{gates}"),
+        flops: gates / 8,
+        gates,
+        inputs: 10,
+        outputs: 6,
+        levels: 20,
+        deep_sinks: gates / 40,
+        hard_sinks: 0,
+        seed: 99,
+    }
+    .generate()
+    .expect("generates");
+    let cloud = CombCloud::extract(&n).expect("extracts");
+    let lib = Library::fdsoi28();
+    let sta = TimingAnalysis::new(
+        &cloud,
+        &lib,
+        TwoPhaseClock::from_max_delay(10.0),
+        DelayModel::PathBased,
+    )
+    .expect("sta");
+    let regions = Regions::compute(&sta).expect("regions");
+    let problem = RetimingProblem::build(&cloud, &regions);
+    (cloud, problem)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retiming_solvers");
+    group.sample_size(10);
+    for gates in [100usize, 400, 1600] {
+        let (_cloud, problem) = instance(gates);
+        for (name, engine) in [
+            ("mincost_flow", SolverEngine::MinCostFlow),
+            ("network_simplex", SolverEngine::NetworkSimplex),
+            ("closure_mincut", SolverEngine::Closure),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, gates),
+                &problem,
+                |b, p| b.iter(|| p.solve(engine).expect("solves")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

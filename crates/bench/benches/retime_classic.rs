@@ -1,0 +1,39 @@
+//! Classic (resiliency-unaware) min-area retiming throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retime_circuits::small_suite;
+use retime_liberty::{EdlOverhead, Library};
+use retime_retime::base_retime;
+use retime_sta::DelayModel;
+
+fn bench_base(c: &mut Criterion) {
+    let lib = Library::fdsoi28();
+    let mut group = c.benchmark_group("base_retime");
+    group.sample_size(10);
+    for spec in small_suite().into_iter().take(3) {
+        let circuit = spec.build().expect("builds");
+        let clock = circuit
+            .calibrated_clock(&lib, DelayModel::PathBased)
+            .expect("calibrates");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    base_retime(
+                        &circuit.cloud,
+                        &lib,
+                        clock,
+                        DelayModel::PathBased,
+                        EdlOverhead::MEDIUM,
+                    )
+                    .expect("base")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_base);
+criterion_main!(benches);

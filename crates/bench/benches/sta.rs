@@ -1,0 +1,60 @@
+//! Forward/backward STA pass scaling (the paper observes the backward
+//! delay computation dominates G-RAR's run-time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retime_circuits::SynthConfig;
+use retime_liberty::Library;
+use retime_netlist::CombCloud;
+use retime_sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
+
+fn cloud(gates: usize) -> CombCloud {
+    let n = SynthConfig {
+        name: format!("sta{gates}"),
+        flops: gates / 8,
+        gates,
+        inputs: 10,
+        outputs: 6,
+        levels: 24,
+        deep_sinks: gates / 40,
+        hard_sinks: 2,
+        seed: 7,
+    }
+    .generate()
+    .expect("generates");
+    CombCloud::extract(&n).expect("extracts")
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let lib = Library::fdsoi28();
+    let mut group = c.benchmark_group("sta");
+    group.sample_size(10);
+    for gates in [200usize, 800, 3200] {
+        let cl = cloud(gates);
+        group.bench_with_input(BenchmarkId::new("forward_full", gates), &cl, |b, cl| {
+            b.iter(|| {
+                TimingAnalysis::new(
+                    cl,
+                    &lib,
+                    TwoPhaseClock::from_max_delay(1.0),
+                    DelayModel::PathBased,
+                )
+                .expect("sta")
+            })
+        });
+        let sta = TimingAnalysis::new(
+            &cl,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::PathBased,
+        )
+        .expect("sta");
+        let t = cl.sinks()[0];
+        group.bench_with_input(BenchmarkId::new("backward_one_sink", gates), &t, |b, &t| {
+            b.iter(|| sta.backward(t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sta);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Times one end-to-end G-RAR run on a named suite circuit with the
+//! phase breakdown the paper discusses in Section VI-D (the backward
+//! delay queries dominate; the flow-solver step is a small share).
+//!
+//! ```text
+//! cargo run --release -p retime-bench --example time_one -- s35932
+//! ```
+
+use retime_bench::load_suite;
+use retime_core::{grar, GrarConfig};
+use retime_liberty::{EdlOverhead, Library};
+use std::time::Instant;
+fn main() {
+    let lib = Library::fdsoi28();
+    let name = std::env::args().nth(1).unwrap_or_else(|| "s35932".into());
+    std::env::set_var("RETIME_SUITE", "full");
+    let case = load_suite(&lib).into_iter().find(|c| c.circuit.spec.name == name).unwrap();
+    let t0 = Instant::now();
+    let g = grar(&case.circuit.cloud, &lib, case.clock, &GrarConfig::new(EdlOverhead::HIGH)).unwrap();
+    println!("{name}: {:.2}s total; phases sta={:.2} back={:.2} solve={:.2} commit={:.2}; slaves={} edl={}",
+        t0.elapsed().as_secs_f64(),
+        g.phases.sta.as_secs_f64(), g.phases.backward.as_secs_f64(),
+        g.phases.solver.as_secs_f64(), g.phases.commit.as_secs_f64(),
+        g.outcome.seq.slaves, g.outcome.seq.edl);
+}

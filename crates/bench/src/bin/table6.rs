@@ -1,0 +1,46 @@
+//! Table VI: number of slave and error-detecting master latches decided
+//! by the three approaches.
+
+use retime_bench::{load_suite, print_table, run_approaches};
+use retime_liberty::{EdlOverhead, Library};
+
+fn main() {
+    let lib = Library::fdsoi28();
+    let cases = load_suite(&lib);
+    let mut rows = Vec::new();
+    for case in &cases {
+        let mut per_c: Vec<[String; 6]> = Vec::new();
+        for c in EdlOverhead::SWEEP {
+            let a = run_approaches(case, &lib, c).expect("flows run");
+            per_c.push([
+                a.base.seq.slaves.to_string(),
+                a.base.seq.edl.to_string(),
+                a.rvl.outcome.seq.slaves.to_string(),
+                a.rvl.outcome.seq.edl.to_string(),
+                a.grar.outcome.seq.slaves.to_string(),
+                a.grar.outcome.seq.edl.to_string(),
+            ]);
+        }
+        for (approach, idx) in [("Base", 0usize), ("RVL", 2), ("G", 4)] {
+            rows.push(vec![
+                case.circuit.spec.name.to_string(),
+                approach.to_string(),
+                per_c[0][idx].clone(),
+                per_c[0][idx + 1].clone(),
+                per_c[1][idx].clone(),
+                per_c[1][idx + 1].clone(),
+                per_c[2][idx].clone(),
+                per_c[2][idx + 1].clone(),
+            ]);
+        }
+    }
+    print_table(
+        "Table VI: slave and error-detecting master latch counts",
+        &[
+            "Circuit", "Approach", "slave#(L)", "EDL#(L)", "slave#(M)", "EDL#(M)", "slave#(H)",
+            "EDL#(H)",
+        ],
+        &rows,
+    );
+    println!("(paper: G-RAR assigns the fewest EDLs on circuits above s1238; RVL's EDL count tracks the NCE count)");
+}

@@ -1,0 +1,37 @@
+//! Table VII: run-time comparison, plus the G-RAR phase breakdown
+//! backing the paper's "network simplex < 2 % of run-time" observation.
+
+use retime_bench::{f2, load_suite, print_table, run_approaches};
+use retime_liberty::{EdlOverhead, Library};
+
+fn main() {
+    let lib = Library::fdsoi28();
+    let cases = load_suite(&lib);
+    let mut rows = Vec::new();
+    for case in &cases {
+        let mut row = vec![case.circuit.spec.name.to_string()];
+        let mut solver_share: f64 = 0.0;
+        for c in EdlOverhead::SWEEP {
+            let a = run_approaches(case, &lib, c).expect("flows run");
+            row.push(f2(a.base.stats.elapsed.as_secs_f64()));
+            row.push(f2(a.rvl.outcome.stats.elapsed.as_secs_f64()));
+            row.push(f2(a.grar.outcome.stats.elapsed.as_secs_f64()));
+            let total = a.grar.phases.total().as_secs_f64();
+            if total > 0.0 {
+                solver_share = solver_share
+                    .max(100.0 * a.grar.phases.solver.as_secs_f64() / total);
+            }
+        }
+        row.push(format!("{solver_share:.1}%"));
+        rows.push(row);
+    }
+    print_table(
+        "Table VII: run-time (s) comparison (plus worst G-RAR solver share)",
+        &[
+            "Circuit", "Base(L)", "RVL(L)", "G(L)", "Base(M)", "RVL(M)", "G(M)", "Base(H)",
+            "RVL(H)", "G(H)", "solver%",
+        ],
+        &rows,
+    );
+    println!("(paper: all ISCAS89 complete within 10 CPU minutes; Plasma < 62 min; the network-simplex step is < 2 % of G-RAR's run-time)");
+}

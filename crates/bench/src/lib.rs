@@ -1,0 +1,199 @@
+//! Benchmark harness regenerating every table of the paper's evaluation
+//! (Section VI).
+//!
+//! One binary per table (`table1` … `table9`), each printing the same
+//! rows the paper reports, on the calibrated synthetic suite:
+//!
+//! ```text
+//! cargo run --release -p retime-bench --bin table5
+//! ```
+//!
+//! The environment variable `RETIME_SUITE` selects the workload:
+//! `full` (default — all twelve circuits), `small` (≤ 200 flip-flops),
+//! or `tiny` (the four smallest; used by the smoke tests).
+//!
+//! Criterion benches (`benches/`) cover algorithm-level scaling:
+//! network-flow engines, STA passes, cut-set construction, and
+//! end-to-end G-RAR, plus the ablation studies called out in
+//! `DESIGN.md`.
+
+use std::time::Instant;
+
+use retime_circuits::{paper_suite, SuiteCircuit};
+use retime_core::{grar, GrarConfig, GrarReport};
+use retime_liberty::{EdlOverhead, Library};
+use retime_retime::{base_retime, RetimeError, RetimeOutcome};
+use retime_sta::{DelayModel, TwoPhaseClock};
+use retime_vl::{vl_retime, VlConfig, VlReport, VlVariant};
+
+/// A suite circuit with its calibrated clock.
+pub struct BenchCase {
+    /// The built circuit.
+    pub circuit: SuiteCircuit,
+    /// Clock calibrated to the published NCE target.
+    pub clock: TwoPhaseClock,
+    /// Time spent generating + calibrating.
+    pub setup_time: std::time::Duration,
+}
+
+/// Loads the benchmark suite honoring `RETIME_SUITE`
+/// (`full` | `small` | `tiny`).
+///
+/// # Panics
+/// Panics if a circuit fails to build — the suite is deterministic, so
+/// this only happens on programming errors.
+pub fn load_suite(lib: &Library) -> Vec<BenchCase> {
+    let mode = std::env::var("RETIME_SUITE").unwrap_or_else(|_| "full".into());
+    let specs = paper_suite();
+    let specs: Vec<_> = match mode.as_str() {
+        "tiny" => specs.into_iter().take(4).collect(),
+        "small" => specs.into_iter().filter(|s| s.flops <= 200).collect(),
+        _ => specs,
+    };
+    specs
+        .into_iter()
+        .map(|spec| {
+            let t0 = Instant::now();
+            let circuit = spec.build().expect("deterministic suite builds");
+            let clock = circuit
+                .calibrated_clock(lib, DelayModel::PathBased)
+                .expect("calibration succeeds");
+            BenchCase {
+                circuit,
+                clock,
+                setup_time: t0.elapsed(),
+            }
+        })
+        .collect()
+}
+
+/// The three flows the paper compares (Tables IV–VIII).
+pub struct Approaches {
+    /// Resiliency-unaware base retiming.
+    pub base: RetimeOutcome,
+    /// RVL-RAR (the best virtual-library variant).
+    pub rvl: VlReport,
+    /// G-RAR.
+    pub grar: GrarReport,
+}
+
+/// Runs base retiming, RVL-RAR, and G-RAR on one case.
+///
+/// # Errors
+/// Propagates flow failures.
+pub fn run_approaches(
+    case: &BenchCase,
+    lib: &Library,
+    c: EdlOverhead,
+) -> Result<Approaches, RetimeError> {
+    let cloud = &case.circuit.cloud;
+    let base = base_retime(cloud, lib, case.clock, DelayModel::PathBased, c)?;
+    let rvl = vl_retime(
+        cloud,
+        lib,
+        case.clock,
+        &VlConfig::new(VlVariant::Rvl, c),
+    )?;
+    let g = grar(cloud, lib, case.clock, &GrarConfig::new(c))?;
+    Ok(Approaches {
+        base,
+        rvl,
+        grar: g,
+    })
+}
+
+/// Percent improvement of `new` over `base` (positive = smaller/better).
+pub fn pct_impr(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        100.0 * (base - new) / base
+    }
+}
+
+/// Prints an aligned table with a title row.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n{title}");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    println!("{line}");
+    let header: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!(" {h:>w$} "))
+        .collect();
+    println!("{}", header.join("|"));
+    println!("{line}");
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:>w$} "))
+            .collect();
+        println!("{}", cells.join("|"));
+    }
+    println!("{line}");
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_suite_runs_all_flows() {
+        std::env::set_var("RETIME_SUITE", "tiny");
+        let lib = Library::fdsoi28();
+        let cases = load_suite(&lib);
+        assert_eq!(cases.len(), 4);
+        for case in &cases {
+            let a = run_approaches(case, &lib, EdlOverhead::MEDIUM)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", case.circuit.spec.name));
+            // The paper's headline ordering on sequential cost.
+            assert!(
+                a.grar.outcome.seq.total() <= a.base.seq.total() + 1e-6,
+                "{}: G-RAR seq {} vs base {}",
+                case.circuit.spec.name,
+                a.grar.outcome.seq.total(),
+                a.base.seq.total()
+            );
+        }
+        std::env::remove_var("RETIME_SUITE");
+    }
+
+    #[test]
+    fn pct_impr_signs() {
+        assert!(pct_impr(100.0, 90.0) > 0.0);
+        assert!(pct_impr(100.0, 110.0) < 0.0);
+        assert_eq!(pct_impr(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! The target-master cut-set `g(t)` of Eqs. (8)–(9).
+
+use retime_netlist::NodeId;
+use retime_sta::{BackwardPass, TimingAnalysis};
+
+/// Small tolerance absorbing floating-point noise against `Π`.
+const EPS: f64 = 1e-9;
+
+/// Computes `g(t)` for the sink of `bp`:
+///
+/// ```text
+/// g(t) = { v | ∃ n ∈ FO(v): A(v, n, t) ≤ Π   ∧   ∃ k ∈ FI(v): A(k, v, t) > Π }
+/// ```
+///
+/// i.e. the frontier of gates beyond which a slave latch keeps the master
+/// non-error-detecting. For a source node the "fanin" side is the host
+/// edge: the latch sitting at the source itself
+/// ([`TimingAnalysis::a_host`]).
+///
+/// Returns an empty set when the master is unconditionally error-detecting
+/// (even the latest placements exceed `Π`) or unconditionally safe (even
+/// the source placements meet `Π`) — callers should have classified the
+/// sink first ([`TimingAnalysis::classify_sink`]).
+pub fn cut_set(sta: &TimingAnalysis<'_>, bp: &BackwardPass) -> Vec<NodeId> {
+    let t = bp.sink();
+    let pi = sta.clock().period();
+    let cloud = sta.cloud();
+    let mut out = Vec::new();
+    for v in cloud.fanin_cone(t) {
+        if v == t {
+            continue;
+        }
+        let node = cloud.node(v);
+        // ∃ fanout edge whose latch placement meets Π.
+        let ok_beyond = node
+            .fanout
+            .iter()
+            .any(|&n| matches!(sta.a_value(v, n, bp), Some(a) if a <= pi + EPS));
+        if !ok_beyond {
+            continue;
+        }
+        // ∃ fanin-side placement that violates Π.
+        let bad_before = if node.is_source() {
+            matches!(sta.a_host(v, bp), Some(a) if a > pi + EPS)
+        } else {
+            node.fanin
+                .iter()
+                .any(|&k| matches!(sta.a_value(k, v, bp), Some(a) if a > pi + EPS))
+        };
+        if bad_before {
+            out.push(v);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Authoritative endpoint classification for G-RAR, refining
+/// [`TimingAnalysis::classify_sink`] with the full Eq. (5) model:
+///
+/// * **never** error-detecting: even the initial (source) placements meet
+///   `Π`;
+/// * **target**: `g(t)` is non-empty *and separates every source from
+///   `t`* — only then does "all slaves beyond `g(t)`" guarantee a
+///   non-error-detecting master, making the pseudo-node reward sound;
+/// * **always** error-detecting otherwise (including the case where the
+///   latch D-to-Q delay alone pushes every placement past `Π`, which the
+///   coarse pure-path test misses).
+pub fn classify_and_cut_set(
+    sta: &TimingAnalysis<'_>,
+    bp: &BackwardPass,
+) -> (retime_sta::SinkClass, Vec<NodeId>) {
+    use retime_sta::SinkClass;
+    let t = bp.sink();
+    let pi = sta.clock().period();
+    let cloud = sta.cloud();
+    let worst_initial = cloud
+        .sources()
+        .iter()
+        .filter_map(|&s| sta.a_host(s, bp))
+        .fold(f64::NEG_INFINITY, f64::max);
+    if worst_initial <= pi + EPS {
+        return (SinkClass::NeverErrorDetecting, Vec::new());
+    }
+    let g = cut_set(sta, bp);
+    if g.is_empty() {
+        return (SinkClass::AlwaysErrorDetecting, Vec::new());
+    }
+    // Soundness check for the pseudo-node reward: evaluate the *canonical*
+    // cut that moves exactly the union of g(t)'s fan-in closures (the
+    // minimal movement past the frontier) and verify the arrival at t
+    // actually meets Π under the full timing model. This is exact for the
+    // cut the pseudo node promises, including tap branches whose safe
+    // positions lie beyond the frontier.
+    let mut cut = retime_netlist::Cut::initial(cloud);
+    for &gv in &g {
+        for u in cloud.fanin_cone(gv) {
+            cut.set_moved(u, true);
+        }
+    }
+    if cut.validate(cloud).is_err() {
+        return (SinkClass::AlwaysErrorDetecting, Vec::new());
+    }
+    let timing = sta.cut_timing(&cut);
+    let sink_idx = cloud
+        .sinks()
+        .iter()
+        .position(|&x| x == t)
+        .expect("t is a sink");
+    if timing.sink_arrivals[sink_idx] <= pi + EPS {
+        (SinkClass::Target, g)
+    } else {
+        (SinkClass::AlwaysErrorDetecting, Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retime_liberty::Library;
+    use retime_netlist::{bench, CombCloud};
+    use retime_sta::{DelayModel, SinkClass, TimingAnalysis, TwoPhaseClock};
+
+    fn chain(len: usize) -> CombCloud {
+        let mut src = String::from("INPUT(a)\nOUTPUT(z)\ng1 = NOT(a)\n");
+        for i in 2..=len {
+            src.push_str(&format!("g{i} = NOT(g{})\n", i - 1));
+        }
+        src.push_str(&format!("z = BUFF(g{len})\n"));
+        CombCloud::extract(&bench::parse("c", &src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn cut_set_on_target_is_frontier() {
+        let cloud = chain(20);
+        let lib = Library::fdsoi28();
+        // Clock between the never-ED and always-ED extremes.
+        let sta0 = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let t = cloud.sinks()[0];
+        let crit = sta0.df(t);
+        // Π = 0.7 P must sit above the best achievable arrival, which
+        // includes the latch D-to-Q: pick Π ≈ 1.1 × (crit + d_q).
+        let p = 1.1 * (crit + lib.latch().d_to_q) / 0.7;
+        let clock = TwoPhaseClock::from_max_delay(p);
+        let sta = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::PathBased).unwrap();
+        let bp = sta.backward(t);
+        let (class, g) = classify_and_cut_set(&sta, &bp);
+        assert_eq!(class, SinkClass::Target);
+        assert!(!g.is_empty(), "a target must have a non-empty frontier");
+        // On a pure chain the frontier is a single node, and placing the
+        // latch just beyond it meets Π while just before violates it.
+        assert_eq!(g.len(), 1);
+        let v = g[0];
+        let pi = sta.clock().period();
+        let n = cloud.node(v).fanout[0];
+        assert!(sta.a_value(v, n, &bp).unwrap() <= pi + 1e-9);
+    }
+
+    #[test]
+    fn relaxed_clock_never_needs_frontier() {
+        let cloud = chain(6);
+        let lib = Library::fdsoi28();
+        let sta = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(100.0),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let t = cloud.sinks()[0];
+        let bp = sta.backward(t);
+        assert_eq!(sta.classify_sink(t, &bp), SinkClass::NeverErrorDetecting);
+        assert!(cut_set(&sta, &bp).is_empty());
+    }
+
+    #[test]
+    fn overconstrained_clock_has_empty_frontier() {
+        let cloud = chain(20);
+        let lib = Library::fdsoi28();
+        let sta0 = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let t = cloud.sinks()[0];
+        let crit = sta0.df(t);
+        // Π < pure path: always error-detecting, no frontier.
+        let clock = TwoPhaseClock::from_max_delay(crit * 0.8);
+        let sta = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::PathBased).unwrap();
+        let bp = sta.backward(t);
+        assert_eq!(sta.classify_sink(t, &bp), SinkClass::AlwaysErrorDetecting);
+        assert!(cut_set(&sta, &bp).is_empty());
+    }
+
+    #[test]
+    fn frontier_separates_source_from_sink() {
+        // Every source→t path must pass through g(t) when non-empty.
+        let cloud = chain(20);
+        let lib = Library::fdsoi28();
+        let sta0 = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let t = cloud.sinks()[0];
+        let crit = sta0.df(t);
+        let p = 1.1 * (crit + lib.latch().d_to_q) / 0.7;
+        let sta = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(p),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let bp = sta.backward(t);
+        let (_, g) = classify_and_cut_set(&sta, &bp);
+        assert!(!g.is_empty());
+        // Walk the chain from the source; we must encounter a g(t) node
+        // before reaching t.
+        let mut v = cloud.sources()[0];
+        let mut crossed = false;
+        loop {
+            if g.contains(&v) {
+                crossed = true;
+            }
+            let node = cloud.node(v);
+            let next = node
+                .fanout
+                .iter()
+                .copied()
+                .find(|&w| bp.in_cone(w))
+                .unwrap_or(t);
+            if next == t {
+                break;
+            }
+            v = next;
+        }
+        assert!(crossed, "the frontier must separate sources from the sink");
+    }
+}

@@ -1,0 +1,277 @@
+//! Materializing error detection: EDL cells and the error-aggregation
+//! OR-tree (paper Section II-B).
+//!
+//! A retiming flow decides *which* masters are error-detecting; this
+//! module builds the corresponding circuitry into the retimed netlist:
+//!
+//! * per error-detecting master, a **shadow register + XOR comparator**
+//!   (the shadow-MSFF style of Fig. 2a: the shadow samples the data at
+//!   the window opening and the XOR flags any late change),
+//! * a balanced **OR tree** collecting all error signals of the stage
+//!   into a single error output ("the error signals of all error
+//!   detecting latches within a pipeline stage must be routed and
+//!   collected with some type of OR gate tree").
+//!
+//! At the cycle level the shadow captures the same value as the master,
+//! so the error output is constantly low in functional simulation — the
+//! inserted network is functionally transparent (checked by tests); it
+//! fires only on intra-cycle timing violations, which the timed simulator
+//! of `retime-sim` models separately.
+
+use retime_liberty::{EdlStyle, Library};
+use retime_netlist::{CellId, CombCloud, Gate, Netlist, NetlistError, NodeKind};
+
+/// Result of inserting the error-detection network.
+#[derive(Debug, Clone)]
+pub struct EdlInsertion {
+    /// The netlist with shadow registers, comparators, and the OR tree.
+    pub netlist: Netlist,
+    /// Number of error-detecting masters instrumented.
+    pub edl_cells: usize,
+    /// Gates spent on the OR aggregation tree.
+    pub or_tree_gates: usize,
+    /// Estimated area of the inserted network (shadows + XORs + tree),
+    /// for comparison against the amortized `c` model.
+    pub inserted_area: f64,
+}
+
+/// Inserts shadow-register EDL structures and the error OR-tree into a
+/// retimed latch netlist.
+///
+/// `latched` must be the netlist produced by applying the chosen cut
+/// (master names follow the `<ff>__m` convention of
+/// [`retime_netlist::Cut::apply`]); `ed_sinks` is indexed like
+/// `cloud.sinks()` and flags the masters to instrument. The aggregated
+/// error signal is exposed as a primary output named `edl_error`.
+///
+/// # Errors
+/// Propagates netlist construction failures; returns
+/// [`NetlistError::Inconsistent`] when an instrumented master cannot be
+/// found in `latched`.
+pub fn insert_error_detection(
+    latched: &Netlist,
+    cloud: &CombCloud,
+    ed_sinks: &[bool],
+    style: EdlStyle,
+    lib: &Library,
+) -> Result<EdlInsertion, NetlistError> {
+    assert_eq!(
+        ed_sinks.len(),
+        cloud.sinks().len(),
+        "ed flags must cover every sink"
+    );
+    let mut out = latched.clone();
+    let mut error_bits: Vec<CellId> = Vec::new();
+    let mut edl_cells = 0usize;
+    for (idx, &t) in cloud.sinks().iter().enumerate() {
+        if !ed_sinks[idx] {
+            continue;
+        }
+        let NodeKind::Sink { master: Some(_) } = cloud.node(t).kind else {
+            continue;
+        };
+        // The sink node is named `<ff>.d`; the applied netlist names the
+        // master `<ff>__m`.
+        let ff_name = cloud.node(t)
+            .name
+            .strip_suffix(".d")
+            .unwrap_or(&cloud.node(t).name)
+            .to_string();
+        let master = out.find(&format!("{ff_name}__m")).ok_or_else(|| {
+            NetlistError::Inconsistent(format!("master `{ff_name}__m` not found"))
+        })?;
+        let d_pin = out.cell(master).fanin[0];
+        // Shadow register sampling the same data at the window opening,
+        // and the comparator against the (possibly late) master value.
+        let shadow = out.add_gate(format!("{ff_name}__shadow"), Gate::Dff, &[d_pin])?;
+        let cmp = out.add_gate(format!("{ff_name}__err"), Gate::Xor, &[master, shadow])?;
+        error_bits.push(cmp);
+        edl_cells += 1;
+    }
+    // Balanced OR tree to a single error output.
+    let mut or_tree_gates = 0usize;
+    if !error_bits.is_empty() {
+        let mut layer = error_bits;
+        let mut n = 0usize;
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    let g = out.add_gate(format!("edl_or{n}"), Gate::Or, &[pair[0], pair[1]])?;
+                    n += 1;
+                    or_tree_gates += 1;
+                    g
+                } else {
+                    pair[0]
+                });
+            }
+            layer = next;
+        }
+        out.add_output("edl_error", layer[0])?;
+    }
+    out.validate()?;
+    let ff_area = lib.flip_flop().area;
+    let xor_area = lib.cell("XOR").map(|c| c.area(2)).unwrap_or(1.0);
+    let or_area = lib.cell("OR").map(|c| c.area(2)).unwrap_or(1.0);
+    let per_edl = match style {
+        // Shadow-MSFF: a full flip-flop plus the comparator.
+        EdlStyle::ShadowMsff => ff_area + xor_area,
+        // TDTB: transition detector + C-element, roughly an XOR plus half
+        // a latch of keeper logic.
+        EdlStyle::Tdtb => xor_area + 0.5 * lib.latch().area,
+    };
+    Ok(EdlInsertion {
+        netlist: out,
+        edl_cells,
+        or_tree_gates,
+        inserted_area: edl_cells as f64 * per_edl + or_tree_gates as f64 * or_area,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retime_liberty::EdlOverhead;
+    use retime_netlist::bench;
+    use retime_sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
+
+    fn setup() -> (Netlist, CombCloud) {
+        let n = bench::parse(
+            "edl",
+            "\
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+q1 = DFF(g2)
+q2 = DFF(g3)
+g1 = NAND(a, b)
+g2 = XOR(g1, q2)
+g3 = OR(q1, b)
+z = NOT(q2)
+",
+        )
+        .unwrap();
+        let cloud = CombCloud::extract(&n).unwrap();
+        (n, cloud)
+    }
+
+    #[test]
+    fn inserts_shadows_and_tree() {
+        let (n, cloud) = setup();
+        let cut = retime_netlist::Cut::initial(&cloud);
+        let latched = cut.apply(&cloud, &n).unwrap();
+        let lib = Library::fdsoi28();
+        // Flag every master-backed sink as error-detecting.
+        let ed: Vec<bool> = cloud
+            .sinks()
+            .iter()
+            .map(|&t| matches!(cloud.node(t).kind, NodeKind::Sink { master: Some(_) }))
+            .collect();
+        let ins =
+            insert_error_detection(&latched, &cloud, &ed, EdlStyle::ShadowMsff, &lib).unwrap();
+        assert_eq!(ins.edl_cells, 2);
+        assert_eq!(ins.or_tree_gates, 1);
+        assert!(ins.inserted_area > 0.0);
+        assert!(ins.netlist.find("q1__shadow").is_some());
+        assert!(ins.netlist.find("edl_error").is_some());
+    }
+
+    #[test]
+    fn error_output_is_silent_and_function_preserved() {
+        let (n, cloud) = setup();
+        let cut = retime_netlist::Cut::initial(&cloud);
+        let latched = cut.apply(&cloud, &n).unwrap();
+        let lib = Library::fdsoi28();
+        let ed: Vec<bool> = cloud
+            .sinks()
+            .iter()
+            .map(|&t| matches!(cloud.node(t).kind, NodeKind::Sink { master: Some(_) }))
+            .collect();
+        let ins =
+            insert_error_detection(&latched, &cloud, &ed, EdlStyle::ShadowMsff, &lib).unwrap();
+        // Original outputs unchanged; the new error output is constant 0
+        // at the cycle level (the shadow always agrees with the master).
+        let mut sim_orig = retime_sim::Simulator::new(&n).unwrap();
+        let mut sim_edl = retime_sim::Simulator::new(&ins.netlist).unwrap();
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let ins_vec: Vec<bool> = (0..2).map(|_| rng.random()).collect();
+            let a = sim_orig.step(&ins_vec);
+            let b = sim_edl.step(&ins_vec);
+            assert_eq!(a[0], b[0], "functional output preserved");
+            assert!(!b[b.len() - 1], "error output must stay low");
+        }
+    }
+
+    #[test]
+    fn no_ed_masters_no_tree() {
+        let (n, cloud) = setup();
+        let cut = retime_netlist::Cut::initial(&cloud);
+        let latched = cut.apply(&cloud, &n).unwrap();
+        let lib = Library::fdsoi28();
+        let ed = vec![false; cloud.sinks().len()];
+        let ins = insert_error_detection(&latched, &cloud, &ed, EdlStyle::Tdtb, &lib).unwrap();
+        assert_eq!(ins.edl_cells, 0);
+        assert_eq!(ins.or_tree_gates, 0);
+        assert!(ins.netlist.find("edl_error").is_none());
+    }
+
+    #[test]
+    fn full_flow_to_instrumented_netlist() {
+        // grar → apply → insert: the complete productization path.
+        let (n, cloud) = setup();
+        let lib = Library::fdsoi28();
+        let sta = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let crit = cloud
+            .sinks()
+            .iter()
+            .map(|&t| sta.df(t))
+            .fold(0.0f64, f64::max);
+        let clock = TwoPhaseClock::from_max_delay(crit * 1.2 + 0.1);
+        let report = crate::driver::grar(
+            &cloud,
+            &lib,
+            clock,
+            &crate::driver::GrarConfig::new(EdlOverhead::MEDIUM),
+        )
+        .unwrap();
+        let latched = report.outcome.cut.apply(&cloud, &n).unwrap();
+        let ins = insert_error_detection(
+            &latched,
+            &cloud,
+            &report.outcome.ed_sinks,
+            EdlStyle::Tdtb,
+            &lib,
+        )
+        .unwrap();
+        assert_eq!(ins.edl_cells, report.outcome.seq.edl);
+        ins.netlist.validate().unwrap();
+    }
+
+    #[test]
+    fn styles_have_different_cost() {
+        let (n, cloud) = setup();
+        let cut = retime_netlist::Cut::initial(&cloud);
+        let latched = cut.apply(&cloud, &n).unwrap();
+        let lib = Library::fdsoi28();
+        let ed: Vec<bool> = cloud
+            .sinks()
+            .iter()
+            .map(|&t| matches!(cloud.node(t).kind, NodeKind::Sink { master: Some(_) }))
+            .collect();
+        let msff =
+            insert_error_detection(&latched, &cloud, &ed, EdlStyle::ShadowMsff, &lib).unwrap();
+        let tdtb = insert_error_detection(&latched, &cloud, &ed, EdlStyle::Tdtb, &lib).unwrap();
+        assert!(
+            msff.inserted_area > tdtb.inserted_area,
+            "the shadow flip-flop style costs more, like its higher c"
+        );
+    }
+}

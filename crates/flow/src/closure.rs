@@ -1,0 +1,226 @@
+//! Maximum-weight closure via minimum cut.
+//!
+//! A *closure* is a node set `S` closed under its requirement edges:
+//! `v ∈ S` and `v requires u` implies `u ∈ S`. The maximum-weight closure
+//! is found with the classic project-selection min-cut reduction.
+//!
+//! The retiming ILP of the paper (Eq. 10) has binary variables
+//! (`r(v) ∈ {−1, 0}`); selecting the set of *moved* nodes is exactly a
+//! closure problem (a node can be moved through only if every fanin was),
+//! so this solver is an independent exact oracle for the network-flow
+//! path.
+
+use crate::error::FlowError;
+use crate::maxflow::{MaxFlow, INF_CAP};
+
+/// A maximum-weight closure problem.
+#[derive(Debug, Clone)]
+pub struct Closure {
+    weights: Vec<i64>,
+    requirements: Vec<(usize, usize)>,
+    forced_in: Vec<usize>,
+    forced_out: Vec<usize>,
+}
+
+impl Closure {
+    /// Creates a problem over `n` nodes with zero weights.
+    pub fn new(n: usize) -> Closure {
+        Closure {
+            weights: vec![0; n],
+            requirements: Vec::new(),
+            forced_in: Vec::new(),
+            forced_out: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Sets the weight gained by including node `v` in the closure
+    /// (may be negative).
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn set_weight(&mut self, v: usize, w: i64) {
+        self.weights[v] = w;
+    }
+
+    /// Adds to a node's weight.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn add_weight(&mut self, v: usize, w: i64) {
+        self.weights[v] += w;
+    }
+
+    /// Declares that selecting `v` requires selecting `u`.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn require(&mut self, v: usize, u: usize) {
+        assert!(v < self.weights.len() && u < self.weights.len());
+        if v != u {
+            self.requirements.push((v, u));
+        }
+    }
+
+    /// Forces `v` into the closure (with its requirements).
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn force_in(&mut self, v: usize) {
+        assert!(v < self.weights.len());
+        self.forced_in.push(v);
+    }
+
+    /// Forces `v` out of the closure.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn force_out(&mut self, v: usize) {
+        assert!(v < self.weights.len());
+        self.forced_out.push(v);
+    }
+
+    /// Solves the problem, returning the total weight of the optimum
+    /// closure and the membership vector.
+    ///
+    /// # Errors
+    /// Returns [`FlowError::Infeasible`] when a forced-in node
+    /// transitively requires a forced-out node.
+    pub fn solve(&self) -> Result<(i64, Vec<bool>), FlowError> {
+        let n = self.weights.len();
+        let s = n;
+        let t = n + 1;
+        let mut g = MaxFlow::new(n + 2);
+        let mut positive_total = 0i64;
+        for (v, &w) in self.weights.iter().enumerate() {
+            if w > 0 {
+                g.add_edge(s, v, w);
+                positive_total += w;
+            } else if w < 0 {
+                g.add_edge(v, t, -w);
+            }
+        }
+        for &(v, u) in &self.requirements {
+            // v in S requires u in S: an infinite arc v -> u keeps v on the
+            // source side only if u is as well.
+            g.add_edge(v, u, INF_CAP);
+        }
+        for &v in &self.forced_in {
+            g.add_edge(s, v, INF_CAP);
+        }
+        for &v in &self.forced_out {
+            g.add_edge(v, t, INF_CAP);
+        }
+        let cut = g.solve(s, t).expect("endpoints in range");
+        if cut >= INF_CAP {
+            return Err(FlowError::Infeasible);
+        }
+        let side = g.min_cut_side(s);
+        let members: Vec<bool> = (0..n).map(|v| side[v]).collect();
+        // Closure weight = positive total - cut value.
+        let weight = positive_total - cut;
+        debug_assert_eq!(
+            weight,
+            members
+                .iter()
+                .zip(&self.weights)
+                .filter(|(m, _)| **m)
+                .map(|(_, w)| *w)
+                .sum::<i64>()
+        );
+        Ok((weight, members))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_profitable_chain() {
+        // 0 (+5) requires 1 (-2); 2 (-10) standalone.
+        let mut c = Closure::new(3);
+        c.set_weight(0, 5);
+        c.set_weight(1, -2);
+        c.set_weight(2, -10);
+        c.require(0, 1);
+        let (w, m) = c.solve().unwrap();
+        assert_eq!(w, 3);
+        assert_eq!(m, vec![true, true, false]);
+    }
+
+    #[test]
+    fn rejects_unprofitable_chain() {
+        let mut c = Closure::new(2);
+        c.set_weight(0, 5);
+        c.set_weight(1, -8);
+        c.require(0, 1);
+        let (w, m) = c.solve().unwrap();
+        assert_eq!(w, 0);
+        assert_eq!(m, vec![false, false]);
+    }
+
+    #[test]
+    fn forced_nodes() {
+        let mut c = Closure::new(3);
+        c.set_weight(0, -4);
+        c.set_weight(1, 1);
+        c.set_weight(2, 100);
+        c.force_in(0);
+        c.force_out(2);
+        let (w, m) = c.solve().unwrap();
+        assert_eq!(m, vec![true, true, false]);
+        assert_eq!(w, -3);
+    }
+
+    #[test]
+    fn infeasible_forcing() {
+        let mut c = Closure::new(2);
+        c.require(0, 1);
+        c.force_in(0);
+        c.force_out(1);
+        assert_eq!(c.solve(), Err(FlowError::Infeasible));
+    }
+
+    #[test]
+    fn diamond_requirements() {
+        // 3 requires 1 and 2; both require 0.
+        let mut c = Closure::new(4);
+        c.set_weight(3, 10);
+        c.set_weight(1, -3);
+        c.set_weight(2, -3);
+        c.set_weight(0, -2);
+        c.require(3, 1);
+        c.require(3, 2);
+        c.require(1, 0);
+        c.require(2, 0);
+        let (w, m) = c.solve().unwrap();
+        assert_eq!(w, 2);
+        assert!(m.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn empty_closure_when_all_negative() {
+        let mut c = Closure::new(3);
+        for v in 0..3 {
+            c.set_weight(v, -1);
+        }
+        let (w, m) = c.solve().unwrap();
+        assert_eq!(w, 0);
+        assert!(m.iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn self_requirement_ignored() {
+        let mut c = Closure::new(1);
+        c.set_weight(0, 4);
+        c.require(0, 0);
+        let (w, m) = c.solve().unwrap();
+        assert_eq!(w, 4);
+        assert!(m[0]);
+    }
+}

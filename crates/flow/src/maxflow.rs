@@ -1,0 +1,205 @@
+//! Dinic's maximum-flow algorithm.
+
+use crate::error::FlowError;
+
+/// Practically-infinite capacity.
+pub const INF_CAP: i64 = i64::MAX / 4;
+
+/// A maximum-flow problem / solver (Dinic's algorithm).
+///
+/// Used as the engine behind [`crate::Closure`] and available directly for
+/// cut-style analyses.
+#[derive(Debug, Clone)]
+pub struct MaxFlow {
+    n: usize,
+    head: Vec<usize>,
+    cap: Vec<i64>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl MaxFlow {
+    /// Creates an empty network over `n` nodes.
+    pub fn new(n: usize) -> MaxFlow {
+        MaxFlow {
+            n,
+            head: Vec::new(),
+            cap: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds a directed edge with the given capacity. Returns the edge id
+    /// (usable with [`MaxFlow::flow_on`] after solving).
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or the capacity is negative.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> usize {
+        assert!(from < self.n && to < self.n, "edge endpoint out of range");
+        assert!(cap >= 0, "capacity must be non-negative");
+        let id = self.head.len();
+        self.adj[from].push(id);
+        self.head.push(to);
+        self.cap.push(cap);
+        self.adj[to].push(id + 1);
+        self.head.push(from);
+        self.cap.push(0);
+        id
+    }
+
+    /// Computes the maximum flow from `s` to `t`, mutating internal
+    /// residual capacities.
+    ///
+    /// # Errors
+    /// Returns [`FlowError::BadNode`] for out-of-range endpoints.
+    pub fn solve(&mut self, s: usize, t: usize) -> Result<i64, FlowError> {
+        for &v in &[s, t] {
+            if v >= self.n {
+                return Err(FlowError::BadNode { node: v, len: self.n });
+            }
+        }
+        if s == t {
+            return Ok(0);
+        }
+        let mut total = 0i64;
+        loop {
+            // BFS level graph.
+            let mut level = vec![usize::MAX; self.n];
+            let mut queue = std::collections::VecDeque::new();
+            level[s] = 0;
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                for &e in &self.adj[u] {
+                    let v = self.head[e];
+                    if self.cap[e] > 0 && level[v] == usize::MAX {
+                        level[v] = level[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if level[t] == usize::MAX {
+                break;
+            }
+            // DFS blocking flow with iteration pointers.
+            let mut iter = vec![0usize; self.n];
+            loop {
+                let pushed = self.dfs(s, t, INF_CAP, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        Ok(total)
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, limit: i64, level: &[usize], iter: &mut [usize]) -> i64 {
+        if u == t {
+            return limit;
+        }
+        while iter[u] < self.adj[u].len() {
+            let e = self.adj[u][iter[u]];
+            let v = self.head[e];
+            if self.cap[e] > 0 && level[v] == level[u] + 1 {
+                let d = self.dfs(v, t, limit.min(self.cap[e]), level, iter);
+                if d > 0 {
+                    self.cap[e] -= d;
+                    self.cap[e ^ 1] += d;
+                    return d;
+                }
+            }
+            iter[u] += 1;
+        }
+        0
+    }
+
+    /// Flow routed on an edge returned by [`MaxFlow::add_edge`]
+    /// (valid after [`MaxFlow::solve`]).
+    pub fn flow_on(&self, edge: usize) -> i64 {
+        self.cap[edge ^ 1]
+    }
+
+    /// Nodes reachable from `s` in the residual graph (the source side of
+    /// a minimum cut, valid after [`MaxFlow::solve`]).
+    pub fn min_cut_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(u) = stack.pop() {
+            for &e in &self.adj[u] {
+                let v = self.head[e];
+                if self.cap[e] > 0 && !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_diamond() {
+        let mut g = MaxFlow::new(4);
+        g.add_edge(0, 1, 3);
+        g.add_edge(0, 2, 2);
+        g.add_edge(1, 3, 2);
+        g.add_edge(2, 3, 3);
+        g.add_edge(1, 2, 1);
+        assert_eq!(g.solve(0, 3).unwrap(), 5);
+    }
+
+    #[test]
+    fn disconnected_zero() {
+        let mut g = MaxFlow::new(4);
+        g.add_edge(0, 1, 10);
+        g.add_edge(2, 3, 10);
+        assert_eq!(g.solve(0, 3).unwrap(), 0);
+    }
+
+    #[test]
+    fn min_cut_separates() {
+        let mut g = MaxFlow::new(4);
+        g.add_edge(0, 1, 1); // the bottleneck
+        g.add_edge(1, 2, 10);
+        g.add_edge(2, 3, 10);
+        assert_eq!(g.solve(0, 3).unwrap(), 1);
+        let side = g.min_cut_side(0);
+        assert!(side[0]);
+        assert!(!side[1] && !side[2] && !side[3]);
+    }
+
+    #[test]
+    fn flow_on_edges() {
+        let mut g = MaxFlow::new(3);
+        let e1 = g.add_edge(0, 1, 4);
+        let e2 = g.add_edge(1, 2, 3);
+        assert_eq!(g.solve(0, 2).unwrap(), 3);
+        assert_eq!(g.flow_on(e1), 3);
+        assert_eq!(g.flow_on(e2), 3);
+    }
+
+    #[test]
+    fn bad_node_rejected() {
+        let mut g = MaxFlow::new(2);
+        assert!(matches!(
+            g.solve(0, 7),
+            Err(FlowError::BadNode { node: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn same_source_sink() {
+        let mut g = MaxFlow::new(2);
+        g.add_edge(0, 1, 5);
+        assert_eq!(g.solve(0, 0).unwrap(), 0);
+    }
+}

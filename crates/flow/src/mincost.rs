@@ -1,0 +1,568 @@
+//! Minimum-cost b-flow with dual extraction (successive shortest paths).
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+use crate::error::FlowError;
+
+/// Identifier of an arc added with [`MinCostFlow::add_arc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArcId(pub usize);
+
+/// Practically-infinite capacity for uncapacitated arcs.
+pub const INF_CAP: i64 = i64::MAX / 4;
+
+/// A minimum-cost flow problem over node demands.
+///
+/// Sign convention (matching the paper's Eq. 13/14): `demand(v)` is the
+/// required *excess* `inflow − outflow` at `v`. Demands must sum to zero.
+///
+/// Arc costs may be negative (the retiming reduction produces `−1`-cost
+/// host edges for the `V_m` region bounds); negative *cycles* are not
+/// supported and cannot arise from difference-constraint duals of a
+/// feasible system.
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    n: usize,
+    // Paired edge representation: edge 2i is the i-th arc, 2i+1 its
+    // residual reverse.
+    head: Vec<usize>,
+    cap: Vec<i64>,
+    cost: Vec<i64>,
+    adj: Vec<Vec<usize>>,
+    demand: Vec<i64>,
+    user_arcs: usize,
+}
+
+/// An optimal flow with its dual certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSolution {
+    /// Total cost `Σ cost(a) · flow(a)`.
+    pub cost: i64,
+    /// Flow per user arc (indexed by [`ArcId`]).
+    pub flows: Vec<i64>,
+    /// Optimal node potentials `y`: for every arc `(u, v)` with residual
+    /// capacity, `y(v) − y(u) ≤ cost(u, v)`, with equality on arcs carrying
+    /// flow. These are the LP duals the retiming reduction reads back as
+    /// `r(v) = −(y(v) − y(host))`.
+    pub potentials: Vec<i64>,
+}
+
+impl MinCostFlow {
+    /// Creates a problem over `n` nodes with zero demands.
+    pub fn new(n: usize) -> MinCostFlow {
+        MinCostFlow {
+            n,
+            head: Vec::new(),
+            cap: Vec::new(),
+            cost: Vec::new(),
+            adj: vec![Vec::new(); n],
+            demand: vec![0; n],
+            user_arcs: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of user arcs.
+    pub fn arc_count(&self) -> usize {
+        self.user_arcs
+    }
+
+    /// Adds a directed arc with the given capacity and per-unit cost.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or `from == to`.
+    pub fn add_arc(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> ArcId {
+        assert!(from < self.n && to < self.n, "arc endpoint out of range");
+        assert_ne!(from, to, "self-loops are not supported");
+        assert!(cap >= 0, "capacity must be non-negative");
+        let id = ArcId(self.user_arcs);
+        self.push_edge(from, to, cap, cost);
+        self.user_arcs += 1;
+        id
+    }
+
+    /// Adds an uncapacitated arc.
+    pub fn add_uncapacitated(&mut self, from: usize, to: usize, cost: i64) -> ArcId {
+        self.add_arc(from, to, INF_CAP, cost)
+    }
+
+    /// Sets the demand (required `inflow − outflow`) of a node.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn set_demand(&mut self, v: usize, demand: i64) {
+        assert!(v < self.n, "node out of range");
+        self.demand[v] = demand;
+    }
+
+    /// Adds to the demand of a node.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn add_demand(&mut self, v: usize, delta: i64) {
+        assert!(v < self.n, "node out of range");
+        self.demand[v] += delta;
+    }
+
+    /// The current demand of a node.
+    pub fn demand(&self, v: usize) -> i64 {
+        self.demand[v]
+    }
+
+    /// The `(from, to, capacity, cost)` of a user arc.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub(crate) fn raw_arc(&self, id: usize) -> (usize, usize, i64, i64) {
+        assert!(id < self.user_arcs, "arc id out of range");
+        let e = 2 * id;
+        (self.head[e + 1], self.head[e], self.cap[e], self.cost[e])
+    }
+
+    fn push_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) {
+        self.adj[from].push(self.head.len());
+        self.head.push(to);
+        self.cap.push(cap);
+        self.cost.push(cost);
+        self.adj[to].push(self.head.len());
+        self.head.push(from);
+        self.cap.push(0);
+        self.cost.push(-cost);
+    }
+
+    /// Solves by successive shortest paths with Johnson potentials.
+    ///
+    /// # Errors
+    /// [`FlowError::UnbalancedDemands`] if demands do not sum to zero,
+    /// [`FlowError::Infeasible`] if the demands cannot be routed.
+    pub fn solve(&self) -> Result<FlowSolution, FlowError> {
+        let total: i64 = self.demand.iter().sum();
+        if total != 0 {
+            return Err(FlowError::UnbalancedDemands { total });
+        }
+        // Working copy with super source / sink appended.
+        let s = self.n;
+        let t = self.n + 1;
+        let mut g = self.clone();
+        g.n += 2;
+        g.adj.push(Vec::new());
+        g.adj.push(Vec::new());
+        g.demand.push(0);
+        g.demand.push(0);
+        let mut required = 0i64;
+        for v in 0..self.n {
+            let b = self.demand[v];
+            if b < 0 {
+                g.push_edge(s, v, -b, 0);
+            } else if b > 0 {
+                g.push_edge(v, t, b, 0);
+                required += b;
+            }
+        }
+
+        // Initial potentials via Bellman-Ford from the super source
+        // (costs may be negative).
+        let mut pot = bellman_ford_from(&g, s)?;
+
+        // Primal-dual (SSP with blocking flow): each phase runs one
+        // Dijkstra on reduced costs, then saturates the *entire*
+        // admissible (zero-reduced-cost) subgraph with a blocking flow.
+        // Retiming duals have tiny arc costs (weights in {−1, 0, 1}), so
+        // only a handful of phases occur regardless of circuit size.
+        let mut shipped = 0i64;
+        let mut dist = vec![i64::MAX; g.n];
+        while shipped < required {
+            // Dijkstra on reduced costs.
+            dist.iter_mut().for_each(|d| *d = i64::MAX);
+            let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+            dist[s] = 0;
+            heap.push(Reverse((0, s)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > dist[u] {
+                    continue;
+                }
+                for &e in &g.adj[u] {
+                    if g.cap[e] == 0 {
+                        continue;
+                    }
+                    let v = g.head[e];
+                    // Nodes unreachable from the super source in the
+                    // initial residual graph stay unreachable (reverse
+                    // arcs only appear along augmented, hence reachable,
+                    // paths), so they can be skipped outright.
+                    if pot[u] == i64::MAX || pot[v] == i64::MAX {
+                        continue;
+                    }
+                    let rc = g.cost[e] + pot[u] - pot[v];
+                    debug_assert!(rc >= 0, "negative reduced cost {rc}");
+                    let nd = d.saturating_add(rc);
+                    if nd < dist[v] {
+                        dist[v] = nd;
+                        heap.push(Reverse((nd, v)));
+                    }
+                }
+            }
+            if dist[t] == i64::MAX {
+                return Err(FlowError::Infeasible);
+            }
+            // Update potentials, capping at dist[t]: nodes beyond (or
+            // unreachable from) the sink this round advance by dist[t],
+            // which preserves non-negative reduced costs on every residual
+            // arc across rounds.
+            let dt = dist[t];
+            for v in 0..g.n {
+                if pot[v] != i64::MAX && dist[v] != i64::MAX {
+                    pot[v] += dist[v].min(dt);
+                } else if pot[v] != i64::MAX {
+                    pot[v] += dt;
+                }
+            }
+            // Blocking flow over the admissible subgraph (residual arcs
+            // with zero reduced cost under the updated potentials).
+            let pushed = blocking_flow(&mut g, s, t, required - shipped, &pot);
+            debug_assert!(pushed > 0, "Dijkstra reached t, so flow must move");
+            if pushed == 0 {
+                return Err(FlowError::Infeasible);
+            }
+            shipped += pushed;
+        }
+
+        // Flows on user arcs: reverse-edge capacity equals the flow.
+        let mut flows = Vec::with_capacity(self.user_arcs);
+        let mut cost = 0i64;
+        for a in 0..self.user_arcs {
+            let f = g.cap[2 * a + 1];
+            flows.push(f);
+            cost += f * self.cost[2 * a];
+        }
+        // Final duals: shortest distances in the residual graph from a
+        // virtual everywhere-source (Bellman-Ford to a fixpoint). The
+        // optimal residual graph has no negative cycles, so this
+        // terminates and certifies optimality.
+        let potentials = residual_potentials(&g, self.n);
+        Ok(FlowSolution {
+            cost,
+            flows,
+            potentials,
+        })
+    }
+}
+
+/// Dinic-style blocking flow restricted to admissible arcs (residual
+/// capacity > 0 and zero reduced cost under `pot`). Returns the amount
+/// pushed, at most `limit`.
+fn blocking_flow(g: &mut MinCostFlow, s: usize, t: usize, limit: i64, pot: &[i64]) -> i64 {
+    // BFS levels over admissible arcs.
+    let mut level = vec![usize::MAX; g.n];
+    let mut queue = std::collections::VecDeque::new();
+    level[s] = 0;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        for &e in &g.adj[u] {
+            let v = g.head[e];
+            if g.cap[e] > 0
+                && level[v] == usize::MAX
+                && pot[u] != i64::MAX
+                && pot[v] != i64::MAX
+                && g.cost[e] + pot[u] - pot[v] == 0
+            {
+                level[v] = level[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    if level[t] == usize::MAX {
+        return 0;
+    }
+    let mut iter = vec![0usize; g.n];
+    let mut total = 0i64;
+    while total < limit {
+        let pushed = blocking_dfs(g, s, t, limit - total, &level, &mut iter, pot);
+        if pushed == 0 {
+            break;
+        }
+        total += pushed;
+    }
+    total
+}
+
+fn blocking_dfs(
+    g: &mut MinCostFlow,
+    u: usize,
+    t: usize,
+    limit: i64,
+    level: &[usize],
+    iter: &mut [usize],
+    pot: &[i64],
+) -> i64 {
+    if u == t {
+        return limit;
+    }
+    while iter[u] < g.adj[u].len() {
+        let e = g.adj[u][iter[u]];
+        let v = g.head[e];
+        if g.cap[e] > 0
+            && level[v] == level[u] + 1
+            && pot[v] != i64::MAX
+            && g.cost[e] + pot[u] - pot[v] == 0
+        {
+            let d = blocking_dfs(g, v, t, limit.min(g.cap[e]), level, iter, pot);
+            if d > 0 {
+                g.cap[e] -= d;
+                g.cap[e ^ 1] += d;
+                return d;
+            }
+        }
+        iter[u] += 1;
+    }
+    0
+}
+
+/// Bellman-Ford distances from `src` over residual arcs; `i64::MAX` marks
+/// unreachable nodes.
+///
+/// # Errors
+/// Returns [`FlowError::NegativeCycle`] when relaxation fails to converge.
+fn bellman_ford_from(g: &MinCostFlow, src: usize) -> Result<Vec<i64>, FlowError> {
+    let mut dist = vec![i64::MAX; g.n];
+    dist[src] = 0;
+    // SPFA-style queue-based relaxation with a negative-cycle guard: a
+    // node relaxed more than n times lies on (or behind) a negative cycle.
+    let mut in_queue = vec![false; g.n];
+    let mut relaxations = vec![0usize; g.n];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(src);
+    in_queue[src] = true;
+    while let Some(u) = queue.pop_front() {
+        in_queue[u] = false;
+        for &e in &g.adj[u] {
+            if g.cap[e] == 0 {
+                continue;
+            }
+            let v = g.head[e];
+            let nd = dist[u] + g.cost[e];
+            if nd < dist[v] {
+                dist[v] = nd;
+                relaxations[v] += 1;
+                if relaxations[v] > g.n {
+                    return Err(FlowError::NegativeCycle);
+                }
+                if !in_queue[v] {
+                    in_queue[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    Ok(dist)
+}
+
+/// Shortest distances from a virtual source connected to every node with
+/// zero cost, over the residual graph — valid dual potentials for the
+/// original problem.
+fn residual_potentials(g: &MinCostFlow, n_orig: usize) -> Vec<i64> {
+    let mut dist = vec![0i64; g.n];
+    let mut in_queue = vec![true; g.n];
+    let mut relaxations = vec![0usize; g.n];
+    let mut queue: std::collections::VecDeque<usize> = (0..g.n).collect();
+    while let Some(u) = queue.pop_front() {
+        in_queue[u] = false;
+        for &e in &g.adj[u] {
+            if g.cap[e] == 0 {
+                continue;
+            }
+            let v = g.head[e];
+            let nd = dist[u] + g.cost[e];
+            if nd < dist[v] {
+                dist[v] = nd;
+                relaxations[v] += 1;
+                debug_assert!(
+                    relaxations[v] <= g.n,
+                    "optimal residual graph must be free of negative cycles"
+                );
+                if relaxations[v] > g.n {
+                    // Defensive: abandon refinement rather than loop.
+                    dist.truncate(n_orig);
+                    return dist;
+                }
+                if !in_queue[v] {
+                    in_queue[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist.truncate(n_orig);
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_two_route() {
+        let mut p = MinCostFlow::new(3);
+        p.add_arc(0, 1, 10, 1);
+        p.add_arc(1, 2, 10, 1);
+        p.add_arc(0, 2, 10, 3);
+        p.set_demand(0, -5);
+        p.set_demand(2, 5);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.cost, 10);
+        assert_eq!(sol.flows, vec![5, 5, 0]);
+    }
+
+    #[test]
+    fn splits_over_capacity() {
+        let mut p = MinCostFlow::new(3);
+        p.add_arc(0, 1, 3, 1);
+        p.add_arc(1, 2, 3, 1);
+        p.add_arc(0, 2, 10, 3);
+        p.set_demand(0, -5);
+        p.set_demand(2, 5);
+        let sol = p.solve().unwrap();
+        // 3 units via the cheap route (cost 6), 2 via the direct (cost 6).
+        assert_eq!(sol.cost, 12);
+        assert_eq!(sol.flows, vec![3, 3, 2]);
+    }
+
+    #[test]
+    fn unbalanced_rejected() {
+        let mut p = MinCostFlow::new(2);
+        p.add_arc(0, 1, 10, 1);
+        p.set_demand(0, -5);
+        p.set_demand(1, 4);
+        assert_eq!(
+            p.solve(),
+            Err(FlowError::UnbalancedDemands { total: -1 })
+        );
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = MinCostFlow::new(3);
+        p.add_arc(0, 1, 2, 1); // bottleneck of 2 < demand of 5
+        p.add_arc(1, 2, 10, 1);
+        p.set_demand(0, -5);
+        p.set_demand(2, 5);
+        assert_eq!(p.solve(), Err(FlowError::Infeasible));
+    }
+
+    #[test]
+    fn negative_costs_supported() {
+        let mut p = MinCostFlow::new(3);
+        p.add_arc(0, 1, 10, -2);
+        p.add_arc(1, 2, 10, 1);
+        p.add_arc(0, 2, 10, 0);
+        p.set_demand(0, -4);
+        p.set_demand(2, 4);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.cost, -4);
+        assert_eq!(sol.flows, vec![4, 4, 0]);
+    }
+
+    #[test]
+    fn dual_feasibility_certificate() {
+        let mut p = MinCostFlow::new(4);
+        let arcs = [
+            (0usize, 1usize, 5i64, 2i64),
+            (0, 2, 5, 1),
+            (2, 1, 5, 0),
+            (1, 3, 10, 1),
+            (2, 3, 2, 4),
+        ];
+        for &(u, v, cap, cost) in &arcs {
+            p.add_arc(u, v, cap, cost);
+        }
+        p.set_demand(0, -6);
+        p.set_demand(3, 6);
+        let sol = p.solve().unwrap();
+        // Check complementary slackness against every arc.
+        for (i, &(u, v, cap, cost)) in arcs.iter().enumerate() {
+            let f = sol.flows[i];
+            let y = &sol.potentials;
+            if f < cap {
+                assert!(y[v] - y[u] <= cost, "dual violated on unsaturated arc {i}");
+            }
+            if f > 0 {
+                assert!(y[v] - y[u] >= cost, "dual violated on flowing arc {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_demands_zero_flow() {
+        let mut p = MinCostFlow::new(3);
+        p.add_arc(0, 1, 10, 1);
+        p.add_arc(1, 2, 10, 1);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.cost, 0);
+        assert_eq!(sol.flows, vec![0, 0]);
+    }
+
+    #[test]
+    fn uncapacitated_helper() {
+        let mut p = MinCostFlow::new(2);
+        p.add_uncapacitated(0, 1, 7);
+        p.set_demand(0, -1_000_000);
+        p.set_demand(1, 1_000_000);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.cost, 7_000_000);
+    }
+
+    #[test]
+    fn negative_cycle_detected() {
+        let mut p = MinCostFlow::new(3);
+        p.add_arc(0, 1, 10, -4);
+        p.add_arc(1, 0, 10, -4);
+        p.add_arc(0, 2, 10, 1);
+        p.set_demand(0, -1);
+        p.set_demand(2, 1);
+        assert_eq!(p.solve(), Err(FlowError::NegativeCycle));
+    }
+
+    #[test]
+    fn zero_cost_cycle_is_fine() {
+        // The retiming reduction's host edges form zero-cost cycles
+        // ((v,h) cost −1 with (h,v) cost +1); these must be handled.
+        let mut p = MinCostFlow::new(3);
+        p.add_arc(0, 1, 10, -1);
+        p.add_arc(1, 0, 10, 1);
+        p.add_arc(0, 2, 10, 2);
+        p.set_demand(1, -3);
+        p.set_demand(2, 3);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.cost, 3 * (1 + 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut p = MinCostFlow::new(2);
+        p.add_arc(1, 1, 1, 1);
+    }
+
+    #[test]
+    fn multi_source_multi_sink() {
+        let mut p = MinCostFlow::new(5);
+        p.add_arc(0, 2, 10, 1);
+        p.add_arc(1, 2, 10, 2);
+        p.add_arc(2, 3, 10, 1);
+        p.add_arc(2, 4, 10, 3);
+        p.set_demand(0, -3);
+        p.set_demand(1, -2);
+        p.set_demand(3, 4);
+        p.set_demand(4, 1);
+        let sol = p.solve().unwrap();
+        // Conservation check at the hub.
+        assert_eq!(sol.flows[0] + sol.flows[1], sol.flows[2] + sol.flows[3]);
+        assert_eq!(sol.flows[2], 4);
+        assert_eq!(sol.flows[3], 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Standard-cell library model for resiliency-aware retiming.
+//!
+//! Provides what the paper's flows need from a Liberty-style library:
+//!
+//! * combinational cells with area and pin-to-pin rise/fall delays plus a
+//!   load-dependent term ([`CombCell`]),
+//! * sequential cells: flip-flops and level-sensitive latches
+//!   ([`FlipFlopCell`], [`LatchCell`]) — the latch's D-to-Q delay differs
+//!   from its clock-to-Q delay, which Section III notes can vary by up to
+//!   40 % in a modern library,
+//! * error-detecting latch styles (Fig. 2) and the amortized EDL area
+//!   overhead [`EdlOverhead`] `c` swept over {0.5, 1.0, 2.0},
+//! * the **virtual library** of Section V ([`VirtualLibrary`]): three latch
+//!   groups distinguishing error-detecting (larger area), non-error-
+//!   detecting (tighter setup), and normal latches.
+//!
+//! The built-in [`Library::fdsoi28`] library is calibrated so that a latch
+//! is ≈43 % of a flip-flop's area, matching the ratio reported in the
+//! paper's Section VI-D.
+//!
+//! # Example
+//!
+//! ```
+//! use retime_liberty::{EdlOverhead, Library};
+//!
+//! let lib = Library::fdsoi28();
+//! let c = EdlOverhead::MEDIUM;
+//! let ed_latch_area = lib.latch().area * (1.0 + c.value());
+//! assert!(ed_latch_area > lib.latch().area);
+//! ```
+
+pub mod cells;
+pub mod library;
+pub mod overhead;
+pub mod virtual_lib;
+
+pub use cells::{CombCell, DelayArc, EdlStyle, FlipFlopCell, LatchCell, Sense};
+pub use library::{Library, LibraryError};
+pub use overhead::EdlOverhead;
+pub use virtual_lib::{LatchGroup, VirtualLatch, VirtualLibrary};

@@ -1,0 +1,92 @@
+//! The EDL area overhead parameter `c`.
+
+use std::fmt;
+
+/// Amortized area overhead of an error-detecting latch relative to a
+/// normal latch (the paper's `c`, Section II-B).
+///
+/// An error-detecting master latch costs `(1 + c) ×` the area of a normal
+/// latch; the paper sweeps `c` over 0.5 (low), 1.0 (medium), and 2.0
+/// (high), covering the published EDL design space.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct EdlOverhead(f64);
+
+impl EdlOverhead {
+    /// `c = 0.5`, the paper's "low" setting (e.g. a lean TDTB design).
+    pub const LOW: EdlOverhead = EdlOverhead(0.5);
+    /// `c = 1.0`, the paper's "medium" setting.
+    pub const MEDIUM: EdlOverhead = EdlOverhead(1.0);
+    /// `c = 2.0`, the paper's "high" setting (e.g. a shadow-MSFF design).
+    pub const HIGH: EdlOverhead = EdlOverhead(2.0);
+
+    /// The three settings evaluated throughout the paper's Section VI.
+    pub const SWEEP: [EdlOverhead; 3] = [Self::LOW, Self::MEDIUM, Self::HIGH];
+
+    /// Creates a custom overhead.
+    ///
+    /// # Panics
+    /// Panics if `c` is negative or not finite.
+    pub fn new(c: f64) -> EdlOverhead {
+        assert!(c.is_finite() && c >= 0.0, "EDL overhead must be ≥ 0");
+        EdlOverhead(c)
+    }
+
+    /// The raw overhead factor.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Area of an error-detecting latch given the normal latch area.
+    pub fn ed_latch_area(self, latch_area: f64) -> f64 {
+        latch_area * (1.0 + self.0)
+    }
+
+    /// The label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        if self.0 <= 0.5 {
+            "Low"
+        } else if self.0 <= 1.0 {
+            "Medium"
+        } else {
+            "High"
+        }
+    }
+}
+
+impl fmt::Display for EdlOverhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_ordering() {
+        assert!(EdlOverhead::LOW < EdlOverhead::MEDIUM);
+        assert!(EdlOverhead::MEDIUM < EdlOverhead::HIGH);
+        assert_eq!(EdlOverhead::SWEEP.len(), 3);
+    }
+
+    #[test]
+    fn ed_latch_area() {
+        assert!((EdlOverhead::HIGH.ed_latch_area(1.0) - 3.0).abs() < 1e-12);
+        assert!((EdlOverhead::LOW.ed_latch_area(2.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(EdlOverhead::LOW.label(), "Low");
+        assert_eq!(EdlOverhead::MEDIUM.label(), "Medium");
+        assert_eq!(EdlOverhead::HIGH.label(), "High");
+        assert_eq!(EdlOverhead::MEDIUM.to_string(), "c=1");
+    }
+
+    #[test]
+    #[should_panic(expected = "EDL overhead must be ≥ 0")]
+    fn negative_rejected() {
+        let _ = EdlOverhead::new(-1.0);
+    }
+}

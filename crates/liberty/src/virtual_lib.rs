@@ -1,0 +1,166 @@
+//! The virtual resynthesis library of Section V.
+//!
+//! Each latch of the base library is augmented into three groups so a
+//! conventional, resiliency-unaware synthesis/retiming tool can reason
+//! about the EDL trade-off:
+//!
+//! 1. **non-error-detecting** — setup extended by the resiliency window:
+//!    data must arrive before the window opens (arrival ≤ Π),
+//! 2. **error-detecting** — area enlarged by `(1 + c)`; arrivals may fall
+//!    inside the window (arrival ≤ Π + φ1),
+//! 3. **normal** — the unmodified latch, used in pipeline stages that are
+//!    not error-detecting at all.
+
+use crate::cells::LatchCell;
+use crate::library::Library;
+use crate::overhead::EdlOverhead;
+
+/// The three latch groups of the virtual library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatchGroup {
+    /// Group 1: normal area, tightened setup (arrival must precede the
+    /// resiliency window).
+    NonErrorDetecting,
+    /// Group 2: area × (1 + c), arrivals allowed inside the window.
+    ErrorDetecting,
+    /// Group 3: the unmodified library latch.
+    Normal,
+}
+
+impl LatchGroup {
+    /// All groups, in the paper's order.
+    pub const ALL: [LatchGroup; 3] = [
+        LatchGroup::NonErrorDetecting,
+        LatchGroup::ErrorDetecting,
+        LatchGroup::Normal,
+    ];
+}
+
+/// A latch variant in the virtual library.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VirtualLatch {
+    /// Which group the variant belongs to.
+    pub group: LatchGroup,
+    /// Area in µm² (already including the EDL overhead for group 2).
+    pub area: f64,
+    /// Extra setup margin beyond the base latch setup. For group 1 this is
+    /// the resiliency window `φ1`: the data must be stable that much
+    /// earlier than a normal latch would require.
+    pub extra_setup: f64,
+    /// Underlying electrical latch (delays are unchanged by the grouping).
+    pub base: LatchCell,
+}
+
+/// The virtual library: the base library plus the three latch groups for
+/// a given EDL overhead and resiliency window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualLibrary {
+    base: Library,
+    c: EdlOverhead,
+    window: f64,
+}
+
+impl VirtualLibrary {
+    /// Builds the virtual library.
+    ///
+    /// `window` is the resiliency window `φ1` (in ns) used to extend the
+    /// setup time of group-1 latches.
+    ///
+    /// # Panics
+    /// Panics if `window` is negative or not finite.
+    pub fn build(base: Library, c: EdlOverhead, window: f64) -> VirtualLibrary {
+        assert!(
+            window.is_finite() && window >= 0.0,
+            "resiliency window must be ≥ 0"
+        );
+        VirtualLibrary { base, c, window }
+    }
+
+    /// The underlying base library.
+    pub fn base(&self) -> &Library {
+        &self.base
+    }
+
+    /// The EDL overhead the library was built with.
+    pub fn overhead(&self) -> EdlOverhead {
+        self.c
+    }
+
+    /// The resiliency window the library was built with.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// The latch variant for a group.
+    pub fn latch(&self, group: LatchGroup) -> VirtualLatch {
+        let base = *self.base.latch();
+        match group {
+            LatchGroup::NonErrorDetecting => VirtualLatch {
+                group,
+                area: base.area,
+                extra_setup: self.window,
+                base,
+            },
+            LatchGroup::ErrorDetecting => VirtualLatch {
+                group,
+                area: self.c.ed_latch_area(base.area),
+                extra_setup: 0.0,
+                base,
+            },
+            LatchGroup::Normal => VirtualLatch {
+                group,
+                area: base.area,
+                extra_setup: 0.0,
+                base,
+            },
+        }
+    }
+
+    /// Area difference saved by swapping an error-detecting latch for its
+    /// non-error-detecting counterpart (the post-retiming swap step of
+    /// Section V reclaims exactly this much per swap).
+    pub fn swap_saving(&self) -> f64 {
+        self.latch(LatchGroup::ErrorDetecting).area
+            - self.latch(LatchGroup::NonErrorDetecting).area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vl() -> VirtualLibrary {
+        VirtualLibrary::build(Library::fdsoi28(), EdlOverhead::MEDIUM, 0.12)
+    }
+
+    #[test]
+    fn group_areas() {
+        let v = vl();
+        let n = v.latch(LatchGroup::NonErrorDetecting);
+        let e = v.latch(LatchGroup::ErrorDetecting);
+        let r = v.latch(LatchGroup::Normal);
+        assert_eq!(n.area, r.area);
+        assert!((e.area - 2.0 * r.area).abs() < 1e-9, "c=1 doubles the area");
+    }
+
+    #[test]
+    fn setup_extension_only_on_group1() {
+        let v = vl();
+        assert!((v.latch(LatchGroup::NonErrorDetecting).extra_setup - 0.12).abs() < 1e-12);
+        assert_eq!(v.latch(LatchGroup::ErrorDetecting).extra_setup, 0.0);
+        assert_eq!(v.latch(LatchGroup::Normal).extra_setup, 0.0);
+    }
+
+    #[test]
+    fn swap_saving_matches_overhead() {
+        let v = vl();
+        let expected = v.base().latch().area * v.overhead().value();
+        assert!((v.swap_saving() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "resiliency window must be ≥ 0")]
+    fn negative_window_rejected() {
+        let _ = VirtualLibrary::build(Library::fdsoi28(), EdlOverhead::LOW, -0.1);
+    }
+}

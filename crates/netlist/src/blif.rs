@@ -1,0 +1,459 @@
+//! Reader and writer for a structural subset of the Berkeley BLIF format.
+//!
+//! Supported constructs:
+//!
+//! * `.model`, `.inputs`, `.outputs`, `.end` (with `\` line continuation),
+//! * `.latch <in> <out> [<type> <clock>] [<init>]` — mapped to [`Gate::Dff`],
+//! * `.names` single-output covers whose function is one of the gate
+//!   alphabet (AND/NAND/OR/NOR, 2-input XOR/XNOR, NOT, BUF).
+//!
+//! Arbitrary sum-of-products covers (including constants) are rejected with
+//! a parse error: this crate models mapped, gate-level circuits, not
+//! technology-independent logic.
+
+use std::collections::HashMap;
+
+use crate::cell::{CellId, Gate};
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+
+/// Parses a BLIF netlist.
+///
+/// # Errors
+/// Returns [`NetlistError::Parse`] on unsupported or malformed constructs
+/// and [`NetlistError::UnknownName`] on dangling references.
+///
+/// # Example
+/// ```
+/// # fn main() -> Result<(), retime_netlist::NetlistError> {
+/// let src = "\
+/// .model top
+/// .inputs a b
+/// .outputs y
+/// .names a b y
+/// 11 1
+/// .end
+/// ";
+/// let n = retime_netlist::blif::parse(src)?;
+/// assert_eq!(n.name(), "top");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
+    // Join continuation lines first, remembering original line numbers.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim_end();
+        let (start, mut text) = match pending.take() {
+            Some((s, t)) => (s, t),
+            None => (i + 1, String::new()),
+        };
+        if let Some(stripped) = line.strip_suffix('\\') {
+            text.push_str(stripped);
+            text.push(' ');
+            pending = Some((start, text));
+        } else {
+            text.push_str(line);
+            if !text.trim().is_empty() {
+                logical.push((start, text));
+            }
+        }
+    }
+    if let Some((start, text)) = pending {
+        if !text.trim().is_empty() {
+            logical.push((start, text));
+        }
+    }
+
+    struct NamesDecl {
+        line: usize,
+        nets: Vec<String>,
+        cover: Vec<(String, char)>,
+    }
+    let mut model = String::from("top");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut latches: Vec<(usize, String, String)> = Vec::new();
+    let mut names: Vec<NamesDecl> = Vec::new();
+
+    let mut it = logical.into_iter().peekable();
+    while let Some((lno, line)) = it.next() {
+        let line = line.trim();
+        let perr = |m: String| NetlistError::Parse {
+            line: lno,
+            message: m,
+        };
+        let mut toks = line.split_whitespace();
+        let head = toks.next().unwrap_or("");
+        match head {
+            ".model" => {
+                model = toks.next().unwrap_or("top").to_string();
+            }
+            ".inputs" => inputs.extend(toks.map(str::to_string)),
+            ".outputs" => outputs.extend(toks.map(str::to_string)),
+            ".latch" => {
+                let rest: Vec<&str> = toks.collect();
+                if rest.len() < 2 {
+                    return Err(perr(".latch needs input and output".into()));
+                }
+                latches.push((lno, rest[0].to_string(), rest[1].to_string()));
+            }
+            ".names" => {
+                let nets: Vec<String> = toks.map(str::to_string).collect();
+                if nets.is_empty() {
+                    return Err(perr(".names needs at least an output".into()));
+                }
+                let mut cover = Vec::new();
+                while let Some((_, next)) = it.peek() {
+                    let t = next.trim();
+                    if t.starts_with('.') {
+                        break;
+                    }
+                    let (_, row) = it.next().expect("peeked");
+                    let row = row.trim();
+                    let mut parts = row.split_whitespace();
+                    match (parts.next(), parts.next()) {
+                        (Some(inp), Some(out)) if out.len() == 1 => {
+                            cover.push((inp.to_string(), out.chars().next().expect("len 1")));
+                        }
+                        (Some(out), None) if nets.len() == 1 && out.len() == 1 => {
+                            cover.push((String::new(), out.chars().next().expect("len 1")));
+                        }
+                        _ => {
+                            return Err(NetlistError::Parse {
+                                line: lno,
+                                message: format!("malformed cover row `{row}`"),
+                            })
+                        }
+                    }
+                }
+                names.push(NamesDecl {
+                    line: lno,
+                    nets,
+                    cover,
+                });
+            }
+            ".end" => break,
+            other => {
+                return Err(perr(format!("unsupported BLIF construct `{other}`")));
+            }
+        }
+    }
+
+    let mut n = Netlist::new(model);
+    let mut ids: HashMap<String, CellId> = HashMap::new();
+    for i in &inputs {
+        ids.insert(i.clone(), n.add_input(i.clone()));
+    }
+    // Declare latches and gates first (placeholder fanin), resolve later.
+    for (lno, _d, q) in &latches {
+        if ids.contains_key(q) {
+            return Err(NetlistError::Parse {
+                line: *lno,
+                message: format!("net `{q}` defined twice"),
+            });
+        }
+        let id = n.add_gate(q.clone(), Gate::Dff, &[CellId(0)])?;
+        ids.insert(q.clone(), id);
+    }
+    for d in &names {
+        let out = d.nets.last().expect("nonempty").clone();
+        if ids.contains_key(&out) {
+            return Err(NetlistError::Parse {
+                line: d.line,
+                message: format!("net `{out}` defined twice"),
+            });
+        }
+        let n_in = d.nets.len() - 1;
+        let gate = classify_cover(n_in, &d.cover).ok_or_else(|| NetlistError::Parse {
+            line: d.line,
+            message: format!(
+                "unsupported cover for `{out}` ({} rows, {} inputs): only mapped \
+                 AND/NAND/OR/NOR/XOR/XNOR/NOT/BUF covers are accepted",
+                d.cover.len(),
+                n_in
+            ),
+        })?;
+        let id = n.add_gate(out.clone(), gate, &vec![CellId(0); n_in])?;
+        ids.insert(out, id);
+    }
+    // Resolve fanins.
+    for (lno, dnet, q) in &latches {
+        let drv = ids.get(dnet).copied().ok_or(NetlistError::Parse {
+            line: *lno,
+            message: format!("latch input `{dnet}` undefined"),
+        })?;
+        n.set_fanin_internal(ids[q], vec![drv]);
+    }
+    for d in &names {
+        let out = d.nets.last().expect("nonempty");
+        let fanin: Result<Vec<CellId>, NetlistError> = d.nets[..d.nets.len() - 1]
+            .iter()
+            .map(|net| {
+                ids.get(net)
+                    .copied()
+                    .ok_or_else(|| NetlistError::UnknownName(net.clone()))
+            })
+            .collect();
+        n.set_fanin_internal(ids[out], fanin?);
+    }
+    for o in &outputs {
+        let drv = ids
+            .get(o)
+            .copied()
+            .ok_or_else(|| NetlistError::UnknownName(o.clone()))?;
+        n.add_output(format!("{o}__po"), drv)?;
+    }
+    n.validate()?;
+    Ok(n)
+}
+
+/// Recognizes the cover of a standard gate. Returns `None` for anything
+/// outside the supported alphabet.
+fn classify_cover(n_in: usize, cover: &[(String, char)]) -> Option<Gate> {
+    if n_in == 0 || cover.is_empty() {
+        return None;
+    }
+    if cover.iter().any(|(row, _)| row.len() != n_in) {
+        return None;
+    }
+    let out = cover[0].1;
+    if cover.iter().any(|(_, o)| *o != out) {
+        return None;
+    }
+    let all_ones = |row: &str| row.bytes().all(|b| b == b'1');
+    let all_zeros = |row: &str| row.bytes().all(|b| b == b'0');
+    // Single row covers.
+    if cover.len() == 1 {
+        let row = cover[0].0.as_str();
+        if n_in == 1 {
+            return match (row, out) {
+                ("1", '1') | ("0", '0') => Some(Gate::Buf),
+                ("0", '1') | ("1", '0') => Some(Gate::Not),
+                _ => None,
+            };
+        }
+        if all_ones(row) {
+            return Some(if out == '1' { Gate::And } else { Gate::Nand });
+        }
+        if all_zeros(row) && out == '0' {
+            return Some(Gate::Or); // OFF-set of OR is the all-zero row.
+        }
+        if all_zeros(row) && out == '1' {
+            return Some(Gate::Nor); // ON-set of NOR is the all-zero row.
+        }
+        return None;
+    }
+    // Multi-row: OR-style covers (one hot '1' per row, rest '-').
+    let one_hot = |c: char| {
+        cover.len() == n_in
+            && (0..n_in).all(|k| {
+                cover.iter().filter(|(row, _)| {
+                    row.as_bytes()[k] == c as u8
+                        && row
+                            .bytes()
+                            .enumerate()
+                            .all(|(j, b)| if j == k { true } else { b == b'-' })
+                }).count() == 1
+            })
+    };
+    if one_hot('1') {
+        return Some(if out == '1' { Gate::Or } else { Gate::Nand });
+    }
+    if one_hot('0') {
+        return Some(if out == '1' { Gate::Nand } else { Gate::And });
+    }
+    // 2-input XOR / XNOR.
+    if n_in == 2 && cover.len() == 2 {
+        let mut rows: Vec<&str> = cover.iter().map(|(r, _)| r.as_str()).collect();
+        rows.sort_unstable();
+        let parity_odd = rows == ["01", "10"];
+        let parity_even = rows == ["00", "11"];
+        if parity_odd {
+            return Some(if out == '1' { Gate::Xor } else { Gate::Xnor });
+        }
+        if parity_even {
+            return Some(if out == '1' { Gate::Xnor } else { Gate::Xor });
+        }
+    }
+    None
+}
+
+/// Writes a netlist as BLIF.
+///
+/// Flip-flops become `.latch` statements; master/slave latch pairs are
+/// emitted as `.latch` with a `re`/`al` hint comment is *not* attempted —
+/// latch-converted netlists are better exchanged through
+/// [`crate::bench::write`], so this writer requires a flip-flop style
+/// netlist.
+///
+/// # Errors
+/// Returns [`NetlistError::WrongSequentialStyle`] when the netlist contains
+/// master/slave latches.
+pub fn write(n: &Netlist) -> Result<String, NetlistError> {
+    if !n.masters().is_empty() || !n.slaves().is_empty() {
+        return Err(NetlistError::WrongSequentialStyle(
+            "BLIF writer handles flip-flop netlists; use bench::write for latch designs".into(),
+        ));
+    }
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", n.name()));
+    let ins: Vec<&str> = n.inputs().iter().map(|&i| n.cell(i).name.as_str()).collect();
+    out.push_str(&format!(".inputs {}\n", ins.join(" ")));
+    let outs: Vec<&str> = n
+        .outputs()
+        .iter()
+        .map(|&o| n.cell(n.cell(o).fanin[0]).name.as_str())
+        .collect();
+    out.push_str(&format!(".outputs {}\n", outs.join(" ")));
+    for c in n.cells() {
+        match c.gate {
+            Gate::Dff => {
+                let d = &n.cell(c.fanin[0]).name;
+                out.push_str(&format!(".latch {} {} re clk 0\n", d, c.name));
+            }
+            g if g.is_combinational() => {
+                let ins: Vec<&str> =
+                    c.fanin.iter().map(|&f| n.cell(f).name.as_str()).collect();
+                out.push_str(&format!(".names {} {}\n", ins.join(" "), c.name));
+                out.push_str(&cover_for(g, c.fanin.len()));
+            }
+            _ => {}
+        }
+    }
+    out.push_str(".end\n");
+    Ok(out)
+}
+
+fn cover_for(g: Gate, n_in: usize) -> String {
+    let ones = "1".repeat(n_in);
+    let zeros = "0".repeat(n_in);
+    match g {
+        Gate::Buf => "1 1\n".into(),
+        Gate::Not => "0 1\n".into(),
+        Gate::And => format!("{ones} 1\n"),
+        Gate::Nand => format!("{ones} 0\n"),
+        Gate::Nor => format!("{zeros} 1\n"),
+        Gate::Or => {
+            let mut s = String::new();
+            for k in 0..n_in {
+                let mut row = vec![b'-'; n_in];
+                row[k] = b'1';
+                s.push_str(&format!("{} 1\n", String::from_utf8(row).expect("ascii")));
+            }
+            s
+        }
+        Gate::Xor => "10 1\n01 1\n".into(),
+        Gate::Xnor => "00 1\n11 1\n".into(),
+        _ => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+.model demo
+.inputs a b c
+.outputs y z
+.latch n1 q re clk 0
+.names a b n1
+11 1
+.names q c y
+0- 1
+-0 1
+.names a q z
+10 1
+01 1
+.end
+";
+
+    #[test]
+    fn parse_sample() {
+        let n = parse(SAMPLE).unwrap();
+        assert_eq!(n.name(), "demo");
+        let s = n.stats();
+        assert_eq!(s.inputs, 3);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.dffs, 1);
+        assert_eq!(s.gates, 3);
+        assert_eq!(n.cell(n.find("n1").unwrap()).gate, Gate::And);
+        assert_eq!(n.cell(n.find("y").unwrap()).gate, Gate::Nand);
+        assert_eq!(n.cell(n.find("z").unwrap()).gate, Gate::Xor);
+    }
+
+    #[test]
+    fn round_trip() {
+        let n = parse(SAMPLE).unwrap();
+        let text = write(&n).unwrap();
+        let n2 = parse(&text).unwrap();
+        assert_eq!(n.stats(), n2.stats());
+        for c in n.cells() {
+            if c.gate == Gate::Output {
+                continue;
+            }
+            let id2 = n2.find(&c.name).unwrap();
+            assert_eq!(c.gate, n2.cell(id2).gate, "gate mismatch for {}", c.name);
+        }
+    }
+
+    #[test]
+    fn classify_gates() {
+        let c = |rows: &[(&str, char)]| -> Vec<(String, char)> {
+            rows.iter().map(|(r, o)| (r.to_string(), *o)).collect()
+        };
+        assert_eq!(classify_cover(2, &c(&[("11", '1')])), Some(Gate::And));
+        assert_eq!(classify_cover(3, &c(&[("111", '0')])), Some(Gate::Nand));
+        assert_eq!(classify_cover(2, &c(&[("00", '1')])), Some(Gate::Nor));
+        assert_eq!(
+            classify_cover(2, &c(&[("1-", '1'), ("-1", '1')])),
+            Some(Gate::Or)
+        );
+        assert_eq!(
+            classify_cover(2, &c(&[("0-", '1'), ("-0", '1')])),
+            Some(Gate::Nand)
+        );
+        assert_eq!(classify_cover(1, &c(&[("0", '1')])), Some(Gate::Not));
+        assert_eq!(classify_cover(1, &c(&[("1", '1')])), Some(Gate::Buf));
+        assert_eq!(
+            classify_cover(2, &c(&[("10", '1'), ("01", '1')])),
+            Some(Gate::Xor)
+        );
+        assert_eq!(
+            classify_cover(2, &c(&[("11", '1'), ("00", '1')])),
+            Some(Gate::Xnor)
+        );
+        // Arbitrary cover rejected.
+        assert_eq!(classify_cover(3, &c(&[("1-0", '1'), ("011", '1')])), None);
+    }
+
+    #[test]
+    fn rejects_constant() {
+        let src = ".model k\n.inputs a\n.outputs y\n.names y\n1\n.end\n";
+        assert!(matches!(parse(src), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_construct() {
+        let src = ".model k\n.subckt foo a=b\n.end\n";
+        assert!(matches!(parse(src), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let src = ".model k\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let n = parse(src).unwrap();
+        assert_eq!(n.stats().inputs, 2);
+    }
+
+    #[test]
+    fn writer_rejects_latch_style() {
+        let n = parse(SAMPLE).unwrap().to_master_slave().unwrap();
+        assert!(matches!(
+            write(&n),
+            Err(NetlistError::WrongSequentialStyle(_))
+        ));
+    }
+}

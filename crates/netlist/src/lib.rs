@@ -1,0 +1,47 @@
+//! Gate-level netlist substrate for resiliency-aware retiming.
+//!
+//! This crate provides the circuit representation shared by every other
+//! crate in the workspace:
+//!
+//! * [`Netlist`] — a flip-flop based gate-level netlist (the form in which
+//!   benchmark circuits such as ISCAS89 are distributed),
+//! * parsers and writers for the ISCAS89 [`bench`] format and a structural
+//!   subset of [`blif`],
+//! * [`CombCloud`] — the combinational retiming view obtained by
+//!   cutting the circuit at its flip-flops (Section III of the paper):
+//!   inputs are (fixed) master-latch outputs, outputs are (fixed)
+//!   master-latch inputs,
+//! * [`Cut`] — a placement of slave latches on the edges of the cloud,
+//!   with validity checking (every input→output path must cross exactly one
+//!   slave latch) and latch counting under fanout sharing.
+//!
+//! # Example
+//!
+//! ```
+//! # use retime_netlist::{Netlist, Gate};
+//! # fn main() -> Result<(), retime_netlist::NetlistError> {
+//! let mut n = Netlist::new("adder_bit");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let x = n.add_gate("sum", Gate::Xor, &[a, b])?;
+//! let q = n.add_gate("q", Gate::Dff, &[x])?;
+//! n.add_output("out", q)?;
+//! n.validate()?;
+//! assert_eq!(n.stats().dffs, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bench;
+pub mod blif;
+pub mod cell;
+pub mod cloud;
+pub mod cut;
+pub mod error;
+pub mod netlist;
+
+pub use cell::{Cell, CellId, Gate};
+pub use cloud::{CloudEdge, CloudNode, CombCloud, NodeId, NodeKind};
+pub use cut::Cut;
+pub use error::NetlistError;
+pub use netlist::{Netlist, NetlistStats};

@@ -1,0 +1,239 @@
+//! The **base retiming** flow: resiliency-unaware min-area retiming
+//! followed by arrival-based EDL assignment (the paper's baseline,
+//! Section VI-D).
+
+use std::time::{Duration, Instant};
+
+use retime_liberty::{EdlOverhead, Library};
+use retime_netlist::{CombCloud, Cut};
+use retime_sta::{CutTiming, DelayModel, TimingAnalysis, TwoPhaseClock};
+
+use crate::area::{AreaModel, SeqBreakdown};
+use crate::error::RetimeError;
+use crate::legalize::{legalize, LegalizeReport};
+use crate::problem::{RetimingProblem, SolverEngine};
+use crate::regions::Regions;
+
+/// Run-time bookkeeping of a retiming flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Wall-clock time of the whole flow.
+    pub elapsed: Duration,
+    /// Portion spent in the flow/closure solver (the paper reports the
+    /// network-simplex step takes < 2 % of G-RAR's run-time).
+    pub solver: Duration,
+}
+
+/// Result of a retiming flow (base, VL, or G-RAR): the placement, the EDL
+/// decisions, and the area bill.
+#[derive(Debug, Clone)]
+pub struct RetimeOutcome {
+    /// The slave-latch placement.
+    pub cut: Cut,
+    /// Per-sink EDL flags (master-backed sinks only; indexed like
+    /// `cloud.sinks()`).
+    pub ed_sinks: Vec<bool>,
+    /// Sequential-area breakdown.
+    pub seq: SeqBreakdown,
+    /// Combinational area (including any legalization penalty).
+    pub comb_area: f64,
+    /// Total area.
+    pub total_area: f64,
+    /// Timing of the final placement.
+    pub timing: CutTiming,
+    /// Legalization report (gate upsizing applied to fix residual
+    /// violations).
+    pub legalize: LegalizeReport,
+    /// The final delay tables (including legalization upsizing) — what a
+    /// signoff or error-rate simulation of this outcome must use.
+    pub final_delays: retime_sta::NodeDelays,
+    /// Run-time bookkeeping.
+    pub stats: RunStats,
+}
+
+impl RetimeOutcome {
+    /// Assembles the outcome from a final cut: validates it, legalizes,
+    /// times it, assigns error-detecting masters by arrival, and totals
+    /// the area. Shared by the base, VL, and G-RAR flows.
+    ///
+    /// # Errors
+    /// Propagates cut, legalization, and library failures.
+    pub fn assemble(
+        sta: &mut TimingAnalysis<'_>,
+        model: &AreaModel<'_>,
+        cut: Cut,
+        solver: Duration,
+        started: Instant,
+    ) -> Result<RetimeOutcome, RetimeError> {
+        let cloud = sta.cloud();
+        cut.validate(cloud)?;
+        let report = legalize(sta, &cut, model)?;
+        let timing = sta.cut_timing(&cut);
+        let ed_sinks = model.ed_flags(sta.cloud(), &timing);
+        let seq = model.sequential(sta.cloud(), &cut, &ed_sinks);
+        let comb_area = model.combinational(sta.cloud())? + report.area_penalty;
+        let total_area = comb_area + seq.total();
+        Ok(RetimeOutcome {
+            cut,
+            ed_sinks,
+            seq,
+            comb_area,
+            total_area,
+            timing,
+            legalize: report,
+            final_delays: sta.delays().clone(),
+            stats: RunStats {
+                elapsed: started.elapsed(),
+                solver,
+            },
+        })
+    }
+}
+
+/// Runs resiliency-unaware min-area retiming: minimizes the number of
+/// slave latches subject to the region constraints, then flags masters
+/// whose arrival falls inside the resiliency window as error-detecting.
+///
+/// # Errors
+/// Propagates infeasible clocking, STA, and solver failures.
+pub fn base_retime(
+    cloud: &CombCloud,
+    lib: &Library,
+    clock: TwoPhaseClock,
+    model: DelayModel,
+    c: EdlOverhead,
+) -> Result<RetimeOutcome, RetimeError> {
+    base_retime_with(cloud, lib, clock, model, c, SolverEngine::MinCostFlow)
+}
+
+/// [`base_retime`] with an explicit solver engine.
+///
+/// # Errors
+/// Propagates infeasible clocking, STA, and solver failures.
+pub fn base_retime_with(
+    cloud: &CombCloud,
+    lib: &Library,
+    clock: TwoPhaseClock,
+    model: DelayModel,
+    c: EdlOverhead,
+    engine: SolverEngine,
+) -> Result<RetimeOutcome, RetimeError> {
+    let started = Instant::now();
+    let mut sta = TimingAnalysis::new(cloud, lib, clock, model)?;
+    let regions = Regions::compute(&sta)?;
+    let mut problem = RetimingProblem::build(cloud, &regions);
+    // The baseline models the built-in retiming command of a commercial
+    // tool: conservative, incremental movement.
+    problem.set_movement_penalty(crate::problem::COMMERCIAL_MOVEMENT_PENALTY);
+    let sol = problem.solve(engine)?;
+    let area_model = AreaModel::new(lib, c);
+    RetimeOutcome::assemble(&mut sta, &area_model, sol.cut, sol.solver_time, started)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retime_netlist::bench;
+
+    fn pipeline() -> CombCloud {
+        let n = bench::parse(
+            "p",
+            "\
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+q1 = DFF(g2)
+g1 = AND(a, b)
+g2 = OR(g1, q1)
+g3 = NOT(q1)
+g4 = NAND(g3, b)
+z = BUFF(g4)
+",
+        )
+        .unwrap();
+        CombCloud::extract(&n).unwrap()
+    }
+
+    #[test]
+    fn base_flow_relaxed_clock() {
+        let cloud = pipeline();
+        let lib = Library::fdsoi28();
+        let out = base_retime(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(50.0),
+            DelayModel::PathBased,
+            EdlOverhead::MEDIUM,
+        )
+        .unwrap();
+        // Relaxed clock: no EDL at all, placement feasible.
+        assert_eq!(out.seq.edl, 0);
+        assert!(out.timing.is_feasible());
+        assert!(out.total_area > 0.0);
+        out.cut.validate(&cloud).unwrap();
+    }
+
+    #[test]
+    fn base_flow_flags_near_critical() {
+        let cloud = pipeline();
+        let lib = Library::fdsoi28();
+        // Find the critical path and clock at ~90% of it so the window
+        // catches endpoints.
+        let sta = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let crit = cloud
+            .sinks()
+            .iter()
+            .map(|&t| sta.df(t))
+            .fold(0.0f64, f64::max);
+        // Clock with enough absolute slack for the latch D-to-Q and
+        // clock-to-Q delays (large relative to toy-circuit logic depth),
+        // yet tight enough that the resiliency window still matters.
+        let lat = lib.latch().clk_to_q + lib.latch().d_to_q;
+        let out = base_retime(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(crit * 1.15 + 2.0 * lat),
+            DelayModel::PathBased,
+            EdlOverhead::MEDIUM,
+        )
+        .unwrap();
+        assert!(out.timing.is_feasible());
+        // With Π = 0.7 × (1.05 × crit) < crit, some endpoint needs EDL
+        // unless retiming absorbed everything; either way the flow runs
+        // and the books balance.
+        let expect_total = out.comb_area + out.seq.total();
+        assert!((out.total_area - expect_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engines_give_same_area() {
+        let cloud = pipeline();
+        let lib = Library::fdsoi28();
+        let clock = TwoPhaseClock::from_max_delay(50.0);
+        let a = base_retime_with(
+            &cloud,
+            &lib,
+            clock,
+            DelayModel::PathBased,
+            EdlOverhead::MEDIUM,
+            SolverEngine::MinCostFlow,
+        )
+        .unwrap();
+        let b = base_retime_with(
+            &cloud,
+            &lib,
+            clock,
+            DelayModel::PathBased,
+            EdlOverhead::MEDIUM,
+            SolverEngine::Closure,
+        )
+        .unwrap();
+        assert_eq!(a.seq.slaves, b.seq.slaves);
+    }
+}

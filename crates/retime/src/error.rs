@@ -1,0 +1,85 @@
+//! Error type for the retiming flows.
+
+use std::error::Error;
+use std::fmt;
+
+use retime_flow::FlowError;
+use retime_netlist::NetlistError;
+use retime_sta::StaError;
+
+/// Errors raised by the retiming flows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetimeError {
+    /// A node must simultaneously be retimed through (`V_m`) and not
+    /// retimed through (`V_n`): the clocking scheme cannot accommodate the
+    /// circuit (constraint (6) and (7) conflict).
+    InfeasibleClocking {
+        /// The conflicting node's name.
+        node: String,
+    },
+    /// The underlying flow solver failed.
+    Flow(FlowError),
+    /// Timing-table construction failed.
+    Sta(StaError),
+    /// Netlist manipulation failed.
+    Netlist(NetlistError),
+    /// An internal invariant was violated (a bug, not a user error).
+    Internal(String),
+}
+
+impl fmt::Display for RetimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetimeError::InfeasibleClocking { node } => write!(
+                f,
+                "clocking infeasible: node `{node}` must and must not carry the retimed latch"
+            ),
+            RetimeError::Flow(e) => write!(f, "flow solver failed: {e}"),
+            RetimeError::Sta(e) => write!(f, "timing analysis failed: {e}"),
+            RetimeError::Netlist(e) => write!(f, "netlist operation failed: {e}"),
+            RetimeError::Internal(m) => write!(f, "internal invariant violated: {m}"),
+        }
+    }
+}
+
+impl Error for RetimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RetimeError::Flow(e) => Some(e),
+            RetimeError::Sta(e) => Some(e),
+            RetimeError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlowError> for RetimeError {
+    fn from(e: FlowError) -> Self {
+        RetimeError::Flow(e)
+    }
+}
+
+impl From<StaError> for RetimeError {
+    fn from(e: StaError) -> Self {
+        RetimeError::Sta(e)
+    }
+}
+
+impl From<NetlistError> for RetimeError {
+    fn from(e: NetlistError) -> Self {
+        RetimeError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: RetimeError = FlowError::Infeasible.into();
+        assert!(e.to_string().contains("flow solver"));
+        let e = RetimeError::InfeasibleClocking { node: "G7".into() };
+        assert!(e.to_string().contains("G7"));
+    }
+}

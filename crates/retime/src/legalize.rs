@@ -1,0 +1,238 @@
+//! The "size-only incremental compile" substitute (Section VI-B).
+//!
+//! Repositioning slave latches can introduce minor timing violations
+//! (changed drive strengths and capacitive loads in the paper's physical
+//! flow). The paper fixes them with a size-only incremental compile; we
+//! model exactly that lever: gates on violating paths are sped up by a
+//! bounded upsizing factor, paying a proportional area penalty.
+
+use retime_liberty::Sense;
+use retime_netlist::{Cut, NodeId, NodeKind};
+use retime_sta::TimingAnalysis;
+
+use crate::area::AreaModel;
+use crate::error::RetimeError;
+
+/// Per-step speed-up of an upsized gate.
+const SPEEDUP: f64 = 0.88;
+/// Area multiplier paid per upsizing step, as a fraction of the gate area.
+const AREA_PENALTY: f64 = 0.30;
+/// Maximum upsizing rounds before giving up.
+const MAX_ROUNDS: usize = 8;
+
+/// Outcome of legalization.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LegalizeReport {
+    /// Gates that were upsized (possibly repeatedly).
+    pub upsized: Vec<NodeId>,
+    /// Extra combinational area paid.
+    pub area_penalty: f64,
+    /// Rounds used.
+    pub rounds: usize,
+    /// Whether all violations were cleared.
+    pub clean: bool,
+}
+
+/// Repairs residual violations of constraints (6)/(7) for a fixed cut by
+/// upsizing gates on violating paths. Mutates the delay tables inside
+/// `sta` (exactly like a size-only incremental compile would) and returns
+/// what it did.
+///
+/// # Errors
+/// Returns [`RetimeError::Internal`] if violations persist after the
+/// round budget (the placement is then genuinely infeasible, which the
+/// region construction should have prevented).
+pub fn legalize(
+    sta: &mut TimingAnalysis<'_>,
+    cut: &Cut,
+    model: &AreaModel<'_>,
+) -> Result<LegalizeReport, RetimeError> {
+    let mut report = LegalizeReport {
+        clean: true,
+        ..Default::default()
+    };
+    for round in 0..MAX_ROUNDS {
+        let timing = sta.cut_timing(cut);
+        if timing.is_feasible() {
+            report.clean = true;
+            report.rounds = round;
+            return Ok(report);
+        }
+        report.clean = false;
+        report.rounds = round + 1;
+        // Collect gates to upsize: the drivers of violating latch
+        // positions (constraint 6) and the gates in the fan-in cones of
+        // violating sinks that lie past a latch (constraint 7 in arrival
+        // form). A simple, bounded heuristic: upsize every gate in the
+        // fan-in cone of each violation.
+        let mut marked: Vec<NodeId> = Vec::new();
+        {
+            let cloud = sta.cloud();
+            for &v in timing
+                .setup_violations
+                .iter()
+                .chain(timing.capture_violations.iter())
+            {
+                for w in cloud.fanin_cone(v) {
+                    if matches!(cloud.node(w).kind, NodeKind::Gate { .. }) {
+                        marked.push(w);
+                    }
+                }
+            }
+        }
+        marked.sort_unstable();
+        marked.dedup();
+        if marked.is_empty() {
+            break;
+        }
+        for &g in &marked {
+            let fanin = sta.cloud().node(g).fanin.len();
+            let gate = match sta.cloud().node(g).kind {
+                NodeKind::Gate { gate, .. } => gate,
+                _ => unreachable!("marked gates only"),
+            };
+            let _ = Sense::Positive; // sense is unchanged by sizing
+            let cell_area = area_of(model, gate, fanin);
+            report.area_penalty += cell_area * AREA_PENALTY;
+            sta.update_delays(|d| d.scale_node(g, SPEEDUP));
+            report.upsized.push(g);
+        }
+    }
+    let timing = sta.cut_timing(cut);
+    if timing.is_feasible() {
+        report.clean = true;
+        Ok(report)
+    } else {
+        Err(RetimeError::Internal(
+            "legalization could not clear timing violations".into(),
+        ))
+    }
+}
+
+fn area_of(model: &AreaModel<'_>, gate: retime_netlist::Gate, fanin: usize) -> f64 {
+    use retime_netlist::Gate;
+    let name = match gate {
+        Gate::Buf => "BUFF",
+        Gate::Not => "NOT",
+        Gate::And => "AND",
+        Gate::Nand => "NAND",
+        Gate::Or => "OR",
+        Gate::Nor => "NOR",
+        Gate::Xor => "XOR",
+        Gate::Xnor => "XNOR",
+        _ => "BUFF",
+    };
+    model
+        .library()
+        .cell(name)
+        .map(|c| c.area(fanin))
+        .unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retime_liberty::{EdlOverhead, Library};
+    use retime_netlist::{bench, CombCloud};
+    use retime_sta::{DelayModel, TwoPhaseClock};
+
+    #[test]
+    fn clean_placement_is_noop() {
+        let n = bench::parse(
+            "c",
+            "INPUT(a)\nOUTPUT(z)\ng = NOT(a)\nz = BUFF(g)\n",
+        )
+        .unwrap();
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let mut sta = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(10.0),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let model = AreaModel::new(&lib, EdlOverhead::LOW);
+        let cut = Cut::initial(&cloud);
+        let report = legalize(&mut sta, &cut, &model).unwrap();
+        assert!(report.clean);
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.area_penalty, 0.0);
+    }
+
+    #[test]
+    fn injected_violation_is_repaired() {
+        // Pick a clock where the initial (source-latch) placement violates
+        // the hard capture limit, but where bounded upsizing (up to
+        // 0.88^8 ≈ 0.36 of the original path delay) can repair it:
+        //   arrival(P) ≈ 0.3 P + ckq + path  must exceed P initially and
+        //   0.3 P + ckq + 0.4 · path must fit within P.
+        let n = bench::parse(
+            "v",
+            "INPUT(a)\nOUTPUT(z)\ng1 = NOT(a)\ng2 = NOT(g1)\nz = BUFF(g2)\n",
+        )
+        .unwrap();
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let ref_sta = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let t = cloud.sinks()[0];
+        let launch = ref_sta.delays().launch();
+        let path = ref_sta.df(t) - launch;
+        // The re-launch floor through the source slave is
+        // max(0.3 P + ckq, launch + dq); on toy circuits the second term
+        // dominates, so pick P between floor + 0.4·path (repairable) and
+        // floor + path (initially violated).
+        let floor = launch + lib.latch().d_to_q;
+        let lo = floor + 0.45 * path;
+        let hi = floor + path;
+        let p = 0.5 * (lo + hi);
+        let mut sta = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(p),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let cut = Cut::initial(&cloud);
+        assert!(
+            !sta.cut_timing(&cut).is_feasible(),
+            "the chosen clock must start out violated"
+        );
+        let model = AreaModel::new(&lib, EdlOverhead::LOW);
+        let report = legalize(&mut sta, &cut, &model).unwrap();
+        assert!(report.clean);
+        assert!(report.rounds > 0);
+        assert!(report.area_penalty > 0.0);
+        assert!(sta.cut_timing(&cut).is_feasible());
+    }
+
+    #[test]
+    fn impossible_violation_reported() {
+        let n = bench::parse(
+            "i",
+            "INPUT(a)\nOUTPUT(z)\ng1 = NOT(a)\nz = BUFF(g1)\n",
+        )
+        .unwrap();
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let mut sta = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(0.001),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let model = AreaModel::new(&lib, EdlOverhead::LOW);
+        let cut = Cut::initial(&cloud);
+        assert!(matches!(
+            legalize(&mut sta, &cut, &model),
+            Err(RetimeError::Internal(_))
+        ));
+    }
+}

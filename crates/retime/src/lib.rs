@@ -1,0 +1,63 @@
+//! Classic retiming machinery and the resiliency-unaware **base retiming**
+//! flow the paper compares against.
+//!
+//! This crate hosts everything shared by the baseline, the virtual-library
+//! flow, and G-RAR:
+//!
+//! * [`Regions`] — the `V_m` / `V_n` / `V_r` pre-division of Section IV-B
+//!   (nodes that *must*, *must not*, or *may* have slaves retimed through
+//!   them),
+//! * [`RetimingProblem`] — the retiming graph of Section IV-A with host
+//!   node, fanout-sharing breadths `β = 1/k` realized through mirror nodes
+//!   (the `m_{G3}`/`m_{I2}` pseudo nodes of Fig. 5), and bound edges per
+//!   [24]. Solvable three ways: successive-shortest-path min-cost flow,
+//!   network simplex (the paper's engine class), or max-weight closure
+//!   (an independent exactness oracle),
+//! * [`AreaModel`] and [`SeqBreakdown`] — sequential/total area accounting
+//!   with the EDL overhead `c`,
+//! * [`base_retime`] — conventional min-area retiming that ignores
+//!   resiliency, followed by arrival-based EDL assignment (the paper's
+//!   *Base-Retiming* column),
+//! * [`legalize`] — the "size-only incremental compile" substitute that
+//!   repairs residual timing violations by bounded gate upsizing.
+//!
+//! # Example
+//!
+//! ```
+//! use retime_liberty::{EdlOverhead, Library};
+//! use retime_netlist::{bench, CombCloud};
+//! use retime_retime::base_retime;
+//! use retime_sta::{DelayModel, TwoPhaseClock};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = bench::parse("d", "INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = NOT(q)\n")?;
+//! let cloud = CombCloud::extract(&n)?;
+//! let lib = Library::fdsoi28();
+//! let clock = TwoPhaseClock::from_max_delay(0.5);
+//! let out = base_retime(
+//!     &cloud,
+//!     &lib,
+//!     clock,
+//!     DelayModel::PathBased,
+//!     EdlOverhead::MEDIUM,
+//! )?;
+//! assert!(out.total_area > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod area;
+pub mod base;
+pub mod classic;
+pub mod error;
+pub mod legalize;
+pub mod problem;
+pub mod regions;
+
+pub use area::{flop_design_area, master_backed_sinks, AreaModel, SeqBreakdown};
+pub use base::{base_retime, RetimeOutcome, RunStats};
+pub use classic::{ClassicGraph, ClassicRetiming};
+pub use error::RetimeError;
+pub use legalize::{legalize, LegalizeReport};
+pub use problem::{RetimingProblem, RetimingSolution, SolverEngine, BREADTH_SCALE, COMMERCIAL_MOVEMENT_PENALTY};
+pub use regions::{Region, Regions};

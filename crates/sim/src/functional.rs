@@ -1,0 +1,296 @@
+//! Cycle-accurate functional simulation and equivalence checking.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use retime_netlist::{CellId, Gate, Netlist, NetlistError};
+
+/// A cycle-accurate simulator for flip-flop or master/slave latch
+/// netlists.
+///
+/// Sequential semantics per cycle: state elements (flip-flops / master
+/// latches) present their stored value, combinational logic evaluates,
+/// primary outputs are sampled, then state elements capture their D
+/// values. Slave latches are transparent at the cycle level (they only
+/// shape *intra*-cycle timing), so retimed designs simulate identically
+/// to their originals when the retiming is valid.
+#[derive(Debug, Clone)]
+pub struct Simulator<'n> {
+    n: &'n Netlist,
+    order: Vec<CellId>,
+    values: Vec<bool>,
+    state: Vec<bool>,
+    state_cells: Vec<CellId>,
+}
+
+impl<'n> Simulator<'n> {
+    /// Creates a simulator with all state initialized to `false`.
+    ///
+    /// # Errors
+    /// Returns netlist validation errors (cycles, bad arity).
+    pub fn new(n: &'n Netlist) -> Result<Simulator<'n>, NetlistError> {
+        n.validate()?;
+        // Evaluation order: only inputs and *state-presenting* cells
+        // (flip-flops, master latches) are sources. Slave latches are
+        // cycle-transparent pass-throughs, so — unlike the structural
+        // topological order — they must be ordered *after* their fanin.
+        let order = eval_order(n)?;
+        let state_cells: Vec<CellId> = n
+            .cells()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c.gate, Gate::Dff | Gate::LatchMaster))
+            .map(|(i, _)| CellId(i as u32))
+            .collect();
+        Ok(Simulator {
+            n,
+            order,
+            values: vec![false; n.len()],
+            state: vec![false; n.len()],
+            state_cells,
+        })
+    }
+
+    /// Resets all state to `false`.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|s| *s = false);
+        self.values.iter_mut().for_each(|v| *v = false);
+    }
+
+    /// Number of state elements.
+    pub fn state_len(&self) -> usize {
+        self.state_cells.len()
+    }
+
+    /// Simulates one cycle: applies `inputs` (in primary-input order),
+    /// returns the primary-output values (in primary-output order), and
+    /// advances the state.
+    ///
+    /// # Panics
+    /// Panics if `inputs` does not match the primary-input count.
+    pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.n.inputs().len(),
+            "input vector length mismatch"
+        );
+        for (&pi, &v) in self.n.inputs().iter().zip(inputs) {
+            self.values[pi.index()] = v;
+        }
+        // Present stored state first, then evaluate in dependency order
+        // (slave latches pass through within the cycle).
+        for &id in &self.state_cells {
+            self.values[id.index()] = self.state[id.index()];
+        }
+        for &id in &self.order {
+            let cell = self.n.cell(id);
+            match cell.gate {
+                Gate::Input | Gate::Dff | Gate::LatchMaster => {}
+                Gate::LatchSlave | Gate::Output => {
+                    self.values[id.index()] = self.values[cell.fanin[0].index()];
+                }
+                _ => {
+                    let ins: Vec<bool> = cell
+                        .fanin
+                        .iter()
+                        .map(|&f| self.values[f.index()])
+                        .collect();
+                    self.values[id.index()] = cell.gate.eval(&ins);
+                }
+            }
+        }
+        let outputs: Vec<bool> = self
+            .n
+            .outputs()
+            .iter()
+            .map(|&o| self.values[self.n.cell(o).fanin[0].index()])
+            .collect();
+        // Capture next state.
+        for &id in &self.state_cells {
+            let d = self.n.cell(id).fanin[0];
+            self.state[id.index()] = self.values[d.index()];
+        }
+        outputs
+    }
+}
+
+/// Kahn ordering where only inputs, flip-flops, and master latches are
+/// sources (slave latches order after their fanin).
+fn eval_order(n: &Netlist) -> Result<Vec<CellId>, NetlistError> {
+    let is_source =
+        |g: Gate| matches!(g, Gate::Input | Gate::Dff | Gate::LatchMaster);
+    let len = n.len();
+    let mut indeg = vec![0usize; len];
+    for (vi, v) in n.cells().iter().enumerate() {
+        if is_source(v.gate) {
+            continue;
+        }
+        for &u in &v.fanin {
+            if !is_source(n.cell(u).gate) {
+                indeg[vi] += 1;
+            }
+        }
+    }
+    let fanouts = n.fanouts();
+    let mut queue: Vec<CellId> = (0..len)
+        .filter(|&i| indeg[i] == 0)
+        .map(|i| CellId(i as u32))
+        .collect();
+    let mut order = Vec::with_capacity(len);
+    while let Some(u) = queue.pop() {
+        order.push(u);
+        if !is_source(n.cell(u).gate) {
+            for &v in &fanouts[u.index()] {
+                if is_source(n.cell(v).gate) {
+                    continue;
+                }
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    if order.len() != len {
+        let witness = (0..len)
+            .find(|&i| indeg[i] > 0)
+            .map(|i| n.cells()[i].name.clone())
+            .unwrap_or_default();
+        return Err(NetlistError::CombinationalCycle { witness });
+    }
+    Ok(order)
+}
+
+/// Checks cycle-level functional equivalence of two netlists with random
+/// input vectors. The netlists must have the same number of primary
+/// inputs and outputs (matched by declaration order).
+///
+/// Returns `Ok(())` if all `cycles` vectors agree, or the 0-based cycle of
+/// the first mismatch.
+///
+/// # Errors
+/// Propagates netlist validation errors.
+pub fn equivalent(
+    a: &Netlist,
+    b: &Netlist,
+    cycles: usize,
+    seed: u64,
+) -> Result<Result<(), usize>, NetlistError> {
+    assert_eq!(
+        a.inputs().len(),
+        b.inputs().len(),
+        "primary input counts differ"
+    );
+    assert_eq!(
+        a.outputs().len(),
+        b.outputs().len(),
+        "primary output counts differ"
+    );
+    let mut sa = Simulator::new(a)?;
+    let mut sb = Simulator::new(b)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for cycle in 0..cycles {
+        let inputs: Vec<bool> = (0..a.inputs().len()).map(|_| rng.random()).collect();
+        if sa.step(&inputs) != sb.step(&inputs) {
+            return Ok(Err(cycle));
+        }
+    }
+    Ok(Ok(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retime_netlist::{bench, CombCloud, Cut};
+
+    const CIRCUIT: &str = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+OUTPUT(w)
+q1 = DFF(g2)
+q2 = DFF(q1)
+g1 = AND(a, b)
+g2 = XOR(g1, q2)
+g3 = OR(q1, b)
+z = BUFF(g3)
+w = NOT(q2)
+";
+
+    #[test]
+    fn counter_behaviour() {
+        // q = DFF(!q): toggles every cycle.
+        let n = bench::parse("cnt", "OUTPUT(q)\nq = DFF(nq)\nnq = NOT(q)\n").unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        let seq: Vec<bool> = (0..6).map(|_| sim.step(&[])[0]).collect();
+        assert_eq!(seq, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn ff_and_latch_conversion_equivalent() {
+        let ff = bench::parse("c", CIRCUIT).unwrap();
+        let ms = ff.to_master_slave().unwrap();
+        assert_eq!(equivalent(&ff, &ms, 200, 7).unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn retimed_cut_preserves_function() {
+        let ff = bench::parse("c", CIRCUIT).unwrap();
+        let cloud = CombCloud::extract(&ff).unwrap();
+        // Move latches through the g1 cone.
+        let mut cut = Cut::initial(&cloud);
+        for name in ["a", "b", "g1"] {
+            cut.set_moved(cloud.find(name).unwrap(), true);
+        }
+        cut.validate(&cloud).unwrap();
+        let retimed = cut.apply(&cloud, &ff).unwrap();
+        assert_eq!(equivalent(&ff, &retimed, 300, 11).unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn all_valid_single_moves_preserve_function() {
+        // Property-style: for every node whose full fanin is sources,
+        // moving through it (and its required predecessors) keeps
+        // equivalence.
+        let ff = bench::parse("c", CIRCUIT).unwrap();
+        let cloud = CombCloud::extract(&ff).unwrap();
+        for (i, node) in cloud.nodes().iter().enumerate() {
+            if !node.is_gate() {
+                continue;
+            }
+            let v = retime_netlist::NodeId(i as u32);
+            // Build the predecessor closure of {v}.
+            let mut cut = Cut::initial(&cloud);
+            for u in cloud.fanin_cone(v) {
+                cut.set_moved(u, true);
+            }
+            if cut.validate(&cloud).is_err() {
+                continue; // would move a sink: skip
+            }
+            let retimed = cut.apply(&cloud, &ff).unwrap();
+            assert_eq!(
+                equivalent(&ff, &retimed, 100, 13).unwrap(),
+                Ok(()),
+                "moving through {} broke the function",
+                node.name
+            );
+        }
+    }
+
+    #[test]
+    fn broken_netlist_not_equivalent() {
+        let a = bench::parse("a", "INPUT(x)\nOUTPUT(z)\nz = NOT(x)\n").unwrap();
+        let b = bench::parse("b", "INPUT(x)\nOUTPUT(z)\nz = BUFF(x)\n").unwrap();
+        assert!(equivalent(&a, &b, 50, 3).unwrap().is_err());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let n = bench::parse("cnt", "OUTPUT(q)\nq = DFF(nq)\nnq = NOT(q)\n").unwrap();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step(&[]);
+        sim.step(&[]);
+        sim.reset();
+        assert!(!sim.step(&[])[0]);
+    }
+}

@@ -1,0 +1,383 @@
+//! The [`TimingAnalysis`] facade: forward/backward STA, the Eq. (5)
+//! arrival model, sink classification, and cut timing.
+
+use retime_liberty::{DelayArc, Library};
+use retime_netlist::{CombCloud, Cut, NodeId};
+
+use crate::backward::{db_to_any_sink, BackwardPass};
+use crate::clock::TwoPhaseClock;
+use crate::forward::{arrivals_with_cut, pure_arrivals, relaunch};
+use crate::model::{DelayModel, NodeDelays, StaError};
+
+/// Classification of a sink (potential master latch) with respect to the
+/// retiming decision (Section IV-A):
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SinkClass {
+    /// The longest combinational path already exceeds `Π`: the master must
+    /// be error-detecting wherever the slaves go (`g(t) = ∅`).
+    AlwaysErrorDetecting,
+    /// Even the earliest valid slave position keeps the arrival within
+    /// `Π`: never error-detecting (`g(t) = ∅`).
+    NeverErrorDetecting,
+    /// The slave positions decide — a *target master latch*.
+    Target,
+}
+
+/// Timing of a concrete slave-latch placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutTiming {
+    /// Worst arrival at each sink (indexed like `cloud.sinks()`).
+    pub sink_arrivals: Vec<f64>,
+    /// Whether each sink's master must be error-detecting
+    /// (arrival > `Π`).
+    pub error_detecting: Vec<bool>,
+    /// Latch positions violating the forward time-borrowing constraint
+    /// (6): data reaches the slave after it closes.
+    pub setup_violations: Vec<NodeId>,
+    /// Sinks violating the hard limit `Π + φ1` (constraint 7 in arrival
+    /// form): even the resiliency window cannot absorb the path.
+    pub capture_violations: Vec<NodeId>,
+}
+
+impl CutTiming {
+    /// Number of error-detecting masters.
+    pub fn edl_count(&self) -> usize {
+        self.error_detecting.iter().filter(|&&e| e).count()
+    }
+
+    /// Whether the placement satisfies constraints (6) and (7).
+    pub fn is_feasible(&self) -> bool {
+        self.setup_violations.is_empty() && self.capture_violations.is_empty()
+    }
+}
+
+/// Small tolerance absorbing floating-point noise in comparisons against
+/// clock edges.
+pub(crate) const EPS: f64 = 1e-9;
+
+/// Static timing analysis of a [`CombCloud`] under a [`TwoPhaseClock`].
+#[derive(Debug, Clone)]
+pub struct TimingAnalysis<'a> {
+    cloud: &'a CombCloud,
+    clock: TwoPhaseClock,
+    delays: NodeDelays,
+    arrivals: Vec<DelayArc>,
+    db_any: Vec<Option<DelayArc>>,
+}
+
+impl<'a> TimingAnalysis<'a> {
+    /// Builds the analysis from a library.
+    ///
+    /// # Errors
+    /// Returns [`StaError::Library`] if a gate function is unmapped.
+    pub fn new(
+        cloud: &'a CombCloud,
+        lib: &Library,
+        clock: TwoPhaseClock,
+        model: DelayModel,
+    ) -> Result<TimingAnalysis<'a>, StaError> {
+        let delays = NodeDelays::from_library(cloud, lib, model)?;
+        Ok(Self::with_delays(cloud, delays, clock))
+    }
+
+    /// Builds the analysis from explicit delay tables (e.g. the Fig. 4
+    /// worked example).
+    pub fn with_delays(
+        cloud: &'a CombCloud,
+        delays: NodeDelays,
+        clock: TwoPhaseClock,
+    ) -> TimingAnalysis<'a> {
+        let arrivals = pure_arrivals(cloud, &delays);
+        let db_any = db_to_any_sink(cloud, &delays);
+        TimingAnalysis {
+            cloud,
+            clock,
+            delays,
+            arrivals,
+            db_any,
+        }
+    }
+
+    /// The analysed cloud.
+    pub fn cloud(&self) -> &CombCloud {
+        self.cloud
+    }
+
+    /// The clock model.
+    pub fn clock(&self) -> &TwoPhaseClock {
+        &self.clock
+    }
+
+    /// The delay tables.
+    pub fn delays(&self) -> &NodeDelays {
+        &self.delays
+    }
+
+    /// Rebuilds cached arrivals after delay edits (e.g.
+    /// [`NodeDelays::scale_node`] during legalization).
+    pub fn update_delays(&mut self, f: impl FnOnce(&mut NodeDelays)) {
+        f(&mut self.delays);
+        self.arrivals = pure_arrivals(self.cloud, &self.delays);
+        self.db_any = db_to_any_sink(self.cloud, &self.delays);
+    }
+
+    /// The paper's `D^f(v)`: worst pure combinational arrival at the
+    /// output of `v` (no slave latch anywhere, master launch included).
+    pub fn df(&self, v: NodeId) -> f64 {
+        self.arrivals[v.index()].max()
+    }
+
+    /// Per-polarity version of [`TimingAnalysis::df`].
+    pub fn df_arc(&self, v: NodeId) -> DelayArc {
+        self.arrivals[v.index()]
+    }
+
+    /// Worst `D^b(v, t)` over **all** sinks `t` (used for the `V_m` region
+    /// test); `None` if `v` reaches no sink.
+    pub fn db_any(&self, v: NodeId) -> Option<f64> {
+        self.db_any[v.index()].map(DelayArc::max)
+    }
+
+    /// Runs the per-sink backward pass computing `D^b(·, t)`.
+    ///
+    /// # Panics
+    /// Panics if `t` is not a sink.
+    pub fn backward(&self, t: NodeId) -> BackwardPass {
+        BackwardPass::run(self.cloud, &self.delays, t)
+    }
+
+    /// The arrival-time model of Eq. (5): worst arrival at the sink of
+    /// `bp` when a slave latch sits on edge `(u, v)`:
+    ///
+    /// `A(u,v,t) = max{φ1+γ1+d^{ck_q}, D^f(u)+d^{d_q}} + d(v) + D^b(v,t)`,
+    ///
+    /// evaluated per valid rise/fall combination under the path-based
+    /// model. Returns `None` when `v` does not reach the sink.
+    pub fn a_value(&self, u: NodeId, v: NodeId, bp: &BackwardPass) -> Option<f64> {
+        let through = bp.through(v)?;
+        let open = self.clock.slave_open() + self.delays.latch_ckq();
+        let dq = self.delays.latch_dq();
+        let dfu = self.df_arc(u);
+        let window_term = open + through.max();
+        let rise_term = dfu.rise + dq + through.rise;
+        let fall_term = dfu.fall + dq + through.fall;
+        Some(window_term.max(rise_term).max(fall_term))
+    }
+
+    /// Arrival at the sink of `bp` when the slave latch sits **at the
+    /// source** `s` (on the host edge, the initial position):
+    /// the re-launched master output plus `D^b(s, t)`.
+    pub fn a_host(&self, s: NodeId, bp: &BackwardPass) -> Option<f64> {
+        let fo = if s == bp.sink() {
+            return None;
+        } else {
+            bp.from_output(s)?
+        };
+        let launch = DelayArc::symmetric(self.delays.launch());
+        let re = relaunch(launch, &self.clock, &self.delays);
+        Some((re.rise + fo.rise).max(re.fall + fo.fall))
+    }
+
+    /// Classifies a sink per Section IV-A using its backward pass.
+    pub fn classify_sink(&self, t: NodeId, bp: &BackwardPass) -> SinkClass {
+        let pi = self.clock.period();
+        // Longest pure path to t: arrival at the sink.
+        if self.df(t) > pi + EPS {
+            return SinkClass::AlwaysErrorDetecting;
+        }
+        // Worst over the earliest (source) placements: if even those meet
+        // Π, the master can never be forced error-detecting by a valid cut
+        // (moving latches forward only lowers the arrival until the pure
+        // path dominates, which the first test already bounded by Π).
+        let worst_initial = self
+            .cloud
+            .sources()
+            .iter()
+            .filter_map(|&s| self.a_host(s, bp))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if worst_initial <= pi + EPS {
+            SinkClass::NeverErrorDetecting
+        } else {
+            SinkClass::Target
+        }
+    }
+
+    /// Near-critical endpoints: sinks whose pure combinational arrival
+    /// falls inside the resiliency window (`> Π`). This is the NCE count
+    /// of Table I and the EDL assignment rule for the baseline flow.
+    pub fn near_critical_sinks(&self) -> Vec<NodeId> {
+        let pi = self.clock.period();
+        self.cloud
+            .sinks()
+            .iter()
+            .copied()
+            .filter(|&t| self.df(t) > pi + EPS)
+            .collect()
+    }
+
+    /// Full timing of a concrete cut: per-sink arrivals, EDL requirements,
+    /// and violations of constraints (6)/(7).
+    pub fn cut_timing(&self, cut: &Cut) -> CutTiming {
+        let arr = arrivals_with_cut(self.cloud, &self.delays, &self.clock, cut);
+        let pi = self.clock.period();
+        let pmax = self.clock.max_path_delay();
+        let sink_arrivals: Vec<f64> = self
+            .cloud
+            .sinks()
+            .iter()
+            .map(|&t| arr[t.index()].max())
+            .collect();
+        let error_detecting: Vec<bool> = sink_arrivals.iter().map(|&a| a > pi + EPS).collect();
+        let capture_violations: Vec<NodeId> = self
+            .cloud
+            .sinks()
+            .iter()
+            .copied()
+            .zip(&sink_arrivals)
+            .filter(|&(_, &a)| a > pmax + EPS)
+            .map(|(t, _)| t)
+            .collect();
+        // Constraint (6): data must reach every placed slave before it
+        // closes. The slave at node v sees the *pure* arrival at v
+        // (exactly one latch per path, and it is this one).
+        let close = self.clock.slave_close();
+        let setup_violations: Vec<NodeId> = cut
+            .latch_positions(self.cloud)
+            .into_iter()
+            .filter(|&v| self.df(v) > close + EPS)
+            .collect();
+        CutTiming {
+            sink_arrivals,
+            error_detecting,
+            setup_violations,
+            capture_violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retime_liberty::Library;
+    use retime_netlist::bench;
+
+    fn setup(p: f64) -> (retime_netlist::Netlist, TwoPhaseClock) {
+        let n = bench::parse(
+            "t",
+            "\
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+g1 = NAND(a, b)
+g2 = NOT(g1)
+g3 = NAND(g2, b)
+g4 = NOT(g3)
+z = NAND(g4, a)
+",
+        )
+        .unwrap();
+        (n, TwoPhaseClock::from_max_delay(p))
+    }
+
+    #[test]
+    fn df_increases_along_chain() {
+        let (n, clock) = setup(0.5);
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let sta = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::PathBased).unwrap();
+        let g1 = cloud.find("g1").unwrap();
+        let g3 = cloud.find("g3").unwrap();
+        assert!(sta.df(g3) > sta.df(g1));
+    }
+
+    #[test]
+    fn a_value_at_least_window_launch() {
+        let (n, clock) = setup(0.5);
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let sta = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::PathBased).unwrap();
+        let t = cloud.sinks()[0];
+        let bp = sta.backward(t);
+        let g1 = cloud.find("g1").unwrap();
+        let g2 = cloud.find("g2").unwrap();
+        let a = sta.a_value(g1, g2, &bp).unwrap();
+        assert!(a >= clock.slave_open() + sta.delays().latch_ckq());
+    }
+
+    #[test]
+    fn a_value_monotone_in_latch_position() {
+        // Moving the latch later along a chain cannot increase the arrival.
+        let (n, clock) = setup(0.2);
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let sta = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::GateBased).unwrap();
+        let t = cloud.sinks()[0];
+        let bp = sta.backward(t);
+        let g1 = cloud.find("g1").unwrap();
+        let g2 = cloud.find("g2").unwrap();
+        let g3 = cloud.find("g3").unwrap();
+        let g4 = cloud.find("g4").unwrap();
+        let early = sta.a_value(g1, g2, &bp).unwrap();
+        let mid = sta.a_value(g2, g3, &bp).unwrap();
+        let late = sta.a_value(g3, g4, &bp).unwrap();
+        assert!(early >= mid - 1e-12);
+        assert!(mid >= late - 1e-12);
+    }
+
+    #[test]
+    fn classify_fast_circuit_never_ed() {
+        // A very relaxed clock: nothing is near-critical.
+        let (n, _) = setup(0.5);
+        let clock = TwoPhaseClock::from_max_delay(10.0);
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let sta = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::PathBased).unwrap();
+        for &t in cloud.sinks() {
+            let bp = sta.backward(t);
+            assert_eq!(sta.classify_sink(t, &bp), SinkClass::NeverErrorDetecting);
+        }
+        assert!(sta.near_critical_sinks().is_empty());
+    }
+
+    #[test]
+    fn classify_tight_circuit_always_ed() {
+        // A clock so tight the pure path exceeds Π.
+        let (n, _) = setup(0.5);
+        let clock = TwoPhaseClock::from_max_delay(0.05);
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let sta = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::PathBased).unwrap();
+        let t = cloud.sinks()[0];
+        let bp = sta.backward(t);
+        assert_eq!(sta.classify_sink(t, &bp), SinkClass::AlwaysErrorDetecting);
+        assert!(!sta.near_critical_sinks().is_empty());
+    }
+
+    #[test]
+    fn cut_timing_initial_cut() {
+        let (n, clock) = setup(0.5);
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let sta = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::PathBased).unwrap();
+        let cut = Cut::initial(&cloud);
+        let ct = sta.cut_timing(&cut);
+        assert_eq!(ct.sink_arrivals.len(), cloud.sinks().len());
+        assert_eq!(ct.error_detecting.len(), cloud.sinks().len());
+        // Initial latches at sources always meet constraint (6): the data
+        // arrives at launch time.
+        assert!(ct.setup_violations.is_empty());
+    }
+
+    #[test]
+    fn update_delays_refreshes_arrivals() {
+        let (n, clock) = setup(0.5);
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let mut sta = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::PathBased).unwrap();
+        let t = cloud.sinks()[0];
+        let before = sta.df(t);
+        let g1 = cloud.find("g1").unwrap();
+        sta.update_delays(|d| d.scale_node(g1, 0.5));
+        assert!(sta.df(t) < before);
+    }
+}

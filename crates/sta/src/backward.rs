@@ -1,0 +1,292 @@
+//! Per-endpoint backward delay analysis: the paper's `D^b(v, t)`.
+
+use retime_liberty::{DelayArc, Sense};
+use retime_netlist::{CombCloud, NodeId};
+
+use crate::forward::arc_max;
+use crate::model::NodeDelays;
+
+/// Result of a backward pass from one sink `t`.
+///
+/// For every node `v` in the fan-in cone of `t` (excluding `t` itself for
+/// `from_output`):
+///
+/// * `from_output(v)` — the paper's `D^b(v, t)`: worst delay from a
+///   transition at the **output** of `v` to the input of `t`, per output
+///   polarity at `v`,
+/// * `through(v)` — worst delay from a transition at the **inputs** of `v`
+///   through `v` to `t` (the `d(v) + D^b(v, t)` term of Eq. 5 with valid
+///   rise/fall pairing), per input polarity at `v`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackwardPass {
+    sink: NodeId,
+    from_output: Vec<Option<DelayArc>>,
+    through: Vec<Option<DelayArc>>,
+}
+
+impl BackwardPass {
+    /// Runs the backward pass from sink `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is not a sink of the cloud.
+    pub fn run(cloud: &CombCloud, delays: &NodeDelays, t: NodeId) -> BackwardPass {
+        assert!(cloud.node(t).is_sink(), "{t} is not a sink");
+        let n = cloud.len();
+        let mut from_output: Vec<Option<DelayArc>> = vec![None; n];
+        let mut through: Vec<Option<DelayArc>> = vec![None; n];
+        // The sink itself: a latch placed directly on the edge into t has
+        // no further gate delay.
+        through[t.index()] = Some(DelayArc::default());
+
+        // Membership in the cone (computed cheaply during the reverse
+        // topological sweep: a node is in the cone if any fanout is).
+        let mut in_cone = vec![false; n];
+        in_cone[t.index()] = true;
+
+        for &v in cloud.topo().iter().rev() {
+            if v == t {
+                continue;
+            }
+            let node = cloud.node(v);
+            let mut best: Option<DelayArc> = None;
+            for &w in &node.fanout {
+                if !in_cone[w.index()] {
+                    continue;
+                }
+                if let Some(thr) = through[w.index()] {
+                    best = Some(match best {
+                        None => thr,
+                        Some(acc) => arc_max(acc, thr),
+                    });
+                }
+            }
+            if let Some(fo) = best {
+                in_cone[v.index()] = true;
+                from_output[v.index()] = Some(fo);
+                if node.is_gate() {
+                    through[v.index()] = Some(backward_through_gate(
+                        fo,
+                        delays.arc(v),
+                        delays.sense(v),
+                    ));
+                }
+            }
+        }
+        BackwardPass {
+            sink: t,
+            from_output,
+            through,
+        }
+    }
+
+    /// The sink this pass was run from.
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// `D^b(v, t)` per output polarity of `v`; `None` when `v` is not in
+    /// the fan-in cone of the sink.
+    pub fn from_output(&self, v: NodeId) -> Option<DelayArc> {
+        self.from_output[v.index()]
+    }
+
+    /// Scalar `D^b(v, t)` (worst polarity).
+    pub fn db(&self, v: NodeId) -> Option<f64> {
+        self.from_output[v.index()].map(DelayArc::max)
+    }
+
+    /// Delay from `v`'s inputs through `v` to the sink, per input polarity.
+    /// Defined for gate nodes in the cone and for the sink itself (zero).
+    pub fn through(&self, v: NodeId) -> Option<DelayArc> {
+        self.through[v.index()]
+    }
+
+    /// Whether `v` lies in the fan-in cone of the sink.
+    pub fn in_cone(&self, v: NodeId) -> bool {
+        v == self.sink || self.from_output[v.index()].is_some()
+    }
+}
+
+/// Backward counterpart of [`crate::forward::through_gate`]: given the
+/// per-output-polarity delay-to-sink `fo` at a gate's output, produce the
+/// per-input-polarity delay-to-sink through the gate.
+fn backward_through_gate(fo: DelayArc, arc: DelayArc, sense: Sense) -> DelayArc {
+    match sense {
+        // Input rise -> output rise (delay arc.rise), then fo.rise onward.
+        Sense::Positive => DelayArc {
+            rise: arc.rise + fo.rise,
+            fall: arc.fall + fo.fall,
+        },
+        // Input rise -> output fall.
+        Sense::Negative => DelayArc {
+            rise: arc.fall + fo.fall,
+            fall: arc.rise + fo.rise,
+        },
+        // Input transition may cause either output transition.
+        Sense::NonUnate => {
+            let w = (arc.rise + fo.rise).max(arc.fall + fo.fall);
+            DelayArc::symmetric(w)
+        }
+    }
+}
+
+/// Worst backward delay to **any** sink, per node (a single reverse sweep).
+/// Used for the `V_m` region test `∃t: D^b(v,t) > φ2 + γ2 + φ1`.
+pub(crate) fn db_to_any_sink(cloud: &CombCloud, delays: &NodeDelays) -> Vec<Option<DelayArc>> {
+    let n = cloud.len();
+    let mut from_output: Vec<Option<DelayArc>> = vec![None; n];
+    let mut through: Vec<Option<DelayArc>> = vec![None; n];
+    for &t in cloud.sinks() {
+        through[t.index()] = Some(DelayArc::default());
+    }
+    for &v in cloud.topo().iter().rev() {
+        let node = cloud.node(v);
+        if node.is_sink() {
+            continue;
+        }
+        let mut best: Option<DelayArc> = None;
+        for &w in &node.fanout {
+            if let Some(thr) = through[w.index()] {
+                best = Some(match best {
+                    None => thr,
+                    Some(acc) => arc_max(acc, thr),
+                });
+            }
+        }
+        if let Some(fo) = best {
+            from_output[v.index()] = Some(fo);
+            if node.is_gate() {
+                through[v.index()] =
+                    Some(backward_through_gate(fo, delays.arc(v), delays.sense(v)));
+            }
+        }
+    }
+    from_output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DelayModel, NodeDelays};
+    use retime_liberty::Library;
+    use retime_netlist::{bench, CombCloud};
+
+    fn setup() -> (CombCloud, NodeDelays) {
+        let n = bench::parse(
+            "b",
+            "\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+OUTPUT(z)
+g1 = NAND(a, b)
+g2 = NOT(g1)
+y = NAND(g2, b)
+z = BUFF(a)
+",
+        )
+        .unwrap();
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let delays = NodeDelays::from_library(&cloud, &lib, DelayModel::PathBased).unwrap();
+        (cloud, delays)
+    }
+
+    #[test]
+    fn cone_membership() {
+        let (cloud, delays) = setup();
+        let y_sink = cloud
+            .sinks()
+            .iter()
+            .copied()
+            .find(|&t| cloud.node(t).name.starts_with("y"))
+            .unwrap();
+        let bp = BackwardPass::run(&cloud, &delays, y_sink);
+        assert!(bp.in_cone(cloud.find("g1").unwrap()));
+        assert!(bp.in_cone(cloud.find("a").unwrap()));
+        // z's buffer is not in y's cone.
+        assert!(!bp.in_cone(cloud.find("z").unwrap()));
+        assert_eq!(bp.db(cloud.find("z").unwrap()), None);
+    }
+
+    #[test]
+    fn db_decreases_toward_sink() {
+        let (cloud, delays) = setup();
+        let y_sink = cloud
+            .sinks()
+            .iter()
+            .copied()
+            .find(|&t| cloud.node(t).name.starts_with("y"))
+            .unwrap();
+        let bp = BackwardPass::run(&cloud, &delays, y_sink);
+        let a = bp.db(cloud.find("a").unwrap()).unwrap();
+        let g1 = bp.db(cloud.find("g1").unwrap()).unwrap();
+        let g2 = bp.db(cloud.find("g2").unwrap()).unwrap();
+        let y = bp.db(cloud.find("y").unwrap()).unwrap();
+        assert!(a >= g1 && g1 >= g2 && g2 >= y);
+        assert_eq!(y, 0.0);
+    }
+
+    #[test]
+    fn forward_plus_backward_equals_critical_path() {
+        // For any node v on the critical path to t:
+        // Df(v) + Db(v,t) == arrival(t). Checked with the gate-based model
+        // where rise/fall coincide and the identity is exact.
+        let (cloud, _) = setup();
+        let lib = Library::fdsoi28();
+        let delays = NodeDelays::from_library(&cloud, &lib, DelayModel::GateBased).unwrap();
+        let arr = crate::forward::pure_arrivals(&cloud, &delays);
+        for &t in cloud.sinks() {
+            let bp = BackwardPass::run(&cloud, &delays, t);
+            let at = arr[t.index()].max();
+            // The sink's driver is trivially on the critical path.
+            let mut ok = false;
+            for v in cloud.fanin_cone(t) {
+                if v == t {
+                    continue;
+                }
+                if let Some(db) = bp.db(v) {
+                    let total = arr[v.index()].max() + db;
+                    assert!(total <= at + 1e-9, "no path may exceed the arrival");
+                    if (total - at).abs() < 1e-9 {
+                        ok = true;
+                    }
+                }
+            }
+            assert!(ok, "some node must lie on the critical path to {t}");
+        }
+    }
+
+    #[test]
+    fn any_sink_db_is_max_over_sinks() {
+        let (cloud, delays) = setup();
+        let all = db_to_any_sink(&cloud, &delays);
+        let passes: Vec<BackwardPass> = cloud
+            .sinks()
+            .iter()
+            .map(|&t| BackwardPass::run(&cloud, &delays, t))
+            .collect();
+        for i in 0..cloud.len() {
+            let v = NodeId(i as u32);
+            if cloud.node(v).is_sink() {
+                continue;
+            }
+            let expect = passes
+                .iter()
+                .filter_map(|p| p.db(v))
+                .fold(f64::NEG_INFINITY, f64::max);
+            match all[i] {
+                Some(arc) => assert!((arc.max() - expect).abs() < 1e-9),
+                None => assert_eq!(expect, f64::NEG_INFINITY),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a sink")]
+    fn non_sink_rejected() {
+        let (cloud, delays) = setup();
+        let g1 = cloud.find("g1").unwrap();
+        let _ = BackwardPass::run(&cloud, &delays, g1);
+    }
+}

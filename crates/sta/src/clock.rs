@@ -1,0 +1,157 @@
+//! The two-phase clock model of the paper's Fig. 1.
+
+use std::fmt;
+
+/// A symmetric two-phase clocking scheme
+/// `Π = ⟨φ1, γ1, φ2, γ2⟩` (Section II-A).
+///
+/// * `φ1` — the transparent window of phase 1 **and** the timing
+///   resiliency window,
+/// * `γ1` — gap from the falling edge of phase 1 to the rising edge of
+///   phase 2,
+/// * `φ2` — transparent window of phase 2 (the slave latches),
+/// * `γ2` — gap back to the next phase-1 rising edge.
+///
+/// With ideal clock trees the period is `Π = φ1 + γ1 + φ2 + γ2` while the
+/// maximum tolerated path delay between master stages is `P = Π + φ1`:
+/// data arriving inside `[Π, Π + φ1]` transitions during the resiliency
+/// window and must be flagged by an error-detecting master.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPhaseClock {
+    /// Phase-1 transparent window (= the resiliency window), ns.
+    pub phi1: f64,
+    /// Gap between phase 1 falling and phase 2 rising, ns.
+    pub gamma1: f64,
+    /// Phase-2 transparent window, ns.
+    pub phi2: f64,
+    /// Gap between phase 2 falling and the next phase 1 rising, ns.
+    pub gamma2: f64,
+}
+
+impl TwoPhaseClock {
+    /// Creates a clock from the four phase parameters.
+    ///
+    /// # Panics
+    /// Panics if any parameter is negative/non-finite or if both
+    /// transparent windows are not strictly positive.
+    pub fn new(phi1: f64, gamma1: f64, phi2: f64, gamma2: f64) -> TwoPhaseClock {
+        for (name, v) in [
+            ("phi1", phi1),
+            ("gamma1", gamma1),
+            ("phi2", phi2),
+            ("gamma2", gamma2),
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and ≥ 0");
+        }
+        assert!(phi1 > 0.0 && phi2 > 0.0, "transparent windows must be > 0");
+        TwoPhaseClock {
+            phi1,
+            gamma1,
+            phi2,
+            gamma2,
+        }
+    }
+
+    /// The paper's benchmark setting (Section VI-A): given the maximum
+    /// combinational delay `P` between detecting stages, sets
+    /// `φ1 = 0.3 P`, `γ1 = 0`, `φ2 = 0.35 P`, `γ2 = 0.05 P`,
+    /// hence `Π = 0.7 P` and `Π + φ1 = P`.
+    pub fn from_max_delay(p: f64) -> TwoPhaseClock {
+        TwoPhaseClock::new(0.3 * p, 0.0, 0.35 * p, 0.05 * p)
+    }
+
+    /// The clock period `Π = φ1 + γ1 + φ2 + γ2`.
+    pub fn period(&self) -> f64 {
+        self.phi1 + self.gamma1 + self.phi2 + self.gamma2
+    }
+
+    /// The maximum tolerated path delay between master stages,
+    /// `P = Π + φ1`.
+    pub fn max_path_delay(&self) -> f64 {
+        self.period() + self.phi1
+    }
+
+    /// The resiliency window length (= `φ1`).
+    pub fn window(&self) -> f64 {
+        self.phi1
+    }
+
+    /// Time (relative to the master launch edge) at which the slave
+    /// latches become transparent: `φ1 + γ1`.
+    pub fn slave_open(&self) -> f64 {
+        self.phi1 + self.gamma1
+    }
+
+    /// Time at which the slave latches become opaque:
+    /// `φ1 + γ1 + φ2` — the forward time-borrowing limit of
+    /// constraint (6).
+    pub fn slave_close(&self) -> f64 {
+        self.phi1 + self.gamma1 + self.phi2
+    }
+
+    /// The backward time-borrowing limit of constraint (7):
+    /// data launched by a slave must reach the terminating master within
+    /// `φ2 + γ2 + φ1`.
+    pub fn backward_limit(&self) -> f64 {
+        self.phi2 + self.gamma2 + self.phi1
+    }
+}
+
+impl fmt::Display for TwoPhaseClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Π=⟨φ1={}, γ1={}, φ2={}, γ2={}⟩ (period {}, window {})",
+            self.phi1,
+            self.gamma1,
+            self.phi2,
+            self.gamma2,
+            self.period(),
+            self.window()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratios() {
+        let c = TwoPhaseClock::from_max_delay(1.0);
+        assert!((c.period() - 0.7).abs() < 1e-12);
+        assert!((c.max_path_delay() - 1.0).abs() < 1e-12);
+        assert!((c.window() - 0.3).abs() < 1e-12);
+        assert!((c.slave_open() - 0.3).abs() < 1e-12);
+        assert!((c.slave_close() - 0.65).abs() < 1e-12);
+        assert!((c.backward_limit() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig4_example_clock() {
+        // The paper's Fig. 4 uses φ1 = γ1 = φ2 = γ2 = 2.5.
+        let c = TwoPhaseClock::new(2.5, 2.5, 2.5, 2.5);
+        assert_eq!(c.period(), 10.0);
+        assert_eq!(c.max_path_delay(), 12.5);
+        assert_eq!(c.slave_close(), 7.5);
+        assert_eq!(c.backward_limit(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "transparent windows must be > 0")]
+    fn zero_window_rejected() {
+        let _ = TwoPhaseClock::new(0.0, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_rejected() {
+        let _ = TwoPhaseClock::new(f64::NAN, 0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn display() {
+        let c = TwoPhaseClock::new(2.5, 2.5, 2.5, 2.5);
+        assert!(c.to_string().contains("period 10"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Delay models and per-node delay tables.
+
+use std::error::Error;
+use std::fmt;
+
+use retime_liberty::{DelayArc, LatchCell, Library, LibraryError, Sense};
+use retime_netlist::{CombCloud, Gate, NodeId, NodeKind};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retime_liberty::Library;
+    use retime_netlist::bench;
+
+    fn cloud() -> CombCloud {
+        let n = bench::parse(
+            "m",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\ng = NAND(a, b)\nz = XOR(g, b)\n",
+        )
+        .unwrap();
+        CombCloud::extract(&n).unwrap()
+    }
+
+    #[test]
+    fn gate_based_arcs_symmetric() {
+        let c = cloud();
+        let lib = Library::fdsoi28();
+        let d = NodeDelays::from_library(&c, &lib, DelayModel::GateBased).unwrap();
+        let g = c.find("g").unwrap();
+        let arc = d.arc(g);
+        assert_eq!(arc.rise, arc.fall);
+        assert_eq!(d.sense(g), Sense::Positive);
+    }
+
+    #[test]
+    fn path_based_keeps_rise_fall() {
+        let c = cloud();
+        let lib = Library::fdsoi28();
+        let d = NodeDelays::from_library(&c, &lib, DelayModel::PathBased).unwrap();
+        let g = c.find("g").unwrap();
+        let arc = d.arc(g);
+        assert_ne!(arc.rise, arc.fall);
+        assert_eq!(d.sense(g), Sense::Negative);
+    }
+
+    #[test]
+    fn gate_based_never_faster() {
+        let c = cloud();
+        let lib = Library::fdsoi28();
+        let gb = NodeDelays::from_library(&c, &lib, DelayModel::GateBased).unwrap();
+        let pb = NodeDelays::from_library(&c, &lib, DelayModel::PathBased).unwrap();
+        for i in 0..c.len() {
+            let v = NodeId(i as u32);
+            assert!(gb.max_delay(v) >= pb.arc(v).rise - 1e-12);
+            assert!(gb.max_delay(v) >= pb.arc(v).fall - 1e-12);
+        }
+    }
+
+    #[test]
+    fn explicit_table_size_checked() {
+        let c = cloud();
+        let latch = *Library::fdsoi28().latch();
+        let err = NodeDelays::explicit(&c, &[1.0], latch, 0.0);
+        assert!(matches!(err, Err(StaError::BadDelayTable { .. })));
+        let ok = NodeDelays::explicit(&c, &vec![1.0; c.len()], latch, 0.0).unwrap();
+        assert_eq!(ok.max_delay(c.find("g").unwrap()), 1.0);
+    }
+
+    #[test]
+    fn scale_node_speeds_up() {
+        let c = cloud();
+        let lib = Library::fdsoi28();
+        let mut d = NodeDelays::from_library(&c, &lib, DelayModel::PathBased).unwrap();
+        let g = c.find("g").unwrap();
+        let before = d.max_delay(g);
+        d.scale_node(g, 0.8);
+        assert!(d.max_delay(g) < before);
+    }
+
+    #[test]
+    fn sources_and_sinks_zero_delay() {
+        let c = cloud();
+        let lib = Library::fdsoi28();
+        let d = NodeDelays::from_library(&c, &lib, DelayModel::PathBased).unwrap();
+        for &s in c.sources() {
+            assert_eq!(d.max_delay(s), 0.0);
+        }
+        for &t in c.sinks() {
+            assert_eq!(d.max_delay(t), 0.0);
+        }
+    }
+
+    #[test]
+    fn with_launch_overrides() {
+        let c = cloud();
+        let lib = Library::fdsoi28();
+        let d = NodeDelays::from_library(&c, &lib, DelayModel::PathBased)
+            .unwrap()
+            .with_launch(0.5);
+        assert_eq!(d.launch(), 0.5);
+    }
+}
+
+/// The two delay models compared in the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DelayModel {
+    /// The DAC'17 predecessor's model [16]: every gate contributes its
+    /// worst-case cell delay; rise/fall are not distinguished. Conservative
+    /// — nodes that could be in the free retiming region `V_r` may land in
+    /// `V_m`/`V_n`, and non-critical endpoints may be charged EDL overhead.
+    GateBased,
+    /// The journal version's model: pin-to-pin rise/fall arcs restricted to
+    /// valid transition combinations, mirroring a commercial-grade timing
+    /// engine. Strictly less pessimistic than [`DelayModel::GateBased`].
+    PathBased,
+}
+
+impl fmt::Display for DelayModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DelayModel::GateBased => f.write_str("gate-based"),
+            DelayModel::PathBased => f.write_str("path-based"),
+        }
+    }
+}
+
+/// Errors raised while building timing tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaError {
+    /// A cloud gate has no library cell.
+    Library(LibraryError),
+    /// An explicit delay table does not match the cloud.
+    BadDelayTable {
+        /// Expected number of entries (cloud nodes).
+        expected: usize,
+        /// Provided number of entries.
+        got: usize,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::Library(e) => write!(f, "library lookup failed: {e}"),
+            StaError::BadDelayTable { expected, got } => write!(
+                f,
+                "explicit delay table has {got} entries, cloud has {expected} nodes"
+            ),
+        }
+    }
+}
+
+impl Error for StaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StaError::Library(e) => Some(e),
+            StaError::BadDelayTable { .. } => None,
+        }
+    }
+}
+
+impl From<LibraryError> for StaError {
+    fn from(e: LibraryError) -> Self {
+        StaError::Library(e)
+    }
+}
+
+/// Per-node delay arcs plus the sequential parameters needed by the
+/// arrival model of Eq. (5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeDelays {
+    model: DelayModel,
+    arcs: Vec<DelayArc>,
+    senses: Vec<Sense>,
+    /// Master launch delay added at sources (the master latch clock-to-Q).
+    launch: f64,
+    /// Slave latch clock-to-Q (`d^{ck_q}(l)` of Eq. 5).
+    latch_ckq: f64,
+    /// Slave latch D-to-Q (`d^{d_q}(l)` of Eq. 5).
+    latch_dq: f64,
+}
+
+impl NodeDelays {
+    /// Builds delay tables from a library.
+    ///
+    /// # Errors
+    /// Returns [`StaError::Library`] if a gate function is unmapped.
+    pub fn from_library(
+        cloud: &CombCloud,
+        lib: &Library,
+        model: DelayModel,
+    ) -> Result<NodeDelays, StaError> {
+        let n = cloud.len();
+        let mut arcs = vec![DelayArc::default(); n];
+        let mut senses = vec![Sense::Positive; n];
+        for (i, node) in cloud.nodes().iter().enumerate() {
+            if let NodeKind::Gate { gate, .. } = node.kind {
+                let cell = lib.cell(gate_lib_name(gate))?;
+                let fanin = node.fanin.len();
+                let fanout = node.fanout.len();
+                match model {
+                    DelayModel::GateBased => {
+                        arcs[i] = DelayArc::symmetric(cell.max_delay(fanin, fanout));
+                        senses[i] = Sense::Positive;
+                    }
+                    DelayModel::PathBased => {
+                        arcs[i] = cell.delay(fanin, fanout);
+                        senses[i] = cell.sense;
+                    }
+                }
+            }
+        }
+        let latch = *lib.latch();
+        Ok(NodeDelays {
+            model,
+            arcs,
+            senses,
+            launch: latch.clk_to_q,
+            latch_ckq: latch.clk_to_q,
+            latch_dq: latch.d_to_q,
+        })
+    }
+
+    /// Builds an explicit, unit-style delay table (used by the paper's
+    /// Fig. 4 worked example, which specifies per-gate delays directly and
+    /// ideal latches). Arcs are symmetric and positive-unate, so the model
+    /// degenerates to the gate-based one.
+    ///
+    /// # Errors
+    /// Returns [`StaError::BadDelayTable`] on a size mismatch.
+    pub fn explicit(
+        cloud: &CombCloud,
+        delays: &[f64],
+        latch: LatchCell,
+        launch: f64,
+    ) -> Result<NodeDelays, StaError> {
+        if delays.len() != cloud.len() {
+            return Err(StaError::BadDelayTable {
+                expected: cloud.len(),
+                got: delays.len(),
+            });
+        }
+        Ok(NodeDelays {
+            model: DelayModel::GateBased,
+            arcs: delays.iter().map(|&d| DelayArc::symmetric(d)).collect(),
+            senses: vec![Sense::Positive; cloud.len()],
+            launch,
+            latch_ckq: latch.clk_to_q,
+            latch_dq: latch.d_to_q,
+        })
+    }
+
+    /// Overrides the source launch delay (e.g. a flip-flop clock-to-Q when
+    /// timing the original flop-based design for Table I).
+    pub fn with_launch(mut self, launch: f64) -> NodeDelays {
+        self.launch = launch;
+        self
+    }
+
+    /// The delay model these tables were built for.
+    pub fn model(&self) -> DelayModel {
+        self.model
+    }
+
+    /// The delay arc of node `v` (zero for sources and sinks).
+    pub fn arc(&self, v: NodeId) -> DelayArc {
+        self.arcs[v.index()]
+    }
+
+    /// Worst-transition delay of node `v` (the paper's `d(v)`).
+    pub fn max_delay(&self, v: NodeId) -> f64 {
+        self.arcs[v.index()].max()
+    }
+
+    /// The unateness of node `v`.
+    pub fn sense(&self, v: NodeId) -> Sense {
+        self.senses[v.index()]
+    }
+
+    /// Master launch delay applied at sources.
+    pub fn launch(&self) -> f64 {
+        self.launch
+    }
+
+    /// Slave latch clock-to-Q.
+    pub fn latch_ckq(&self) -> f64 {
+        self.latch_ckq
+    }
+
+    /// Slave latch D-to-Q.
+    pub fn latch_dq(&self) -> f64 {
+        self.latch_dq
+    }
+
+    /// Scales the delay arc of one node by `k` — the mechanism behind the
+    /// "size-only incremental compile" legalization step (Section VI-B):
+    /// upsizing a gate trades area for speed, modelled as a bounded
+    /// speed-up factor.
+    pub fn scale_node(&mut self, v: NodeId, k: f64) {
+        self.arcs[v.index()] = self.arcs[v.index()].scale(k);
+    }
+}
+
+/// Library cell-name for a netlist gate.
+pub(crate) fn gate_lib_name(g: Gate) -> &'static str {
+    match g {
+        Gate::Buf => "BUFF",
+        Gate::Not => "NOT",
+        Gate::And => "AND",
+        Gate::Nand => "NAND",
+        Gate::Or => "OR",
+        Gate::Nor => "NOR",
+        Gate::Xor => "XOR",
+        Gate::Xnor => "XNOR",
+        _ => "BUFF",
+    }
+}

@@ -1,0 +1,118 @@
+//! Bring-your-own standard-cell library.
+//!
+//! ```text
+//! cargo run --example custom_library
+//! ```
+//!
+//! Shows how to define a custom library (here: a hypothetical 16 nm-class
+//! library with faster cells and a *relatively* more expensive latch),
+//! build the virtual library of Section V on top of it, and study how the
+//! latch-to-flop area ratio changes the conclusion of Section VI-D (the
+//! paper's "these results are library dependent" caveat).
+
+use resilient_retiming::grar::{grar, GrarConfig};
+use resilient_retiming::liberty::{
+    CombCell, DelayArc, EdlOverhead, FlipFlopCell, LatchCell, LatchGroup, Library, Sense,
+    VirtualLibrary,
+};
+use resilient_retiming::netlist::{bench, CombCloud};
+use resilient_retiming::retime::{flop_design_area, AreaModel};
+use resilient_retiming::sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
+
+fn library_16nm_ish(latch_ratio: f64) -> Library {
+    let cc = |name: &str, area: f64, d: f64, sense: Sense| CombCell {
+        name: name.to_string(),
+        area,
+        intrinsic: DelayArc {
+            rise: d,
+            fall: d * 0.85,
+        },
+        per_extra_input: 0.003,
+        load_delay: 0.001,
+        per_extra_input_area: 0.2,
+        sense,
+    };
+    let ff = FlipFlopCell {
+        area: 2.4,
+        clk_to_q: 0.04,
+        setup: 0.015,
+    };
+    Library::new(
+        "sixteen-ish",
+        [
+            ("BUFF", cc("BUF", 0.35, 0.011, Sense::Positive)),
+            ("NOT", cc("INV", 0.24, 0.006, Sense::Negative)),
+            ("AND", cc("AND2", 0.6, 0.015, Sense::Positive)),
+            ("NAND", cc("NAND2", 0.48, 0.009, Sense::Negative)),
+            ("OR", cc("OR2", 0.6, 0.016, Sense::Positive)),
+            ("NOR", cc("NOR2", 0.48, 0.010, Sense::Negative)),
+            ("XOR", cc("XOR2", 0.84, 0.017, Sense::NonUnate)),
+            ("XNOR", cc("XNOR2", 0.84, 0.017, Sense::NonUnate)),
+        ],
+        ff,
+        LatchCell {
+            area: ff.area * latch_ratio,
+            clk_to_q: 0.028,
+            d_to_q: 0.039,
+            setup: 0.01,
+        },
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mid-sized pipeline workload.
+    let mut src = String::from("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq1 = DFF(d1)\nq2 = DFF(d2)\n");
+    src.push_str("c1 = NAND(a, b)\n");
+    for i in 2..=16 {
+        src.push_str(&format!("c{i} = NOT(c{})\n", i - 1));
+    }
+    src.push_str("d1 = BUFF(c16)\nd2 = NOR(b, q1)\nz = NOT(q2)\n");
+    let netlist = bench::parse("custom", &src)?;
+    let cloud = CombCloud::extract(&netlist)?;
+
+    println!("latch/flop  flop-design  latch-design(G-RAR, c=1)   verdict");
+    for ratio in [0.35, 0.43, 0.6, 0.8] {
+        let lib = library_16nm_ish(ratio);
+        let probe = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::PathBased,
+        )?;
+        let crit = cloud
+            .sinks()
+            .iter()
+            .map(|&t| probe.df(t))
+            .fold(0.0f64, f64::max);
+        let clock = TwoPhaseClock::from_max_delay(crit * 1.1 + 0.1);
+        let model = AreaModel::new(&lib, EdlOverhead::MEDIUM);
+        let flop_area = flop_design_area(&cloud, &model)?;
+        let g = grar(&cloud, &lib, clock, &GrarConfig::new(EdlOverhead::MEDIUM))?;
+        let verdict = if g.outcome.total_area <= flop_area {
+            "resilient design is area-free (the paper's surprise)"
+        } else {
+            "resiliency costs area with these latches"
+        };
+        println!(
+            "  {ratio:>4.2}     {flop_area:>9.2}   {:>24.2}   {verdict}",
+            g.outcome.total_area
+        );
+    }
+
+    // The virtual library itself.
+    let lib = library_16nm_ish(0.43);
+    let vl = VirtualLibrary::build(lib, EdlOverhead::HIGH, 0.12);
+    println!("\nvirtual library groups (c = 2, window = 0.12 ns):");
+    for group in LatchGroup::ALL {
+        let latch = vl.latch(group);
+        println!(
+            "  {group:?}: area {:.2} µm², extra setup {:.3} ns",
+            latch.area, latch.extra_setup
+        );
+    }
+    println!(
+        "post-retiming swap reclaims {:.2} µm² per unnecessary error-detecting latch",
+        vl.swap_saving()
+    );
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the resiliency-aware retiming workspace.
+//!
+//! Re-exports the public API of every member crate so downstream users can
+//! depend on a single crate:
+//!
+//! ```
+//! use resilient_retiming::netlist::{Netlist, Gate};
+//!
+//! let mut n = Netlist::new("demo");
+//! let a = n.add_input("a");
+//! let _ = n.add_gate("inv", Gate::Not, &[a]);
+//! ```
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
+//! the paper-vs-measured record of every reproduced table.
+
+pub use retime_circuits as circuits;
+pub use retime_core as grar;
+pub use retime_flow as flow;
+pub use retime_liberty as liberty;
+pub use retime_netlist as netlist;
+pub use retime_retime as retime;
+pub use retime_sim as sim;
+pub use retime_sta as sta;
+pub use retime_vl as vl;

@@ -1,0 +1,120 @@
+//! Property-based tests over random circuits: solver exactness, cut
+//! legality, functional preservation, and timing soundness.
+
+use proptest::prelude::*;
+
+use resilient_retiming::circuits::SynthConfig;
+use resilient_retiming::grar::{exhaustive_best, grar, GrarConfig};
+use resilient_retiming::liberty::{EdlOverhead, Library};
+use resilient_retiming::netlist::{CombCloud, Cut};
+use resilient_retiming::retime::{Regions, RetimingProblem, SolverEngine};
+use resilient_retiming::sim::equivalent;
+use resilient_retiming::sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
+
+fn small_config() -> impl Strategy<Value = SynthConfig> {
+    (
+        2usize..12,  // flops
+        20usize..60, // gates
+        2usize..6,   // inputs
+        1usize..4,   // outputs
+        0usize..4,   // deep sinks
+        any::<u64>(),
+    )
+        .prop_map(|(flops, gates, inputs, outputs, deep, seed)| SynthConfig {
+            name: "prop".into(),
+            flops,
+            gates,
+            inputs,
+            outputs,
+            levels: 10,
+            deep_sinks: deep.min(flops),
+            hard_sinks: 0,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn solvers_agree_with_exhaustive_oracle(cfg in small_config()) {
+        let n = cfg.generate().expect("generates");
+        let cloud = CombCloud::extract(&n).expect("extracts");
+        let lib = Library::fdsoi28();
+        let sta = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(10.0),
+            DelayModel::PathBased,
+        ).expect("sta builds");
+        let regions = Regions::compute(&sta).expect("regions");
+        let problem = RetimingProblem::build(&cloud, &regions);
+        if let Some((best, _)) = exhaustive_best(&problem, 18) {
+            for engine in [
+                SolverEngine::MinCostFlow,
+                SolverEngine::NetworkSimplex,
+                SolverEngine::Closure,
+            ] {
+                let sol = problem.solve(engine).expect("solves");
+                prop_assert_eq!(sol.objective_scaled, best);
+            }
+        }
+    }
+
+    #[test]
+    fn grar_cuts_are_legal_and_equivalent(cfg in small_config()) {
+        let n = cfg.generate().expect("generates");
+        let cloud = CombCloud::extract(&n).expect("extracts");
+        let lib = Library::fdsoi28();
+        // A clock loose enough to always be feasible on random circuits.
+        let sta = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::PathBased,
+        ).expect("sta builds");
+        let crit = cloud.sinks().iter().map(|&t| sta.df(t)).fold(0.0f64, f64::max);
+        let clock = TwoPhaseClock::from_max_delay(crit * 1.5 + 0.2);
+        let report = grar(&cloud, &lib, clock, &GrarConfig::new(EdlOverhead::HIGH))
+            .expect("grar runs");
+        // Legality.
+        report.outcome.cut.validate(&cloud).expect("valid cut");
+        prop_assert!(report.outcome.cut.check_paths(&cloud));
+        // Functional preservation.
+        let retimed = report.outcome.cut.apply(&cloud, &n).expect("applies");
+        prop_assert_eq!(equivalent(&n, &retimed, 60, 5).expect("sims"), Ok(()));
+        // Books balance.
+        let expect = report.outcome.comb_area + report.outcome.seq.total();
+        prop_assert!((report.outcome.total_area - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn initial_cut_always_pathsafe(cfg in small_config()) {
+        let n = cfg.generate().expect("generates");
+        let cloud = CombCloud::extract(&n).expect("extracts");
+        let cut = Cut::initial(&cloud);
+        prop_assert!(cut.check_paths(&cloud));
+        prop_assert_eq!(cut.slave_count(&cloud), cloud.sources().len());
+    }
+
+    #[test]
+    fn moved_closure_of_random_node_is_legal(cfg in small_config()) {
+        // Moving the full fan-in closure of any node yields a valid cut
+        // with preserved function, unless it includes a sink.
+        let n = cfg.generate().expect("generates");
+        let cloud = CombCloud::extract(&n).expect("extracts");
+        for pick in 0..cloud.len().min(8) {
+            let v = resilient_retiming::netlist::NodeId((pick * 7 % cloud.len()) as u32);
+            let mut cut = Cut::initial(&cloud);
+            for u in cloud.fanin_cone(v) {
+                cut.set_moved(u, true);
+            }
+            if cut.validate(&cloud).is_err() {
+                continue;
+            }
+            prop_assert!(cut.check_paths(&cloud));
+            let retimed = cut.apply(&cloud, &n).expect("applies");
+            prop_assert_eq!(equivalent(&n, &retimed, 40, 11).expect("sims"), Ok(()));
+        }
+    }
+}
