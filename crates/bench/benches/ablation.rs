@@ -3,7 +3,9 @@
 //! * pseudo nodes on/off (the resiliency-aware coupling itself),
 //! * delay model gate-based vs path-based (Table II's mechanism),
 //! * fanout-sharing mirror nodes on/off is structural and is exercised by
-//!   comparing the breadth-aware objective against plain latch counting.
+//!   comparing the breadth-aware objective against plain latch counting,
+//! * sequential vs parallel backward/cut-set fan-out (the flow-engine
+//!   `parallel_map` classification stage).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use retime_circuits::small_suite;
@@ -54,6 +56,28 @@ fn bench_ablation(c: &mut Criterion) {
                 &lib,
                 clock,
                 &GrarConfig::new(EdlOverhead::HIGH).with_model(DelayModel::GateBased),
+            )
+            .expect("grar")
+        })
+    });
+    group.bench_function("grar_sequential_backward", |b| {
+        b.iter(|| {
+            grar(
+                &circuit.cloud,
+                &lib,
+                clock,
+                &GrarConfig::new(EdlOverhead::HIGH).with_threads(1),
+            )
+            .expect("grar")
+        })
+    });
+    group.bench_function("grar_parallel_backward", |b| {
+        b.iter(|| {
+            grar(
+                &circuit.cloud,
+                &lib,
+                clock,
+                &GrarConfig::new(EdlOverhead::HIGH).with_threads(0),
             )
             .expect("grar")
         })

@@ -13,8 +13,7 @@ fn bench_cutset(c: &mut Criterion) {
     let clock = circuit
         .calibrated_clock(&lib, DelayModel::PathBased)
         .expect("calibrates");
-    let sta = TimingAnalysis::new(&circuit.cloud, &lib, clock, DelayModel::PathBased)
-        .expect("sta");
+    let sta = TimingAnalysis::new(&circuit.cloud, &lib, clock, DelayModel::PathBased).expect("sta");
     let sinks: Vec<_> = circuit.cloud.sinks().to_vec();
     let mut g = c.benchmark_group("cutset");
     g.sample_size(10);

@@ -45,11 +45,9 @@ fn bench_engines(c: &mut Criterion) {
             ("network_simplex", SolverEngine::NetworkSimplex),
             ("closure_mincut", SolverEngine::Closure),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, gates),
-                &problem,
-                |b, p| b.iter(|| p.solve(engine).expect("solves")),
-            );
+            group.bench_with_input(BenchmarkId::new(name, gates), &problem, |b, p| {
+                b.iter(|| p.solve(engine).expect("solves"))
+            });
         }
     }
     group.finish();

@@ -1,6 +1,6 @@
 //! Table I: circuit information of the original flop-based designs.
 
-use retime_bench::{f2, load_suite, print_table};
+use retime_bench::{f2, load_suite, map_cases, print_table};
 use retime_liberty::{EdlOverhead, Library};
 use retime_retime::{flop_design_area, AreaModel};
 use retime_sta::DelayModel;
@@ -9,27 +9,37 @@ fn main() {
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
     let model = AreaModel::new(&lib, EdlOverhead::MEDIUM);
-    let mut rows = Vec::new();
-    for case in &cases {
+    let rows = map_cases(&cases, |case| {
         let spec = &case.circuit.spec;
         let nce = case
             .circuit
             .nce_count(&lib, DelayModel::PathBased, case.clock)
             .expect("sta runs");
         let area = flop_design_area(&case.circuit.cloud, &model).expect("area computes");
-        rows.push(vec![
+        vec![
             spec.name.to_string(),
             format!("{:.3}", case.clock.max_path_delay()),
             spec.flops.to_string(),
             nce.to_string(),
             format!("{}", case.setup_time.as_millis()),
             f2(area),
-            format!("(paper: P={} NCE={} area={})", spec.paper_p, spec.nce, spec.paper_area),
-        ]);
-    }
+            format!(
+                "(paper: P={} NCE={} area={})",
+                spec.paper_p, spec.nce, spec.paper_area
+            ),
+        ]
+    });
     print_table(
         "Table I: circuit information of original flop-based designs",
-        &["Circuit", "P (ns)", "flop #", "NCE #", "Setup (ms)", "Area", "Reference"],
+        &[
+            "Circuit",
+            "P (ns)",
+            "flop #",
+            "NCE #",
+            "Setup (ms)",
+            "Area",
+            "Reference",
+        ],
         &rows,
     );
 }

@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use retime_bench::{f2, load_suite, mean, pct_impr, print_table};
+use retime_bench::{f2, load_suite, map_cases, mean, pct_impr, print_table};
 use retime_core::{grar, GrarConfig};
 use retime_liberty::{EdlOverhead, Library};
 use retime_retime::{AreaModel, RetimeOutcome};
@@ -12,10 +12,9 @@ use retime_sta::{DelayModel, TimingAnalysis};
 fn main() {
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
-    let mut rows = Vec::new();
-    let mut avgs: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for case in &cases {
+    let per_case = map_cases(&cases, |case| {
         let mut row = vec![case.circuit.spec.name.to_string()];
+        let mut imprs = [0.0f64; 3];
         for (k, c) in EdlOverhead::SWEEP.into_iter().enumerate() {
             let gate = grar(
                 &case.circuit.cloud,
@@ -34,13 +33,9 @@ fn main() {
             // As in the paper, both placements are signed off by the
             // accurate (path-based) timing engine; the gate-based model
             // only drove the *optimization*.
-            let mut signoff = TimingAnalysis::new(
-                &case.circuit.cloud,
-                &lib,
-                case.clock,
-                DelayModel::PathBased,
-            )
-            .expect("signoff sta");
+            let mut signoff =
+                TimingAnalysis::new(&case.circuit.cloud, &lib, case.clock, DelayModel::PathBased)
+                    .expect("signoff sta");
             let model = AreaModel::new(&lib, c);
             let gate_signed = RetimeOutcome::assemble(
                 &mut signoff,
@@ -51,10 +46,18 @@ fn main() {
             )
             .expect("gate placement signs off");
             let impr = pct_impr(gate_signed.total_area, path.outcome.total_area);
-            avgs[k].push(impr);
+            imprs[k] = impr;
             row.push(f2(gate_signed.total_area));
             row.push(f2(path.outcome.total_area));
             row.push(f2(impr));
+        }
+        (row, imprs)
+    });
+    let mut rows = Vec::new();
+    let mut avgs: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for (row, imprs) in per_case {
+        for (k, i) in imprs.into_iter().enumerate() {
+            avgs[k].push(i);
         }
         rows.push(row);
     }

@@ -1,16 +1,15 @@
 //! Table III: area comparison of the three virtual-library variants.
 
-use retime_bench::{f2, load_suite, mean, print_table};
+use retime_bench::{f2, load_suite, map_cases, mean, print_table};
 use retime_liberty::{EdlOverhead, Library};
 use retime_vl::{vl_retime, VlConfig, VlVariant};
 
 fn main() {
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
-    let mut rows = Vec::new();
-    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); 9];
-    for case in &cases {
+    let per_case = map_cases(&cases, |case| {
         let mut row = vec![case.circuit.spec.name.to_string()];
+        let mut areas = [0.0f64; 9];
         let mut col = 0;
         for c in EdlOverhead::SWEEP {
             for variant in [VlVariant::Nvl, VlVariant::Evl, VlVariant::Rvl] {
@@ -21,10 +20,18 @@ fn main() {
                     &VlConfig::new(variant, c),
                 )
                 .expect("VL flow runs");
-                sums[col].push(rep.outcome.total_area);
+                areas[col] = rep.outcome.total_area;
                 row.push(f2(rep.outcome.total_area));
                 col += 1;
             }
+        }
+        (row, areas)
+    });
+    let mut rows = Vec::new();
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); 9];
+    for (row, areas) in per_case {
+        for (col, a) in areas.into_iter().enumerate() {
+            sums[col].push(a);
         }
         rows.push(row);
     }

@@ -1,23 +1,22 @@
 //! Table IV: sequential logic area — Base-Retiming vs RVL-RAR vs G-RAR.
 
-use retime_bench::{f2, load_suite, mean, pct_impr, print_table, run_approaches};
+use retime_bench::{f2, load_suite, map_cases, mean, pct_impr, print_table, run_approaches};
 use retime_liberty::{EdlOverhead, Library};
 
 fn main() {
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
-    let mut rows = Vec::new();
-    let mut rvl_avg: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    let mut g_avg: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for case in &cases {
+    let per_case = map_cases(&cases, |case| {
         let mut row = vec![case.circuit.spec.name.to_string()];
+        let mut rvl_impr = [0.0f64; 3];
+        let mut g_impr = [0.0f64; 3];
         for (k, c) in EdlOverhead::SWEEP.into_iter().enumerate() {
             let a = run_approaches(case, &lib, c).expect("flows run");
             let base = a.base.seq.total();
             let rvl = a.rvl.outcome.seq.total();
             let g = a.grar.outcome.seq.total();
-            rvl_avg[k].push(pct_impr(base, rvl));
-            g_avg[k].push(pct_impr(base, g));
+            rvl_impr[k] = pct_impr(base, rvl);
+            g_impr[k] = pct_impr(base, g);
             row.extend([
                 f2(base),
                 f2(rvl),
@@ -25,6 +24,16 @@ fn main() {
                 f2(g),
                 f2(pct_impr(base, g)),
             ]);
+        }
+        (row, rvl_impr, g_impr)
+    });
+    let mut rows = Vec::new();
+    let mut rvl_avg: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut g_avg: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for (row, rvl_impr, g_impr) in per_case {
+        for k in 0..3 {
+            rvl_avg[k].push(rvl_impr[k]);
+            g_avg[k].push(g_impr[k]);
         }
         rows.push(row);
     }

@@ -1,14 +1,13 @@
 //! Table VI: number of slave and error-detecting master latches decided
 //! by the three approaches.
 
-use retime_bench::{load_suite, print_table, run_approaches};
+use retime_bench::{load_suite, map_cases, print_table, run_approaches};
 use retime_liberty::{EdlOverhead, Library};
 
 fn main() {
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
-    let mut rows = Vec::new();
-    for case in &cases {
+    let per_case = map_cases(&cases, |case| {
         let mut per_c: Vec<[String; 6]> = Vec::new();
         for c in EdlOverhead::SWEEP {
             let a = run_approaches(case, &lib, c).expect("flows run");
@@ -21,8 +20,9 @@ fn main() {
                 a.grar.outcome.seq.edl.to_string(),
             ]);
         }
+        let mut case_rows = Vec::new();
         for (approach, idx) in [("Base", 0usize), ("RVL", 2), ("G", 4)] {
-            rows.push(vec![
+            case_rows.push(vec![
                 case.circuit.spec.name.to_string(),
                 approach.to_string(),
                 per_c[0][idx].clone(),
@@ -33,11 +33,19 @@ fn main() {
                 per_c[2][idx + 1].clone(),
             ]);
         }
-    }
+        case_rows
+    });
+    let rows: Vec<Vec<String>> = per_case.into_iter().flatten().collect();
     print_table(
         "Table VI: slave and error-detecting master latch counts",
         &[
-            "Circuit", "Approach", "slave#(L)", "EDL#(L)", "slave#(M)", "EDL#(M)", "slave#(H)",
+            "Circuit",
+            "Approach",
+            "slave#(L)",
+            "EDL#(L)",
+            "slave#(M)",
+            "EDL#(M)",
+            "slave#(H)",
             "EDL#(H)",
         ],
         &rows,

@@ -1,14 +1,14 @@
 //! Table VII: run-time comparison, plus the G-RAR phase breakdown
 //! backing the paper's "network simplex < 2 % of run-time" observation.
 
-use retime_bench::{f2, load_suite, print_table, run_approaches};
+use retime_bench::{f2, load_suite, map_cases, print_table, run_approaches};
+use retime_core::Stage;
 use retime_liberty::{EdlOverhead, Library};
 
 fn main() {
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
-    let mut rows = Vec::new();
-    for case in &cases {
+    let rows = map_cases(&cases, |case| {
         let mut row = vec![case.circuit.spec.name.to_string()];
         let mut solver_share: f64 = 0.0;
         for c in EdlOverhead::SWEEP {
@@ -16,15 +16,11 @@ fn main() {
             row.push(f2(a.base.stats.elapsed.as_secs_f64()));
             row.push(f2(a.rvl.outcome.stats.elapsed.as_secs_f64()));
             row.push(f2(a.grar.outcome.stats.elapsed.as_secs_f64()));
-            let total = a.grar.phases.total().as_secs_f64();
-            if total > 0.0 {
-                solver_share = solver_share
-                    .max(100.0 * a.grar.phases.solver.as_secs_f64() / total);
-            }
+            solver_share = solver_share.max(100.0 * a.grar.phases.share(Stage::Solve));
         }
         row.push(format!("{solver_share:.1}%"));
-        rows.push(row);
-    }
+        row
+    });
     print_table(
         "Table VII: run-time (s) comparison (plus worst G-RAR solver share)",
         &[

@@ -1,7 +1,7 @@
 //! Table VIII: error-rate (%) comparison by random-input timed
 //! simulation.
 
-use retime_bench::{load_suite, mean, print_table, run_approaches};
+use retime_bench::{load_suite, map_cases, mean, print_table, run_approaches};
 use retime_liberty::{EdlOverhead, Library};
 use retime_sim::{error_rate, ErrorRateConfig};
 
@@ -12,11 +12,10 @@ fn main() {
         cycles: 2000,
         seed: 0xE0_5EED,
     };
-    let mut rows = Vec::new();
-    let mut avgs: Vec<Vec<f64>> = vec![Vec::new(); 9];
-    for case in &cases {
+    let per_case = map_cases(&cases, |case| {
         let cloud = &case.circuit.cloud;
         let mut row = vec![case.circuit.spec.name.to_string()];
+        let mut rates = [0.0f64; 9];
         let mut col = 0;
         for c in EdlOverhead::SWEEP {
             let a = run_approaches(case, &lib, c).expect("flows run");
@@ -36,10 +35,18 @@ fn main() {
                 ),
             ] {
                 let rep = error_rate(cloud, delays, &case.clock, cut, ed, &cfg);
-                avgs[col].push(rep.rate_percent());
+                rates[col] = rep.rate_percent();
                 row.push(format!("{:.2}", rep.rate_percent()));
                 col += 1;
             }
+        }
+        (row, rates)
+    });
+    let mut rows = Vec::new();
+    let mut avgs: Vec<Vec<f64>> = vec![Vec::new(); 9];
+    for (row, rates) in per_case {
+        for (col, r) in rates.into_iter().enumerate() {
+            avgs[col].push(r);
         }
         rows.push(row);
     }

@@ -1,6 +1,6 @@
 //! Table IX: fixed-master vs movable-master RVL-RAR.
 
-use retime_bench::{f2, load_suite, mean, print_table};
+use retime_bench::{f2, load_suite, map_cases, mean, print_table};
 use retime_liberty::{EdlOverhead, Library};
 use retime_netlist::CombCloud;
 use retime_vl::{forward_merge_pass, vl_retime, VlConfig, VlVariant};
@@ -8,10 +8,9 @@ use retime_vl::{forward_merge_pass, vl_retime, VlConfig, VlVariant};
 fn main() {
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
-    let mut rows = Vec::new();
-    let mut diffs: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for case in &cases {
+    let per_case = map_cases(&cases, |case| {
         let mut row = vec![case.circuit.spec.name.to_string()];
+        let mut case_diffs = [0.0f64; 3];
         // Movable masters: the forward merge pre-pass repositions master
         // latches before the standard RVL flow.
         let (moved_netlist, moves) =
@@ -34,23 +33,44 @@ fn main() {
             .expect("movable RVL runs");
             let fa = fixed.outcome.total_area;
             let ma = movable.outcome.total_area;
-            let diff = if fa > 0.0 { 100.0 * (fa - ma) / fa } else { 0.0 };
-            diffs[k].push(diff);
+            let diff = if fa > 0.0 {
+                100.0 * (fa - ma) / fa
+            } else {
+                0.0
+            };
+            case_diffs[k] = diff;
             row.extend([f2(fa), f2(ma), format!("{diff:.2}")]);
         }
         row.push(format!("({moves} master moves)"));
+        (row, case_diffs)
+    });
+    let mut rows = Vec::new();
+    let mut diffs: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for (row, case_diffs) in per_case {
+        for (k, d) in case_diffs.into_iter().enumerate() {
+            diffs[k].push(d);
+        }
         rows.push(row);
     }
     let mut avg = vec!["average".to_string()];
-    for k in 0..3 {
-        avg.extend([String::new(), String::new(), f2(mean(&diffs[k]))]);
+    for d in &diffs {
+        avg.extend([String::new(), String::new(), f2(mean(d))]);
     }
     rows.push(avg);
     print_table(
         "Table IX: fixed-master vs movable-master RVL-RAR (total area)",
         &[
-            "Circuit", "fixed(L)", "movable(L)", "diff%(L)", "fixed(M)", "movable(M)",
-            "diff%(M)", "fixed(H)", "movable(H)", "diff%(H)", "notes",
+            "Circuit",
+            "fixed(L)",
+            "movable(L)",
+            "diff%(L)",
+            "fixed(M)",
+            "movable(M)",
+            "diff%(M)",
+            "fixed(H)",
+            "movable(H)",
+            "diff%(H)",
+            "notes",
         ],
         &rows,
     );

@@ -37,7 +37,12 @@ pub struct BenchCase {
 }
 
 /// Loads the benchmark suite honoring `RETIME_SUITE`
-/// (`full` | `small` | `tiny`).
+/// (`full` | `small` | `tiny`), building and calibrating the circuits in
+/// parallel (`RETIME_THREADS` caps the fan-out). Case order always
+/// follows the suite definition regardless of thread count.
+///
+/// An unrecognized `RETIME_SUITE` value falls back to the full suite
+/// with a warning on stderr.
 ///
 /// # Panics
 /// Panics if a circuit fails to build — the suite is deterministic, so
@@ -48,23 +53,35 @@ pub fn load_suite(lib: &Library) -> Vec<BenchCase> {
     let specs: Vec<_> = match mode.as_str() {
         "tiny" => specs.into_iter().take(4).collect(),
         "small" => specs.into_iter().filter(|s| s.flops <= 200).collect(),
-        _ => specs,
+        "full" => specs,
+        other => {
+            eprintln!(
+                "warning: unrecognized RETIME_SUITE value {other:?}; \
+                 accepted values are \"full\", \"small\", or \"tiny\" — \
+                 running the full suite"
+            );
+            specs
+        }
     };
-    specs
-        .into_iter()
-        .map(|spec| {
-            let t0 = Instant::now();
-            let circuit = spec.build().expect("deterministic suite builds");
-            let clock = circuit
-                .calibrated_clock(lib, DelayModel::PathBased)
-                .expect("calibration succeeds");
-            BenchCase {
-                circuit,
-                clock,
-                setup_time: t0.elapsed(),
-            }
-        })
-        .collect()
+    retime_engine::parallel_map(0, &specs, |spec| build_case(spec, lib))
+}
+
+/// Builds and calibrates one suite circuit.
+///
+/// # Panics
+/// Panics if the circuit fails to build (programming error — the suite
+/// is deterministic).
+pub fn build_case(spec: &retime_circuits::CircuitSpec, lib: &Library) -> BenchCase {
+    let t0 = Instant::now();
+    let circuit = spec.build().expect("deterministic suite builds");
+    let clock = circuit
+        .calibrated_clock(lib, DelayModel::PathBased)
+        .expect("calibration succeeds");
+    BenchCase {
+        circuit,
+        clock,
+        setup_time: t0.elapsed(),
+    }
 }
 
 /// The three flows the paper compares (Tables IV–VIII).
@@ -88,18 +105,30 @@ pub fn run_approaches(
 ) -> Result<Approaches, RetimeError> {
     let cloud = &case.circuit.cloud;
     let base = base_retime(cloud, lib, case.clock, DelayModel::PathBased, c)?;
-    let rvl = vl_retime(
-        cloud,
-        lib,
-        case.clock,
-        &VlConfig::new(VlVariant::Rvl, c),
-    )?;
+    let rvl = vl_retime(cloud, lib, case.clock, &VlConfig::new(VlVariant::Rvl, c))?;
     let g = grar(cloud, lib, case.clock, &GrarConfig::new(c))?;
-    Ok(Approaches {
-        base,
-        rvl,
-        grar: g,
-    })
+    Ok(Approaches { base, rvl, grar: g })
+}
+
+/// Runs all three flows on every case in parallel (`RETIME_THREADS` caps
+/// the fan-out). The result vector is index-aligned with `cases`, so
+/// table output order is deterministic regardless of thread count.
+///
+/// # Errors
+/// Each case reports its own flow failures.
+pub fn run_suite(
+    cases: &[BenchCase],
+    lib: &Library,
+    c: EdlOverhead,
+) -> Vec<Result<Approaches, RetimeError>> {
+    map_cases(cases, |case| run_approaches(case, lib, c))
+}
+
+/// Applies `f` to every case in parallel, preserving case order in the
+/// result — the shared skeleton of the table binaries. Use this instead
+/// of a `for` loop whenever per-case work is independent.
+pub fn map_cases<T: Send>(cases: &[BenchCase], f: impl Fn(&BenchCase) -> T + Sync) -> Vec<T> {
+    retime_engine::parallel_map(0, cases, f)
 }
 
 /// Percent improvement of `new` over `base` (positive = smaller/better).
@@ -122,7 +151,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let line: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let line: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
     println!("{line}");
     let header: Vec<String> = headers
         .iter()
@@ -179,6 +212,35 @@ mod tests {
             );
         }
         std::env::remove_var("RETIME_SUITE");
+    }
+
+    #[test]
+    fn parallel_suite_runs_are_deterministic() {
+        // Two parallel runs over the same cases must yield identical
+        // table rows, in the same order.
+        let lib = Library::fdsoi28();
+        let specs: Vec<_> = paper_suite().into_iter().take(3).collect();
+        let cases: Vec<BenchCase> = specs.iter().map(|s| build_case(s, &lib)).collect();
+        let row = |a: &Approaches| {
+            vec![
+                f2(a.base.seq.total()),
+                f2(a.rvl.outcome.seq.total()),
+                f2(a.grar.outcome.seq.total()),
+                f2(a.grar.outcome.total_area),
+                a.grar.targets.to_string(),
+                a.grar.predicted_saved.to_string(),
+            ]
+        };
+        let first: Vec<Vec<String>> = run_suite(&cases, &lib, EdlOverhead::MEDIUM)
+            .iter()
+            .map(|r| row(r.as_ref().expect("flows run")))
+            .collect();
+        let second: Vec<Vec<String>> = run_suite(&cases, &lib, EdlOverhead::MEDIUM)
+            .iter()
+            .map(|r| row(r.as_ref().expect("flows run")))
+            .collect();
+        assert_eq!(first, second);
+        assert_eq!(first.len(), cases.len());
     }
 
     #[test]

@@ -171,7 +171,13 @@ impl<'n> RtlBuilder<'n> {
         (0..(1usize << k))
             .map(|code| {
                 let bits: Vec<CellId> = (0..k)
-                    .map(|j| if code & (1 << j) != 0 { sel[j] } else { nsel[j] })
+                    .map(|j| {
+                        if code & (1 << j) != 0 {
+                            sel[j]
+                        } else {
+                            nsel[j]
+                        }
+                    })
                     .collect();
                 self.reduce(prefix, Gate::And, &bits)
             })
@@ -215,7 +221,10 @@ impl<'n> RtlBuilder<'n> {
 /// # Errors
 /// Propagates netlist construction errors.
 pub fn plasma_like(regs: usize, width: usize) -> Result<Netlist, NetlistError> {
-    assert!(regs.is_power_of_two() && regs >= 4, "register count must be a power of two ≥ 4");
+    assert!(
+        regs.is_power_of_two() && regs >= 4,
+        "register count must be a power of two ≥ 4"
+    );
     let sel_bits = regs.trailing_zeros() as usize;
     let mut n = Netlist::new("plasma");
     let mut b = RtlBuilder::new(&mut n);
@@ -227,7 +236,9 @@ pub fn plasma_like(regs: usize, width: usize) -> Result<Netlist, NetlistError> {
     let one = b.gate("const", Gate::Not, &[zero])?;
     let mut pc_d: Vec<CellId> = vec![zero; width];
     let pc = b.register_word("pc", &pc_d)?;
-    let inc_b: Vec<CellId> = (0..width).map(|i| if i == 2 { one } else { zero }).collect();
+    let inc_b: Vec<CellId> = (0..width)
+        .map(|i| if i == 2 { one } else { zero })
+        .collect();
     let (pc_next, _c) = b.ripple_adder("pcinc", &pc, &inc_b, zero)?;
 
     // --- ID: decode fields, register-file read.
@@ -325,11 +336,7 @@ mod tests {
                 }
                 ins.push(false); // ci seed
                 let outs = sim(&ins);
-                let got: u32 = outs
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &b)| (b as u32) << i)
-                    .sum();
+                let got: u32 = outs.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum();
                 assert_eq!(got, x + y, "{x} + {y}");
             }
         }
@@ -350,8 +357,7 @@ mod tests {
                 for &id in &order {
                     let c = n.cell(id);
                     if c.gate.is_combinational() {
-                        let ins: Vec<bool> =
-                            c.fanin.iter().map(|&f| vals[f.index()]).collect();
+                        let ins: Vec<bool> = c.fanin.iter().map(|&f| vals[f.index()]).collect();
                         vals[id.index()] = c.gate.eval(&ins);
                     }
                 }
@@ -389,7 +395,11 @@ mod tests {
         // 32×32 register file + 32 PC + ID/EX registers
         // (32 + 32 + 2 + 5) = 1127.
         assert_eq!(s.dffs, 32 * 32 + 32 + 32 + 32 + 2 + 5);
-        assert!(s.gates > 5_000, "plasma-class logic depth ({} gates)", s.gates);
+        assert!(
+            s.gates > 5_000,
+            "plasma-class logic depth ({} gates)",
+            s.gates
+        );
         // The retiming view extracts cleanly.
         let cloud = CombCloud::extract(&n).unwrap();
         assert_eq!(cloud.sinks().len(), s.dffs + s.outputs);

@@ -98,11 +98,9 @@ impl SynthConfig {
         let mid_tails = if mid_sinks == 0 {
             0
         } else {
-            let by_gates = ((self.gates * 3) / 5)
-                .saturating_sub(hard * hard_len)
-                / mid_len.max(1);
-            let by_sources = pool.len().saturating_sub(hard * (2 + hard_len / 4))
-                / (2 + mid_len / 4).max(1);
+            let by_gates = ((self.gates * 3) / 5).saturating_sub(hard * hard_len) / mid_len.max(1);
+            let by_sources =
+                pool.len().saturating_sub(hard * (2 + hard_len / 4)) / (2 + mid_len / 4).max(1);
             mid_sinks.min(by_gates.max(1)).min(by_sources.max(1)).max(1)
         };
 
@@ -110,11 +108,11 @@ impl SynthConfig {
         // tail (plus the collector), so its retiming cone is private.
         let mut collector_feeds: Vec<CellId> = Vec::new();
         let build_tail = |n: &mut Netlist,
-                              rng: &mut StdRng,
-                              pool: &mut Vec<CellId>,
-                              collector_feeds: &mut Vec<CellId>,
-                              name: &str,
-                              len: usize|
+                          rng: &mut StdRng,
+                          pool: &mut Vec<CellId>,
+                          collector_feeds: &mut Vec<CellId>,
+                          name: &str,
+                          len: usize|
          -> Result<CellId, NetlistError> {
             let take = |pool: &mut Vec<CellId>, rng: &mut StdRng| -> CellId {
                 pool.pop().unwrap_or_else(|| {
@@ -170,8 +168,8 @@ impl SynthConfig {
             .saturating_sub(hard * hard_len + mid_tails * mid_len)
             .max(shallow_levels);
         let mut per_level = vec![shallow_gates / shallow_levels; shallow_levels];
-        for extra in 0..(shallow_gates % shallow_levels) {
-            per_level[extra] += 1;
+        for count in per_level.iter_mut().take(shallow_gates % shallow_levels) {
+            *count += 1;
         }
         for count in per_level.iter_mut() {
             *count = (*count).max(1);
@@ -234,7 +232,7 @@ impl SynthConfig {
         // output. This pins one latch per such source wherever it goes
         // (the PO edge always needs one), so no merge can silently delete
         // it and entering a tail really costs the extra frontier latch.
-        collector_feeds.extend(pool.drain(..));
+        collector_feeds.append(&mut pool);
         for (i, &src) in collector_feeds.iter().enumerate() {
             n.add_output(format!("obs{i}"), src)?;
         }

@@ -1,7 +1,7 @@
 //! The target-master cut-set `g(t)` of Eqs. (8)–(9).
 
 use retime_netlist::NodeId;
-use retime_sta::{BackwardPass, TimingAnalysis};
+use retime_sta::{BackwardPass, SinkClass, TimingAnalysis};
 
 /// Small tolerance absorbing floating-point noise against `Π`.
 const EPS: f64 = 1e-9;
@@ -69,8 +69,7 @@ pub fn cut_set(sta: &TimingAnalysis<'_>, bp: &BackwardPass) -> Vec<NodeId> {
 pub fn classify_and_cut_set(
     sta: &TimingAnalysis<'_>,
     bp: &BackwardPass,
-) -> (retime_sta::SinkClass, Vec<NodeId>) {
-    use retime_sta::SinkClass;
+) -> (SinkClass, Vec<NodeId>) {
     let t = bp.sink();
     let pi = sta.clock().period();
     let cloud = sta.cloud();
@@ -114,12 +113,36 @@ pub fn classify_and_cut_set(
     }
 }
 
+/// Batch form of [`classify_and_cut_set`]: classifies every target sink,
+/// fanning the per-target backward pass *and* the cut-set construction —
+/// the dominant cost of a G-RAR run — out across `threads` workers (`0` =
+/// auto, honoring `RETIME_THREADS`). Each worker runs one fused
+/// backward-pass + classification per target, so peak memory stays at one
+/// [`BackwardPass`] per worker rather than one per target.
+///
+/// Results are index-aligned with `targets`; parallel and sequential runs
+/// produce bit-identical classes and cut-sets (asserted by the
+/// `parallel_classify_matches_sequential` property test).
+///
+/// # Panics
+/// Panics if any target is not a sink.
+pub fn classify_many(
+    sta: &TimingAnalysis<'_>,
+    targets: &[NodeId],
+    threads: usize,
+) -> Vec<(SinkClass, Vec<NodeId>)> {
+    retime_engine::parallel_map(threads, targets, |&t| {
+        let bp = sta.backward(t);
+        classify_and_cut_set(sta, &bp)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use retime_liberty::Library;
     use retime_netlist::{bench, CombCloud};
-    use retime_sta::{DelayModel, SinkClass, TimingAnalysis, TwoPhaseClock};
+    use retime_sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
 
     fn chain(len: usize) -> CombCloud {
         let mut src = String::from("INPUT(a)\nOUTPUT(z)\ng1 = NOT(a)\n");

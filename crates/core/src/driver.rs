@@ -1,14 +1,20 @@
-//! The end-to-end G-RAR driver.
+//! The end-to-end G-RAR driver, running as a
+//! `Sta → Classify → Solve → Commit` pipeline on the shared
+//! [`retime_engine`] flow-engine layer. The classification stage — the
+//! per-target backward passes and cut-set construction the paper's
+//! profiling singles out as the dominant cost — fans out across worker
+//! threads ([`classify_many`](crate::cutset::classify_many)).
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
+use retime_engine::{FlowContext, PhaseTimings, Pipeline, Stage};
 use retime_liberty::{EdlOverhead, Library};
-use retime_netlist::{CombCloud, NodeKind};
+use retime_netlist::{CombCloud, NodeId, NodeKind};
 use retime_retime::{
-    AreaModel, Regions, RetimeError, RetimeOutcome, RetimingProblem, SolverEngine, BREADTH_SCALE,
+    AreaModel, Regions, RetimeError, RetimeOutcome, RetimingProblem, RetimingSolution,
+    SolverEngine, BREADTH_SCALE,
 };
 use retime_sta::{DelayModel, SinkClass, TimingAnalysis, TwoPhaseClock};
-
 
 /// Configuration of a G-RAR run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,15 +25,21 @@ pub struct GrarConfig {
     pub model: DelayModel,
     /// Solver engine for the network-flow step.
     pub engine: SolverEngine,
+    /// Worker threads for the classification fan-out: `0` = auto
+    /// (`RETIME_THREADS` or the machine's parallelism), `1` = the
+    /// sequential reference path.
+    pub threads: usize,
 }
 
 impl GrarConfig {
-    /// Default configuration: path-based timing, min-cost-flow engine.
+    /// Default configuration: path-based timing, min-cost-flow engine,
+    /// automatic thread count.
     pub fn new(overhead: EdlOverhead) -> GrarConfig {
         GrarConfig {
             overhead,
             model: DelayModel::PathBased,
             engine: SolverEngine::MinCostFlow,
+            threads: 0,
         }
     }
 
@@ -42,27 +54,12 @@ impl GrarConfig {
         self.engine = engine;
         self
     }
-}
 
-/// Phase timing of a G-RAR run. The paper observes the backward-delay
-/// computation dominates while the network-simplex step takes < 2 % of
-/// the total (Section VI-D, Table VII discussion).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct GrarStats {
-    /// Forward STA and region computation.
-    pub sta: Duration,
-    /// Per-target backward passes and `g(t)` construction.
-    pub backward: Duration,
-    /// Network-flow / closure solve.
-    pub solver: Duration,
-    /// Placement, EDL assignment, legalization, area accounting.
-    pub commit: Duration,
-}
-
-impl GrarStats {
-    /// Total across phases.
-    pub fn total(&self) -> Duration {
-        self.sta + self.backward + self.solver + self.commit
+    /// Pins the classification fan-out width (`1` forces the sequential
+    /// path; `0` restores auto).
+    pub fn with_threads(mut self, threads: usize) -> GrarConfig {
+        self.threads = threads;
+        self
     }
 }
 
@@ -79,8 +76,23 @@ pub struct GrarReport {
     pub targets: usize,
     /// Targets predicted non-error-detecting by the flow solution.
     pub predicted_saved: usize,
-    /// Phase timing.
-    pub phases: GrarStats,
+    /// Uniform per-stage instrumentation (`Stage::Classify` carries the
+    /// backward/cut-set fan-out the paper's Table VII discussion singles
+    /// out; the solve stage stays under 2 %).
+    pub phases: PhaseTimings,
+}
+
+#[derive(Default)]
+struct GrarState<'a> {
+    sta: Option<TimingAnalysis<'a>>,
+    problem: Option<RetimingProblem>,
+    /// `(pseudo flow node, sink idx)` per target master.
+    pseudos: Vec<(usize, usize)>,
+    always_ed: usize,
+    never_ed: usize,
+    sol: Option<RetimingSolution>,
+    predicted_saved: usize,
+    outcome: Option<RetimeOutcome>,
 }
 
 /// Runs G-RAR: resiliency-aware slave retiming minimizing total
@@ -95,58 +107,91 @@ pub fn grar(
     cfg: &GrarConfig,
 ) -> Result<GrarReport, RetimeError> {
     let started = Instant::now();
-    let mut phases = GrarStats::default();
+    let mut ctx = FlowContext::new(GrarState::default());
 
-    let t0 = Instant::now();
-    let mut sta = TimingAnalysis::new(cloud, lib, clock, cfg.model)?;
-    let regions = Regions::compute(&sta)?;
-    let mut problem = RetimingProblem::build(cloud, &regions);
-    phases.sta = t0.elapsed();
-
-    // Classify endpoints and add pseudo nodes for targets. Only
-    // master-backed sinks carry EDL area (a primary output's master
-    // belongs to the environment).
-    let t1 = Instant::now();
-    let c_scaled = (cfg.overhead.value() * BREADTH_SCALE as f64).round() as i64;
-    let mut always_ed = 0;
-    let mut never_ed = 0;
-    let mut pseudos: Vec<(usize, usize)> = Vec::new(); // (pseudo flow node, sink idx)
-    for (sink_idx, &t) in cloud.sinks().iter().enumerate() {
-        if !matches!(cloud.node(t).kind, NodeKind::Sink { master: Some(_) }) {
-            continue;
-        }
-        let bp = sta.backward(t);
-        match crate::cutset::classify_and_cut_set(&sta, &bp) {
-            (SinkClass::AlwaysErrorDetecting, _) => always_ed += 1,
-            (SinkClass::NeverErrorDetecting, _) => never_ed += 1,
-            (SinkClass::Target, g) => {
-                let p = problem.add_pseudo_target(&g, c_scaled);
-                pseudos.push((p, sink_idx));
+    Pipeline::<FlowContext<GrarState<'_>>, RetimeError>::new()
+        .stage(Stage::Sta, |ctx| {
+            let sta = TimingAnalysis::new(cloud, lib, clock, cfg.model)?;
+            let regions = Regions::compute(&sta)?;
+            ctx.data.problem = Some(RetimingProblem::build(cloud, &regions));
+            ctx.data.sta = Some(sta);
+            Ok(())
+        })
+        .stage(Stage::Classify, |ctx| {
+            // Classify endpoints and add pseudo nodes for targets. Only
+            // master-backed sinks carry EDL area (a primary output's
+            // master belongs to the environment). The backward passes and
+            // cut-sets compute in parallel; the pseudo nodes are then
+            // added sequentially in sink order, so the constructed flow
+            // problem is identical to the sequential path's.
+            let state = &mut ctx.data;
+            let sta = state.sta.as_ref().expect("sta stage ran");
+            let problem = state.problem.as_mut().expect("sta stage ran");
+            let targets: Vec<(usize, NodeId)> = cloud
+                .sinks()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| matches!(cloud.node(t).kind, NodeKind::Sink { master: Some(_) }))
+                .map(|(i, &t)| (i, t))
+                .collect();
+            let sinks: Vec<NodeId> = targets.iter().map(|&(_, t)| t).collect();
+            let classified = crate::cutset::classify_many(sta, &sinks, cfg.threads);
+            let c_scaled = (cfg.overhead.value() * BREADTH_SCALE as f64).round() as i64;
+            for (&(sink_idx, _), (class, g)) in targets.iter().zip(classified) {
+                match class {
+                    SinkClass::AlwaysErrorDetecting => state.always_ed += 1,
+                    SinkClass::NeverErrorDetecting => state.never_ed += 1,
+                    SinkClass::Target => {
+                        let p = problem.add_pseudo_target(&g, c_scaled);
+                        state.pseudos.push((p, sink_idx));
+                    }
+                }
             }
-        }
-    }
-    let targets = pseudos.len();
-    phases.backward = t1.elapsed();
+            ctx.timings.count("endpoints", sinks.len() as u64);
+            ctx.timings.count("targets", ctx.data.pseudos.len() as u64);
+            Ok(())
+        })
+        .stage(Stage::Solve, |ctx| {
+            let sol = ctx
+                .data
+                .problem
+                .as_ref()
+                .expect("sta stage ran")
+                .solve(cfg.engine)?;
+            ctx.data.sol = Some(sol);
+            Ok(())
+        })
+        .stage(Stage::Commit, |ctx| {
+            let state = &mut ctx.data;
+            let sol = state.sol.take().expect("solve stage ran");
+            state.predicted_saved = state
+                .pseudos
+                .iter()
+                .filter(|&&(p, _)| sol.r[p] == -1)
+                .count();
+            let model = AreaModel::new(lib, cfg.overhead);
+            let sta = state.sta.as_mut().expect("sta stage ran");
+            state.outcome = Some(RetimeOutcome::assemble(
+                sta,
+                &model,
+                sol.cut,
+                sol.solver_time,
+                started,
+            )?);
+            Ok(())
+        })
+        .run(&mut ctx)?;
 
-    let sol = problem.solve(cfg.engine)?;
-    phases.solver = sol.solver_time;
-
-    let t3 = Instant::now();
-    let predicted_saved = pseudos
-        .iter()
-        .filter(|&&(p, _)| sol.r[p] == -1)
-        .count();
-    let model = AreaModel::new(lib, cfg.overhead);
-    let outcome = RetimeOutcome::assemble(&mut sta, &model, sol.cut, sol.solver_time, started)?;
-    phases.commit = t3.elapsed();
-
+    let (state, timings) = ctx.into_parts();
+    let mut outcome = state.outcome.expect("commit stage ran");
+    outcome.phases = timings.clone();
     Ok(GrarReport {
         outcome,
-        always_ed,
-        never_ed,
-        targets,
-        predicted_saved,
-        phases,
+        always_ed: state.always_ed,
+        never_ed: state.never_ed,
+        targets: state.pseudos.len(),
+        predicted_saved: state.predicted_saved,
+        phases: timings,
     })
 }
 
@@ -155,13 +200,12 @@ mod tests {
     use super::*;
     use retime_netlist::bench;
     use retime_retime::base_retime;
+    use std::time::Duration;
 
     /// A two-cone circuit: one deep cone (needs EDL unless latches move)
     /// and one shallow cone, sharing an input.
     fn testbench() -> CombCloud {
-        let mut src = String::from(
-            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq1 = DFF(d1)\nq2 = DFF(d2)\n",
-        );
+        let mut src = String::from("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq1 = DFF(d1)\nq2 = DFF(d2)\n");
         // Deep cone into q1.
         src.push_str("c1 = NAND(a, b)\n");
         for i in 2..=12 {
@@ -259,13 +303,7 @@ mod tests {
         let lib = Library::fdsoi28();
         let p = crit(&cloud, &lib) * 1.25;
         let clock = TwoPhaseClock::from_max_delay(p);
-        let path = grar(
-            &cloud,
-            &lib,
-            clock,
-            &GrarConfig::new(EdlOverhead::HIGH),
-        )
-        .unwrap();
+        let path = grar(&cloud, &lib, clock, &GrarConfig::new(EdlOverhead::HIGH)).unwrap();
         let gate = grar(
             &cloud,
             &lib,
@@ -306,5 +344,41 @@ mod tests {
         )
         .unwrap();
         assert!(report.phases.total() > Duration::ZERO);
+        // The G-RAR flow runs no seed/swap stages.
+        assert_eq!(report.phases.get(Stage::Seed), Duration::ZERO);
+        assert_eq!(report.phases.get(Stage::Swap), Duration::ZERO);
+        // Only master-backed sinks count as endpoints (z's master is
+        // external to the cloud).
+        assert!(report.phases.counter("endpoints") > 0);
+        assert!(report.phases.counter("endpoints") < cloud.sinks().len() as u64);
+    }
+
+    #[test]
+    fn parallel_classify_matches_sequential_run() {
+        let cloud = testbench();
+        let lib = Library::fdsoi28();
+        let p = crit(&cloud, &lib) * 1.25;
+        let clock = TwoPhaseClock::from_max_delay(p);
+        let seq = grar(
+            &cloud,
+            &lib,
+            clock,
+            &GrarConfig::new(EdlOverhead::MEDIUM).with_threads(1),
+        )
+        .unwrap();
+        let par = grar(
+            &cloud,
+            &lib,
+            clock,
+            &GrarConfig::new(EdlOverhead::MEDIUM).with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(seq.always_ed, par.always_ed);
+        assert_eq!(seq.never_ed, par.never_ed);
+        assert_eq!(seq.targets, par.targets);
+        assert_eq!(seq.predicted_saved, par.predicted_saved);
+        assert_eq!(seq.outcome.cut, par.outcome.cut);
+        assert_eq!(seq.outcome.ed_sinks, par.outcome.ed_sinks);
+        assert!((seq.outcome.total_area - par.outcome.total_area).abs() < 1e-12);
     }
 }

@@ -72,7 +72,8 @@ pub fn insert_error_detection(
         };
         // The sink node is named `<ff>.d`; the applied netlist names the
         // master `<ff>__m`.
-        let ff_name = cloud.node(t)
+        let ff_name = cloud
+            .node(t)
             .name
             .strip_suffix(".d")
             .unwrap_or(&cloud.node(t).name)

@@ -70,10 +70,7 @@ impl IlpFormulation {
             .iter()
             .zip(r)
             .all(|(&(lo, hi), &rv)| rv >= lo && rv <= hi)
-            && self
-                .constraints
-                .iter()
-                .all(|&(u, v, w)| r[u] - r[v] <= w)
+            && self.constraints.iter().all(|&(u, v, w)| r[u] - r[v] <= w)
     }
 }
 
@@ -111,10 +108,7 @@ impl fmt::Display for IlpFormulation {
 /// `max_free` cloud variables are free (the search would explode).
 ///
 /// This is the exactness oracle for the flow and closure engines.
-pub fn exhaustive_best(
-    p: &RetimingProblem,
-    max_free: usize,
-) -> Option<(i64, Cut)> {
+pub fn exhaustive_best(p: &RetimingProblem, max_free: usize) -> Option<(i64, Cut)> {
     let n_cloud = p.cloud_len();
     let free: Vec<usize> = (0..n_cloud)
         .filter(|&v| {

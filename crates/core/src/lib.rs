@@ -49,7 +49,8 @@ pub mod driver;
 pub mod edl;
 pub mod ilp;
 
-pub use cutset::{classify_and_cut_set, cut_set};
+pub use cutset::{classify_and_cut_set, classify_many, cut_set};
+pub use driver::{grar, GrarConfig, GrarReport};
 pub use edl::{insert_error_detection, EdlInsertion};
-pub use driver::{grar, GrarConfig, GrarReport, GrarStats};
 pub use ilp::{exhaustive_best, IlpFormulation};
+pub use retime_engine::{PhaseTimings, Stage};

@@ -1,0 +1,30 @@
+//! The shared **flow-engine layer** every retiming flow runs on.
+//!
+//! The three flows the paper compares (base retiming, the virtual-library
+//! variants, and G-RAR) all follow the same shape — STA and region
+//! computation, per-endpoint classification, a network-flow solve, and a
+//! commit/assembly step — but the seed tree implemented that shape three
+//! times by hand, each with its own ad-hoc timing bookkeeping. This crate
+//! extracts the shape:
+//!
+//! * [`Stage`] — the named phases a flow can execute,
+//! * [`PhaseTimings`] — the uniform per-stage wall-clock / counter
+//!   instrumentation every flow reports (the Table VII breakdown),
+//! * [`Pipeline`] — an ordered sequence of named stage closures executed
+//!   against a shared context, with per-stage timing recorded
+//!   automatically,
+//! * [`FlowContext`] — a thin wrapper pairing a flow's working state with
+//!   its [`PhaseTimings`],
+//! * [`parallel`] — scoped-thread fan-out primitives (`std::thread::scope`,
+//!   no external dependencies) with deterministic, index-ordered results;
+//!   the worker count honors the `RETIME_THREADS` environment variable.
+//!
+//! The crate is dependency-free (std only) so every layer of the
+//! workspace — including `retime-sta`, which sits below the flow crates —
+//! can use the fan-out primitives.
+
+pub mod parallel;
+pub mod pipeline;
+
+pub use parallel::{parallel_map, thread_count};
+pub use pipeline::{FlowContext, Instrument, PhaseTimings, Pipeline, Stage};

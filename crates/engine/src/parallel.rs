@@ -1,0 +1,147 @@
+//! Scoped-thread fan-out with deterministic, index-ordered results.
+//!
+//! The paper's profiling (Section VI-B / Table VII discussion) shows the
+//! per-target backward-delay computation dominates G-RAR's runtime while
+//! the network-flow solve is under 2 %. Those backward passes are
+//! independent per endpoint — `TimingAnalysis::backward` takes `&self` —
+//! so they fan out across threads without any locking. The primitives
+//! here are built on `std::thread::scope` (no external dependencies) and
+//! always return results in input order, so parallel and sequential runs
+//! are bit-identical.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Number of worker threads a fan-out uses when the caller passes `0`
+/// (auto): the `RETIME_THREADS` environment variable when set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`].
+/// `RETIME_THREADS=0` means auto too, mirroring the API convention.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("RETIME_THREADS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            Ok(_) => {} // 0 = auto, same as unset
+            Err(_) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring invalid RETIME_THREADS={v:?} (want a non-negative integer)"
+                    );
+                });
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` on `threads` workers (`0` = auto, see
+/// [`thread_count`]), returning results **in input order** regardless of
+/// scheduling. Work is distributed dynamically through an atomic cursor,
+/// so uneven per-item cost (deep vs. shallow fan-in cones) balances
+/// automatically.
+///
+/// Falls back to a plain sequential map when one worker suffices —
+/// callers can force that with `threads = 1` (or `RETIME_THREADS=1`) to
+/// compare against the parallel path.
+///
+/// # Panics
+/// Propagates a panic from `f` after the scope unwinds its workers.
+pub fn parallel_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = match threads {
+        0 => thread_count(),
+        n => n,
+    }
+    .min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut chunks: Vec<Vec<(usize, U)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fan-out worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for chunk in &mut chunks {
+        for (i, u) in chunk.drain(..) {
+            slots[i] = Some(u);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = parallel_map(4, &items, |&x| x * 3);
+        assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_exactly() {
+        let items: Vec<u64> = (0..100).map(|i| i * 17 + 3).collect();
+        let seq = parallel_map(1, &items, |&x| x.wrapping_mul(x) ^ 0xdead);
+        let par = parallel_map(8, &items, |&x| x.wrapping_mul(x) ^ 0xdead);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(0, &empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(0, &[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Items with wildly different cost still land in order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(4, &items, |&x| {
+            let spins = if x % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, &(x, _)) in out.iter().enumerate() {
+            assert_eq!(i as u64, x);
+        }
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -41,9 +41,7 @@ impl fmt::Display for FlowError {
                 write!(f, "node index {node} out of range for {len} nodes")
             }
             FlowError::IterationLimit => f.write_str("solver exceeded its iteration budget"),
-            FlowError::NegativeCycle => {
-                f.write_str("network contains a negative-cost cycle")
-            }
+            FlowError::NegativeCycle => f.write_str("network contains a negative-cost cycle"),
         }
     }
 }

@@ -59,7 +59,10 @@ impl MaxFlow {
     pub fn solve(&mut self, s: usize, t: usize) -> Result<i64, FlowError> {
         for &v in &[s, t] {
             if v >= self.n {
-                return Err(FlowError::BadNode { node: v, len: self.n });
+                return Err(FlowError::BadNode {
+                    node: v,
+                    len: self.n,
+                });
             }
         }
         if s == t {

@@ -1,7 +1,7 @@
 //! Minimum-cost b-flow with dual extraction (successive shortest paths).
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::error::FlowError;
 
@@ -438,10 +438,7 @@ mod tests {
         p.add_arc(0, 1, 10, 1);
         p.set_demand(0, -5);
         p.set_demand(1, 4);
-        assert_eq!(
-            p.solve(),
-            Err(FlowError::UnbalancedDemands { total: -1 })
-        );
+        assert_eq!(p.solve(), Err(FlowError::UnbalancedDemands { total: -1 }));
     }
 
     #[test]

@@ -63,9 +63,7 @@ impl MinCostFlow {
                 state: ArcState::Lower,
             });
         }
-        let big_m = max_cost
-            .saturating_mul((n as i64) + 2)
-            .saturating_add(1);
+        let big_m = max_cost.saturating_mul((n as i64) + 2).saturating_add(1);
         // Artificial arcs: node with positive demand receives from the
         // root; otherwise ships to the root (zero-demand arcs point to the
         // root, making the initial basis strongly feasible).
@@ -116,7 +114,7 @@ impl MinCostFlow {
                     ArcState::Upper if rc > 0 => rc,
                     _ => 0,
                 };
-                if viol > 0 && entering.map_or(true, |(_, best)| viol > best) {
+                if viol > 0 && entering.is_none_or(|(_, best)| viol > best) {
                     entering = Some((i, viol));
                 }
             }
@@ -159,9 +157,9 @@ fn rebuild_tree(
     arcs: &[SArc],
     nn: usize,
     root: usize,
-    parent: &mut Vec<Option<(usize, usize)>>,
-    depth: &mut Vec<usize>,
-    pot: &mut Vec<i64>,
+    parent: &mut [Option<(usize, usize)>],
+    depth: &mut [usize],
+    pot: &mut [i64],
 ) {
     let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nn];
     for (i, a) in arcs.iter().enumerate() {
@@ -199,12 +197,7 @@ fn rebuild_tree(
 
 /// One pivot: push flow around the cycle closed by the entering arc and
 /// swap arc states, using the strongly-feasible leaving rule.
-fn pivot(
-    arcs: &mut [SArc],
-    e_idx: usize,
-    parent: &[Option<(usize, usize)>],
-    depth: &[usize],
-) {
+fn pivot(arcs: &mut [SArc], e_idx: usize, parent: &[Option<(usize, usize)>], depth: &[usize]) {
     // Direction of flow increase along the entering arc.
     let (push_from, push_to) = match arcs[e_idx].state {
         ArcState::Lower => (arcs[e_idx].from, arcs[e_idx].to),
@@ -325,8 +318,7 @@ fn pivot(
     let leaving = leaving.expect("a blocking arc always exists");
     // Apply the push.
     for ca in &cycle {
-        let upper_entering =
-            ca.idx == e_idx && arcs[ca.idx].state == ArcState::Upper;
+        let upper_entering = ca.idx == e_idx && arcs[ca.idx].state == ArcState::Upper;
         let arc = &mut arcs[ca.idx];
         if ca.forward && !upper_entering {
             arc.flow += delta;
@@ -377,8 +369,8 @@ mod tests {
             excess[to] += f;
             excess[from] -= f;
         }
-        for v in 0..p.node_count() {
-            assert_eq!(excess[v], p.demand(v), "conservation at node {v}");
+        for (v, &e) in excess.iter().enumerate() {
+            assert_eq!(e, p.demand(v), "conservation at node {v}");
         }
     }
 
@@ -439,7 +431,9 @@ mod tests {
         // Deterministic LCG so the test is reproducible without rand.
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut next = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         for case in 0..40 {

@@ -103,13 +103,7 @@ impl Library {
     /// * the latch's D-to-Q delay is 40 % larger than its clock-to-Q
     ///   delay (Section III).
     pub fn fdsoi28() -> Library {
-        fn cc(
-            name: &str,
-            area: f64,
-            rise: f64,
-            fall: f64,
-            sense: Sense,
-        ) -> CombCell {
+        fn cc(name: &str, area: f64, rise: f64, fall: f64, sense: Sense) -> CombCell {
             CombCell {
                 name: name.to_string(),
                 area,

@@ -120,8 +120,7 @@ impl VirtualLibrary {
     /// non-error-detecting counterpart (the post-retiming swap step of
     /// Section V reclaims exactly this much per swap).
     pub fn swap_saving(&self) -> f64 {
-        self.latch(LatchGroup::ErrorDetecting).area
-            - self.latch(LatchGroup::NonErrorDetecting).area
+        self.latch(LatchGroup::ErrorDetecting).area - self.latch(LatchGroup::NonErrorDetecting).area
     }
 }
 

@@ -189,11 +189,7 @@ pub fn write(n: &Netlist) -> String {
     }
     for c in n.cells() {
         if let Some(kw) = c.gate.bench_name() {
-            let ins: Vec<&str> = c
-                .fanin
-                .iter()
-                .map(|&f| n.cell(f).name.as_str())
-                .collect();
+            let ins: Vec<&str> = c.fanin.iter().map(|&f| n.cell(f).name.as_str()).collect();
             out.push_str(&format!("{} = {}({})\n", c.name, kw, ins.join(", ")));
         }
     }

@@ -249,13 +249,17 @@ fn classify_cover(n_in: usize, cover: &[(String, char)]) -> Option<Gate> {
     let one_hot = |c: char| {
         cover.len() == n_in
             && (0..n_in).all(|k| {
-                cover.iter().filter(|(row, _)| {
-                    row.as_bytes()[k] == c as u8
-                        && row
-                            .bytes()
-                            .enumerate()
-                            .all(|(j, b)| if j == k { true } else { b == b'-' })
-                }).count() == 1
+                cover
+                    .iter()
+                    .filter(|(row, _)| {
+                        row.as_bytes()[k] == c as u8
+                            && row
+                                .bytes()
+                                .enumerate()
+                                .all(|(j, b)| if j == k { true } else { b == b'-' })
+                    })
+                    .count()
+                    == 1
             })
     };
     if one_hot('1') {
@@ -299,7 +303,11 @@ pub fn write(n: &Netlist) -> Result<String, NetlistError> {
     }
     let mut out = String::new();
     out.push_str(&format!(".model {}\n", n.name()));
-    let ins: Vec<&str> = n.inputs().iter().map(|&i| n.cell(i).name.as_str()).collect();
+    let ins: Vec<&str> = n
+        .inputs()
+        .iter()
+        .map(|&i| n.cell(i).name.as_str())
+        .collect();
     out.push_str(&format!(".inputs {}\n", ins.join(" ")));
     let outs: Vec<&str> = n
         .outputs()
@@ -314,8 +322,7 @@ pub fn write(n: &Netlist) -> Result<String, NetlistError> {
                 out.push_str(&format!(".latch {} {} re clk 0\n", d, c.name));
             }
             g if g.is_combinational() => {
-                let ins: Vec<&str> =
-                    c.fanin.iter().map(|&f| n.cell(f).name.as_str()).collect();
+                let ins: Vec<&str> = c.fanin.iter().map(|&f| n.cell(f).name.as_str()).collect();
                 out.push_str(&format!(".names {} {}\n", ins.join(" "), c.name));
                 out.push_str(&cover_for(g, c.fanin.len()));
             }

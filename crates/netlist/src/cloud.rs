@@ -211,14 +211,15 @@ impl CombCloud {
         }
 
         // Helper to resolve a fanin cell to its producing cloud node.
-        let resolve = |producer: &HashMap<CellId, NodeId>, f: CellId| -> Result<NodeId, NetlistError> {
-            producer.get(&f).copied().ok_or_else(|| {
-                NetlistError::Inconsistent(format!(
-                    "cell `{}` has no producing cloud node",
-                    n.cell(f).name
-                ))
-            })
-        };
+        let resolve =
+            |producer: &HashMap<CellId, NodeId>, f: CellId| -> Result<NodeId, NetlistError> {
+                producer.get(&f).copied().ok_or_else(|| {
+                    NetlistError::Inconsistent(format!(
+                        "cell `{}` has no producing cloud node",
+                        n.cell(f).name
+                    ))
+                })
+            };
 
         // Pass 2: sink nodes + edges.
         let mut sink_map: HashMap<CellId, NodeId> = HashMap::new();
@@ -382,12 +383,10 @@ impl CombCloud {
     /// Iterates over all directed edges.
     pub fn edges(&self) -> impl Iterator<Item = CloudEdge> + '_ {
         self.nodes.iter().enumerate().flat_map(|(i, nd)| {
-            nd.fanout
-                .iter()
-                .map(move |&v| CloudEdge {
-                    from: NodeId(i as u32),
-                    to: v,
-                })
+            nd.fanout.iter().map(move |&v| CloudEdge {
+                from: NodeId(i as u32),
+                to: v,
+            })
         })
     }
 

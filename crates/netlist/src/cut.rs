@@ -131,9 +131,10 @@ impl Cut {
             }
             minmax[v.index()] = acc;
         }
-        cloud.sinks().iter().all(|&t| {
-            matches!(minmax[t.index()], Some((1, 1)) | None)
-        })
+        cloud
+            .sinks()
+            .iter()
+            .all(|&t| matches!(minmax[t.index()], Some((1, 1)) | None))
     }
 
     /// Whether a slave latch sits on the given edge.
@@ -158,11 +159,7 @@ impl Cut {
         if node.is_source() && !self.moved[v.index()] {
             return true;
         }
-        self.moved[v.index()]
-            && node
-                .fanout
-                .iter()
-                .any(|&w| !self.moved[w.index()])
+        self.moved[v.index()] && node.fanout.iter().any(|&w| !self.moved[w.index()])
     }
 
     /// Number of slave latches under fanout sharing: one latch per node
@@ -217,7 +214,8 @@ impl Cut {
                 } => {
                     let mname = netlist.cell(mcell).name.clone();
                     let mname = mname.strip_suffix("__m").unwrap_or(&mname).to_string();
-                    let id = out.add_gate(format!("{mname}__m"), Gate::LatchMaster, &[CellId(0)])?;
+                    let id =
+                        out.add_gate(format!("{mname}__m"), Gate::LatchMaster, &[CellId(0)])?;
                     node_cell.insert(s, id);
                 }
                 _ => unreachable!("sources() returns sources"),
@@ -256,12 +254,8 @@ impl Cut {
         // 4. Resolve gate fanins.
         for &v in cloud.topo() {
             if let NodeKind::Gate { .. } = cloud.node(v).kind {
-                let fanin: Vec<CellId> = cloud
-                    .node(v)
-                    .fanin
-                    .iter()
-                    .map(|&u| reader(u, v))
-                    .collect();
+                let fanin: Vec<CellId> =
+                    cloud.node(v).fanin.iter().map(|&u| reader(u, v)).collect();
                 out.set_fanin_internal(node_cell[&v], fanin);
             }
         }

@@ -369,9 +369,7 @@ impl Netlist {
                             Gate::LatchMaster,
                             Vec::new(),
                         ))
-                        .map_err(|_| {
-                            NetlistError::DuplicateName(format!("{}__m", c.name))
-                        })?;
+                        .map_err(|_| NetlistError::DuplicateName(format!("{}__m", c.name)))?;
                     let s = out.insert(Cell::new(c.name.clone(), Gate::LatchSlave, vec![m]))?;
                     id_map.push(s);
                 }

@@ -149,10 +149,7 @@ fn lib_name(g: retime_netlist::Gate) -> &'static str {
 
 /// Area of the original flop-based design (Table I's `Area` column):
 /// combinational area plus one flip-flop per state element.
-pub fn flop_design_area(
-    cloud: &CombCloud,
-    model: &AreaModel<'_>,
-) -> Result<f64, RetimeError> {
+pub fn flop_design_area(cloud: &CombCloud, model: &AreaModel<'_>) -> Result<f64, RetimeError> {
     let comb = model.combinational(cloud)?;
     let flops = cloud
         .sinks()

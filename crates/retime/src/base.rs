@@ -1,9 +1,11 @@
 //! The **base retiming** flow: resiliency-unaware min-area retiming
 //! followed by arrival-based EDL assignment (the paper's baseline,
-//! Section VI-D).
+//! Section VI-D). Runs as a `Sta → Solve → Commit` pipeline on the
+//! shared [`retime_engine`] flow-engine layer.
 
 use std::time::{Duration, Instant};
 
+use retime_engine::{FlowContext, PhaseTimings, Pipeline, Stage};
 use retime_liberty::{EdlOverhead, Library};
 use retime_netlist::{CombCloud, Cut};
 use retime_sta::{CutTiming, DelayModel, TimingAnalysis, TwoPhaseClock};
@@ -11,7 +13,7 @@ use retime_sta::{CutTiming, DelayModel, TimingAnalysis, TwoPhaseClock};
 use crate::area::{AreaModel, SeqBreakdown};
 use crate::error::RetimeError;
 use crate::legalize::{legalize, LegalizeReport};
-use crate::problem::{RetimingProblem, SolverEngine};
+use crate::problem::{RetimingProblem, RetimingSolution, SolverEngine};
 use crate::regions::Regions;
 
 /// Run-time bookkeeping of a retiming flow.
@@ -49,6 +51,9 @@ pub struct RetimeOutcome {
     pub final_delays: retime_sta::NodeDelays,
     /// Run-time bookkeeping.
     pub stats: RunStats,
+    /// Uniform per-stage instrumentation, filled in by the flow's
+    /// pipeline run (every flow reports the same Table VII breakdown).
+    pub phases: PhaseTimings,
 }
 
 impl RetimeOutcome {
@@ -86,6 +91,7 @@ impl RetimeOutcome {
                 elapsed: started.elapsed(),
                 solver,
             },
+            phases: PhaseTimings::new(),
         })
     }
 }
@@ -119,15 +125,57 @@ pub fn base_retime_with(
     engine: SolverEngine,
 ) -> Result<RetimeOutcome, RetimeError> {
     let started = Instant::now();
-    let mut sta = TimingAnalysis::new(cloud, lib, clock, model)?;
-    let regions = Regions::compute(&sta)?;
-    let mut problem = RetimingProblem::build(cloud, &regions);
-    // The baseline models the built-in retiming command of a commercial
-    // tool: conservative, incremental movement.
-    problem.set_movement_penalty(crate::problem::COMMERCIAL_MOVEMENT_PENALTY);
-    let sol = problem.solve(engine)?;
-    let area_model = AreaModel::new(lib, c);
-    RetimeOutcome::assemble(&mut sta, &area_model, sol.cut, sol.solver_time, started)
+
+    #[derive(Default)]
+    struct BaseState<'a> {
+        sta: Option<TimingAnalysis<'a>>,
+        problem: Option<RetimingProblem>,
+        sol: Option<RetimingSolution>,
+        outcome: Option<RetimeOutcome>,
+    }
+
+    let mut ctx = FlowContext::new(BaseState::default());
+    Pipeline::<FlowContext<BaseState<'_>>, RetimeError>::new()
+        .stage(Stage::Sta, |ctx| {
+            let sta = TimingAnalysis::new(cloud, lib, clock, model)?;
+            let regions = Regions::compute(&sta)?;
+            let mut problem = RetimingProblem::build(cloud, &regions);
+            // The baseline models the built-in retiming command of a
+            // commercial tool: conservative, incremental movement.
+            problem.set_movement_penalty(crate::problem::COMMERCIAL_MOVEMENT_PENALTY);
+            ctx.data.sta = Some(sta);
+            ctx.data.problem = Some(problem);
+            Ok(())
+        })
+        .stage(Stage::Solve, |ctx| {
+            let sol = ctx
+                .data
+                .problem
+                .as_ref()
+                .expect("sta stage ran")
+                .solve(engine)?;
+            ctx.data.sol = Some(sol);
+            Ok(())
+        })
+        .stage(Stage::Commit, |ctx| {
+            let sta = ctx.data.sta.as_mut().expect("sta stage ran");
+            let sol = ctx.data.sol.take().expect("solve stage ran");
+            let area_model = AreaModel::new(lib, c);
+            ctx.data.outcome = Some(RetimeOutcome::assemble(
+                sta,
+                &area_model,
+                sol.cut,
+                sol.solver_time,
+                started,
+            )?);
+            Ok(())
+        })
+        .run(&mut ctx)?;
+
+    let (state, timings) = ctx.into_parts();
+    let mut outcome = state.outcome.expect("commit stage ran");
+    outcome.phases = timings;
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -209,6 +257,25 @@ z = BUFF(g4)
         // and the books balance.
         let expect_total = out.comb_area + out.seq.total();
         assert!((out.total_area - expect_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn base_flow_reports_uniform_phase_timings() {
+        let cloud = pipeline();
+        let lib = Library::fdsoi28();
+        let out = base_retime(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(50.0),
+            DelayModel::PathBased,
+            EdlOverhead::MEDIUM,
+        )
+        .unwrap();
+        assert!(out.phases.total() > Duration::ZERO);
+        // The base flow runs no classify/seed/swap stages.
+        assert_eq!(out.phases.get(Stage::Classify), Duration::ZERO);
+        assert_eq!(out.phases.get(Stage::Seed), Duration::ZERO);
+        assert_eq!(out.phases.get(Stage::Swap), Duration::ZERO);
     }
 
     #[test]

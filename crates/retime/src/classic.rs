@@ -50,7 +50,10 @@ impl ClassicGraph {
     /// # Errors
     /// Returns [`NetlistError::WrongSequentialStyle`] for latch-style
     /// netlists and propagates validation failures.
-    pub fn extract(n: &Netlist, delay_of: impl Fn(&Netlist, CellId) -> f64) -> Result<ClassicGraph, NetlistError> {
+    pub fn extract(
+        n: &Netlist,
+        delay_of: impl Fn(&Netlist, CellId) -> f64,
+    ) -> Result<ClassicGraph, NetlistError> {
         n.validate()?;
         if !n.masters().is_empty() || !n.slaves().is_empty() {
             return Err(NetlistError::WrongSequentialStyle(
@@ -268,8 +271,7 @@ impl ClassicGraph {
                     new_of.insert(id, out.add_input(c.name.clone()));
                 }
                 g if g.is_combinational() => {
-                    let nid =
-                        out.add_gate(c.name.clone(), g, &vec![CellId(0); c.fanin.len()])?;
+                    let nid = out.add_gate(c.name.clone(), g, &vec![CellId(0); c.fanin.len()])?;
                     new_of.insert(id, nid);
                 }
                 _ => {}
@@ -445,10 +447,7 @@ g4 = NOT(g3)
         let applied = g.apply(&n, &vec![0; g.len()]).unwrap();
         assert_eq!(applied.stats().dffs, n.stats().dffs);
         let g2 = ClassicGraph::extract(&applied, unit_delay).unwrap();
-        assert_eq!(
-            g2.period(&vec![0; g2.len()]),
-            g.period(&vec![0; g.len()])
-        );
+        assert_eq!(g2.period(&vec![0; g2.len()]), g.period(&vec![0; g.len()]));
     }
 
     #[test]

@@ -138,11 +138,7 @@ mod tests {
 
     #[test]
     fn clean_placement_is_noop() {
-        let n = bench::parse(
-            "c",
-            "INPUT(a)\nOUTPUT(z)\ng = NOT(a)\nz = BUFF(g)\n",
-        )
-        .unwrap();
+        let n = bench::parse("c", "INPUT(a)\nOUTPUT(z)\ng = NOT(a)\nz = BUFF(g)\n").unwrap();
         let cloud = CombCloud::extract(&n).unwrap();
         let lib = Library::fdsoi28();
         let mut sta = TimingAnalysis::new(
@@ -214,11 +210,7 @@ mod tests {
 
     #[test]
     fn impossible_violation_reported() {
-        let n = bench::parse(
-            "i",
-            "INPUT(a)\nOUTPUT(z)\ng1 = NOT(a)\nz = BUFF(g1)\n",
-        )
-        .unwrap();
+        let n = bench::parse("i", "INPUT(a)\nOUTPUT(z)\ng1 = NOT(a)\nz = BUFF(g1)\n").unwrap();
         let cloud = CombCloud::extract(&n).unwrap();
         let lib = Library::fdsoi28();
         let mut sta = TimingAnalysis::new(

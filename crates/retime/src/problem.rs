@@ -99,9 +99,8 @@ impl RetimingProblem {
         let n = cloud.len();
         assert_eq!(regions.len(), n, "regions must cover the cloud");
         let mut kinds: Vec<FlowNodeKind> = vec![FlowNodeKind::Cloud; n];
-        let mut bounds: Vec<(i64, i64)> = (0..n)
-            .map(|i| regions.bounds(NodeId(i as u32)))
-            .collect();
+        let mut bounds: Vec<(i64, i64)> =
+            (0..n).map(|i| regions.bounds(NodeId(i as u32))).collect();
         let host = kinds.len();
         kinds.push(FlowNodeKind::Host);
         bounds.push((0, 0));
@@ -190,7 +189,10 @@ impl RetimingProblem {
     /// # Panics
     /// Panics if `gates` is empty or contains an out-of-range node.
     pub fn add_pseudo_target(&mut self, gates: &[NodeId], c_scaled: i64) -> usize {
-        assert!(!gates.is_empty(), "g(t) must be non-empty for a pseudo node");
+        assert!(
+            !gates.is_empty(),
+            "g(t) must be non-empty for a pseudo node"
+        );
         assert!(c_scaled >= 0, "EDL overhead must be non-negative");
         let p = self.kinds.len();
         self.kinds.push(FlowNodeKind::Pseudo {
@@ -364,9 +366,9 @@ impl RetimingProblem {
             }
         }
         let (_w, members) = cl.solve().map_err(|e| match e {
-            FlowError::Infeasible => RetimeError::Internal(
-                "closure infeasible despite consistent regions".into(),
-            ),
+            FlowError::Infeasible => {
+                RetimeError::Internal("closure infeasible despite consistent regions".into())
+            }
             other => RetimeError::Flow(other),
         })?;
         Ok(members.iter().map(|&m| if m { -1 } else { 0 }).collect())
@@ -426,10 +428,7 @@ impl RetimingProblem {
         use std::fmt::Write;
         let label = |v: usize| -> String {
             match &self.kinds[v] {
-                FlowNodeKind::Cloud => names
-                    .get(v)
-                    .cloned()
-                    .unwrap_or_else(|| format!("n{v}")),
+                FlowNodeKind::Cloud => names.get(v).cloned().unwrap_or_else(|| format!("n{v}")),
                 FlowNodeKind::Host => "h".to_string(),
                 FlowNodeKind::Mirror { of } => format!(
                     "m_{}",
@@ -484,10 +483,7 @@ impl RetimingProblem {
 
     /// Builds the [`Cut`] corresponding to a solution's cloud prefix.
     pub fn cut_from(&self, cloud: &CombCloud, r: &[i64]) -> Cut {
-        Cut::from_moved(
-            cloud,
-            (0..self.n_cloud).map(|v| r[v] == -1).collect(),
-        )
+        Cut::from_moved(cloud, (0..self.n_cloud).map(|v| r[v] == -1).collect())
     }
 }
 
@@ -654,7 +650,10 @@ w = BUFF(b)
         assert!(dot.contains("label=\"h\""), "host node rendered");
         assert!(dot.contains("color=red"), "pseudo extension highlighted");
         assert!(dot.contains("β=1.00"), "unit breadth rendered");
-        assert!(dot.contains("β=-1.00"), "negative (EDL-saving) breadth rendered");
+        assert!(
+            dot.contains("β=-1.00"),
+            "negative (EDL-saving) breadth rendered"
+        );
         assert!(dot.ends_with("}\n"));
     }
 

@@ -216,14 +216,20 @@ mod tests {
         let cloud = chain(8);
         let lib = Library::fdsoi28();
         let clock = TwoPhaseClock::from_max_delay(100.0);
-        let delays =
-            NodeDelays::from_library(&cloud, &lib, DelayModel::PathBased).unwrap();
+        let delays = NodeDelays::from_library(&cloud, &lib, DelayModel::PathBased).unwrap();
         let cut = Cut::initial(&cloud);
         let ed = vec![false; cloud.sinks().len()];
-        let rep = error_rate(&cloud, &delays, &clock, &cut, &ed, &ErrorRateConfig {
-            cycles: 200,
-            seed: 1,
-        });
+        let rep = error_rate(
+            &cloud,
+            &delays,
+            &clock,
+            &cut,
+            &ed,
+            &ErrorRateConfig {
+                cycles: 200,
+                seed: 1,
+            },
+        );
         assert_eq!(rep.error_cycles, 0);
         assert_eq!(rep.silent_hazard_cycles, 0);
         assert_eq!(rep.rate_percent(), 0.0);
@@ -259,13 +265,19 @@ mod tests {
         let lib = Library::fdsoi28();
         let clock = window_hitting_clock(&cloud, &lib);
         let cut = Cut::initial(&cloud);
-        let delays =
-            NodeDelays::from_library(&cloud, &lib, DelayModel::PathBased).unwrap();
+        let delays = NodeDelays::from_library(&cloud, &lib, DelayModel::PathBased).unwrap();
         let ed = vec![true; cloud.sinks().len()];
-        let rep = error_rate(&cloud, &delays, &clock, &cut, &ed, &ErrorRateConfig {
-            cycles: 500,
-            seed: 42,
-        });
+        let rep = error_rate(
+            &cloud,
+            &delays,
+            &clock,
+            &cut,
+            &ed,
+            &ErrorRateConfig {
+                cycles: 500,
+                seed: 42,
+            },
+        );
         assert!(
             rep.error_cycles > 0,
             "deep-path toggles must land in the window"
@@ -280,13 +292,19 @@ mod tests {
         let lib = Library::fdsoi28();
         let clock = window_hitting_clock(&cloud, &lib);
         let cut = Cut::initial(&cloud);
-        let delays =
-            NodeDelays::from_library(&cloud, &lib, DelayModel::PathBased).unwrap();
+        let delays = NodeDelays::from_library(&cloud, &lib, DelayModel::PathBased).unwrap();
         let ed = vec![false; cloud.sinks().len()];
-        let rep = error_rate(&cloud, &delays, &clock, &cut, &ed, &ErrorRateConfig {
-            cycles: 500,
-            seed: 42,
-        });
+        let rep = error_rate(
+            &cloud,
+            &delays,
+            &clock,
+            &cut,
+            &ed,
+            &ErrorRateConfig {
+                cycles: 500,
+                seed: 42,
+            },
+        );
         assert_eq!(rep.error_cycles, 0);
         assert!(rep.silent_hazard_cycles > 0);
     }
@@ -296,8 +314,7 @@ mod tests {
         let cloud = chain(10);
         let lib = Library::fdsoi28();
         let clock = TwoPhaseClock::from_max_delay(0.3);
-        let delays =
-            NodeDelays::from_library(&cloud, &lib, DelayModel::PathBased).unwrap();
+        let delays = NodeDelays::from_library(&cloud, &lib, DelayModel::PathBased).unwrap();
         let cut = Cut::initial(&cloud);
         let ed = vec![true; cloud.sinks().len()];
         let cfg = ErrorRateConfig {

@@ -90,11 +90,8 @@ impl<'n> Simulator<'n> {
                     self.values[id.index()] = self.values[cell.fanin[0].index()];
                 }
                 _ => {
-                    let ins: Vec<bool> = cell
-                        .fanin
-                        .iter()
-                        .map(|&f| self.values[f.index()])
-                        .collect();
+                    let ins: Vec<bool> =
+                        cell.fanin.iter().map(|&f| self.values[f.index()]).collect();
                     self.values[id.index()] = cell.gate.eval(&ins);
                 }
             }
@@ -117,8 +114,7 @@ impl<'n> Simulator<'n> {
 /// Kahn ordering where only inputs, flip-flops, and master latches are
 /// sources (slave latches order after their fanin).
 fn eval_order(n: &Netlist) -> Result<Vec<CellId>, NetlistError> {
-    let is_source =
-        |g: Gate| matches!(g, Gate::Input | Gate::Dff | Gate::LatchMaster);
+    let is_source = |g: Gate| matches!(g, Gate::Input | Gate::Dff | Gate::LatchMaster);
     let len = n.len();
     let mut indeg = vec![0usize; len];
     for (vi, v) in n.cells().iter().enumerate() {

@@ -146,6 +146,18 @@ impl<'a> TimingAnalysis<'a> {
         BackwardPass::run(self.cloud, &self.delays, t)
     }
 
+    /// Batch form of [`TimingAnalysis::backward`]: runs the backward pass
+    /// for every target, fanned out across `threads` workers (`0` = auto,
+    /// honoring `RETIME_THREADS`). The passes are independent — this
+    /// method takes `&self` — and the result vector is index-aligned with
+    /// `targets`, so parallel and sequential runs are bit-identical.
+    ///
+    /// # Panics
+    /// Panics if any target is not a sink.
+    pub fn backward_many(&self, targets: &[NodeId], threads: usize) -> Vec<BackwardPass> {
+        retime_engine::parallel_map(threads, targets, |&t| self.backward(t))
+    }
+
     /// The arrival-time model of Eq. (5): worst arrival at the sink of
     /// `bp` when a slave latch sits on edge `(u, v)`:
     ///

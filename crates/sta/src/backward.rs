@@ -64,11 +64,8 @@ impl BackwardPass {
                 in_cone[v.index()] = true;
                 from_output[v.index()] = Some(fo);
                 if node.is_gate() {
-                    through[v.index()] = Some(backward_through_gate(
-                        fo,
-                        delays.arc(v),
-                        delays.sense(v),
-                    ));
+                    through[v.index()] =
+                        Some(backward_through_gate(fo, delays.arc(v), delays.sense(v)));
                 }
             }
         }
@@ -266,7 +263,7 @@ z = BUFF(a)
             .iter()
             .map(|&t| BackwardPass::run(&cloud, &delays, t))
             .collect();
-        for i in 0..cloud.len() {
+        for (i, best) in all.iter().enumerate() {
             let v = NodeId(i as u32);
             if cloud.node(v).is_sink() {
                 continue;
@@ -275,7 +272,7 @@ z = BUFF(a)
                 .iter()
                 .filter_map(|p| p.db(v))
                 .fold(f64::NEG_INFINITY, f64::max);
-            match all[i] {
+            match best {
                 Some(arc) => assert!((arc.max() - expect).abs() < 1e-9),
                 None => assert_eq!(expect, f64::NEG_INFINITY),
             }

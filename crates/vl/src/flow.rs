@@ -1,12 +1,18 @@
-//! The EVL/NVL/RVL virtual-library retiming flows.
+//! The EVL/NVL/RVL virtual-library retiming flows, running as a
+//! `Sta → Seed → Classify → Solve → Commit → Swap` pipeline on the shared
+//! [`retime_engine`] flow-engine layer. The classification of non-ED-typed
+//! masters fans out across worker threads
+//! ([`classify_many`](retime_core::classify_many)).
 
 use std::time::Instant;
 
-use retime_core::classify_and_cut_set;
+use retime_core::classify_many;
+use retime_engine::{FlowContext, Pipeline, Stage};
 use retime_liberty::{EdlOverhead, Library};
 use retime_netlist::{CombCloud, NodeId, NodeKind};
 use retime_retime::{
-    AreaModel, Region, Regions, RetimeError, RetimeOutcome, RetimingProblem, SolverEngine,
+    AreaModel, Region, Regions, RetimeError, RetimeOutcome, RetimingProblem, RetimingSolution,
+    SolverEngine,
 };
 use retime_sta::{DelayModel, SinkClass, TimingAnalysis, TwoPhaseClock};
 
@@ -47,11 +53,15 @@ pub struct VlConfig {
     pub post_swap: bool,
     /// Solver engine for the tool's min-area retiming.
     pub engine: SolverEngine,
+    /// Worker threads for the classification fan-out: `0` = auto
+    /// (`RETIME_THREADS` or the machine's parallelism), `1` = the
+    /// sequential reference path.
+    pub threads: usize,
 }
 
 impl VlConfig {
     /// Default configuration for a variant: path-based timing, post-swap
-    /// on.
+    /// on, automatic thread count.
     pub fn new(variant: VlVariant, overhead: EdlOverhead) -> VlConfig {
         VlConfig {
             variant,
@@ -59,12 +69,20 @@ impl VlConfig {
             model: DelayModel::PathBased,
             post_swap: true,
             engine: SolverEngine::MinCostFlow,
+            threads: 0,
         }
     }
 
     /// Disables the post-retiming swap step.
     pub fn without_post_swap(mut self) -> VlConfig {
         self.post_swap = false;
+        self
+    }
+
+    /// Pins the classification fan-out width (`1` forces the sequential
+    /// path; `0` restores auto).
+    pub fn with_threads(mut self, threads: usize) -> VlConfig {
+        self.threads = threads;
         self
     }
 }
@@ -86,6 +104,26 @@ pub struct VlReport {
     pub failed_targets: usize,
     /// Masters whose type the post-swap step changed.
     pub swapped: usize,
+    /// Uniform per-stage instrumentation (shared with the base and G-RAR
+    /// flows; also available as `outcome.phases`).
+    pub phases: retime_engine::PhaseTimings,
+}
+
+#[derive(Default)]
+struct VlState<'a> {
+    sta: Option<TimingAnalysis<'a>>,
+    base_regions: Option<Regions>,
+    regions: Option<Regions>,
+    /// `(sink idx, sink node, typed error-detecting)` per master-backed
+    /// sink.
+    typed: Vec<(usize, NodeId, bool)>,
+    typed_ed: usize,
+    frozen_nodes: usize,
+    forced_targets: usize,
+    failed_targets: usize,
+    sol: Option<RetimingSolution>,
+    outcome: Option<RetimeOutcome>,
+    swapped: usize,
 }
 
 /// Runs the virtual-library flow.
@@ -99,131 +137,182 @@ pub fn vl_retime(
     cfg: &VlConfig,
 ) -> Result<VlReport, RetimeError> {
     let started = Instant::now();
-    let mut sta = TimingAnalysis::new(cloud, lib, clock, cfg.model)?;
-    let base_regions = Regions::compute(&sta)?;
-    let mut regions = base_regions.clone();
     let pi = clock.period();
+    let mut ctx = FlowContext::new(VlState::default());
 
-    // 1. Initial typing per master-backed sink.
-    let master_sinks: Vec<(usize, NodeId)> = cloud
-        .sinks()
-        .iter()
-        .enumerate()
-        .filter(|&(_, &t)| matches!(cloud.node(t).kind, NodeKind::Sink { master: Some(_) }))
-        .map(|(i, &t)| (i, t))
-        .collect();
-    // Near-criticality for RVL typing follows the paper's Table I
-    // definition: arrival with the *initial* slave placement past Π.
-    let initial_timing = sta.cut_timing(&retime_netlist::Cut::initial(cloud));
-    let typed: Vec<(usize, NodeId, bool)> = master_sinks
-        .iter()
-        .map(|&(i, t)| {
-            let ed = match cfg.variant {
-                VlVariant::Evl => true,
-                VlVariant::Nvl => false,
-                VlVariant::Rvl => initial_timing.sink_arrivals[i] > pi + 1e-9,
-            };
-            (i, t, ed)
+    Pipeline::<FlowContext<VlState<'_>>, RetimeError>::new()
+        .stage(Stage::Sta, |ctx| {
+            let sta = TimingAnalysis::new(cloud, lib, clock, cfg.model)?;
+            let base_regions = Regions::compute(&sta)?;
+            ctx.data.regions = Some(base_regions.clone());
+            ctx.data.base_regions = Some(base_regions);
+            ctx.data.sta = Some(sta);
+            Ok(())
         })
-        .collect();
-    let typed_ed = typed.iter().filter(|&&(_, _, ed)| ed).count();
+        .stage(Stage::Seed, |ctx| {
+            let state = &mut ctx.data;
+            let sta = state.sta.as_ref().expect("sta stage ran");
+            let base_regions = state.base_regions.as_ref().expect("sta stage ran");
+            let regions = state.regions.as_mut().expect("sta stage ran");
 
-    // 2. Freeze the fan-in cones of typed-ED stages (the tool's
-    //    conservative "timing met, don't touch" behavior) — except nodes
-    //    the legality region forces to move.
-    let mut frozen = vec![false; cloud.len()];
-    for &(_, t, ed) in &typed {
-        if ed {
-            for v in cloud.fanin_cone(t) {
-                frozen[v.index()] = true;
+            // 1. Initial typing per master-backed sink. Near-criticality
+            //    for RVL typing follows the paper's Table I definition:
+            //    arrival with the *initial* slave placement past Π.
+            let initial_timing = sta.cut_timing(&retime_netlist::Cut::initial(cloud));
+            state.typed = cloud
+                .sinks()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| matches!(cloud.node(t).kind, NodeKind::Sink { master: Some(_) }))
+                .map(|(i, &t)| {
+                    let ed = match cfg.variant {
+                        VlVariant::Evl => true,
+                        VlVariant::Nvl => false,
+                        VlVariant::Rvl => initial_timing.sink_arrivals[i] > pi + 1e-9,
+                    };
+                    (i, t, ed)
+                })
+                .collect();
+            state.typed_ed = state.typed.iter().filter(|&&(_, _, ed)| ed).count();
+
+            // 2. Freeze the fan-in cones of typed-ED stages (the tool's
+            //    conservative "timing met, don't touch" behavior) — except
+            //    nodes the legality region forces to move.
+            let mut frozen = vec![false; cloud.len()];
+            for &(_, t, ed) in &state.typed {
+                if ed {
+                    for v in cloud.fanin_cone(t) {
+                        frozen[v.index()] = true;
+                    }
+                }
             }
-        }
-    }
-    let mut frozen_nodes = 0;
-    for (i, &f) in frozen.iter().enumerate() {
-        let v = NodeId(i as u32);
-        if f && base_regions.of(v) == Region::Free {
-            regions.set(v, Region::Forbidden);
-            frozen_nodes += 1;
-        }
-    }
-
-    // 3. For non-ED-typed masters that violate the tightened setup, force
-    //    the slaves past the frontier g(t) where feasible.
-    let mut forced_targets = 0;
-    let mut failed_targets = 0;
-    for &(_, t, ed) in &typed {
-        if ed {
-            continue;
-        }
-        let bp = sta.backward(t);
-        match classify_and_cut_set(&sta, &bp) {
-            (SinkClass::NeverErrorDetecting, _) => {}
-            (SinkClass::AlwaysErrorDetecting, _) => failed_targets += 1,
-            (SinkClass::Target, g) => {
-                // The closure of g(t) must avoid (originally) forbidden
-                // nodes, or the move is illegal and the tool gives up.
-                let mut closure: Vec<NodeId> = Vec::new();
-                let mut ok = true;
-                'outer: for &gv in &g {
-                    for u in cloud.fanin_cone(gv) {
-                        if base_regions.of(u) == Region::Forbidden {
-                            ok = false;
-                            break 'outer;
+            for (i, &f) in frozen.iter().enumerate() {
+                let v = NodeId(i as u32);
+                if f && base_regions.of(v) == Region::Free {
+                    regions.set(v, Region::Forbidden);
+                    state.frozen_nodes += 1;
+                }
+            }
+            ctx.timings.count("typed_ed", ctx.data.typed_ed as u64);
+            ctx.timings.count("frozen", ctx.data.frozen_nodes as u64);
+            Ok(())
+        })
+        .stage(Stage::Classify, |ctx| {
+            // 3. For non-ED-typed masters that violate the tightened
+            //    setup, force the slaves past the frontier g(t) where
+            //    feasible. The per-target backward passes and cut-sets
+            //    compute in parallel; the region mutations then apply
+            //    sequentially in sink order, identical to the sequential
+            //    path.
+            let state = &mut ctx.data;
+            let sta = state.sta.as_ref().expect("sta stage ran");
+            let base_regions = state.base_regions.as_ref().expect("sta stage ran");
+            let regions = state.regions.as_mut().expect("sta stage ran");
+            let non_ed: Vec<NodeId> = state
+                .typed
+                .iter()
+                .filter(|&&(_, _, ed)| !ed)
+                .map(|&(_, t, _)| t)
+                .collect();
+            let classified = classify_many(sta, &non_ed, cfg.threads);
+            for (class, g) in classified {
+                match class {
+                    SinkClass::NeverErrorDetecting => {}
+                    SinkClass::AlwaysErrorDetecting => state.failed_targets += 1,
+                    SinkClass::Target => {
+                        // The closure of g(t) must avoid (originally)
+                        // forbidden nodes, or the move is illegal and the
+                        // tool gives up.
+                        let mut closure: Vec<NodeId> = Vec::new();
+                        let mut ok = true;
+                        'outer: for &gv in &g {
+                            for u in cloud.fanin_cone(gv) {
+                                if base_regions.of(u) == Region::Forbidden {
+                                    ok = false;
+                                    break 'outer;
+                                }
+                                closure.push(u);
+                            }
                         }
-                        closure.push(u);
+                        if ok {
+                            for u in closure {
+                                regions.set(u, Region::Mandatory);
+                            }
+                            state.forced_targets += 1;
+                        } else {
+                            state.failed_targets += 1;
+                        }
                     }
                 }
-                if ok {
-                    for u in closure {
-                        regions.set(u, Region::Mandatory);
+            }
+            ctx.timings.count("forced", ctx.data.forced_targets as u64);
+            ctx.timings.count("failed", ctx.data.failed_targets as u64);
+            Ok(())
+        })
+        .stage(Stage::Solve, |ctx| {
+            // 4. The tool's min-area retiming under those constraints (no
+            //    EDL coupling in the objective — that is G-RAR's edge),
+            //    with the conservative movement cost of a commercial
+            //    retimer.
+            let regions = ctx.data.regions.as_ref().expect("sta stage ran");
+            let mut problem = RetimingProblem::build(cloud, regions);
+            problem.set_movement_penalty(retime_retime::COMMERCIAL_MOVEMENT_PENALTY);
+            ctx.data.sol = Some(problem.solve(cfg.engine)?);
+            Ok(())
+        })
+        .stage(Stage::Commit, |ctx| {
+            // 5. Assemble; `assemble` types EDL by actual arrival.
+            let state = &mut ctx.data;
+            let sol = state.sol.take().expect("solve stage ran");
+            let area_model = AreaModel::new(lib, cfg.overhead);
+            let sta = state.sta.as_mut().expect("sta stage ran");
+            state.outcome = Some(RetimeOutcome::assemble(
+                sta,
+                &area_model,
+                sol.cut,
+                sol.solver_time,
+                started,
+            )?);
+            Ok(())
+        })
+        .stage(Stage::Swap, |ctx| {
+            let state = &mut ctx.data;
+            let outcome = state.outcome.as_mut().expect("commit stage ran");
+            if cfg.post_swap {
+                // `assemble` already types by arrival; count differences
+                // from the initial typing.
+                for &(i, _, ed) in &state.typed {
+                    if outcome.ed_sinks[i] != ed {
+                        state.swapped += 1;
                     }
-                    forced_targets += 1;
-                } else {
-                    failed_targets += 1;
                 }
+            } else {
+                // Keep the initial typing (violations and waste included).
+                let area_model = AreaModel::new(lib, cfg.overhead);
+                let mut ed_sinks = vec![false; cloud.sinks().len()];
+                for &(i, _, ed) in &state.typed {
+                    ed_sinks[i] = ed;
+                }
+                outcome.seq = area_model.sequential(cloud, &outcome.cut, &ed_sinks);
+                outcome.ed_sinks = ed_sinks;
+                outcome.total_area = outcome.comb_area + outcome.seq.total();
             }
-        }
-    }
+            ctx.timings.count("swapped", ctx.data.swapped as u64);
+            Ok(())
+        })
+        .run(&mut ctx)?;
 
-    // 4. The tool's min-area retiming under those constraints (no EDL
-    //    coupling in the objective — that is G-RAR's edge), with the
-    //    conservative movement cost of a commercial retimer.
-    let mut problem = RetimingProblem::build(cloud, &regions);
-    problem.set_movement_penalty(retime_retime::COMMERCIAL_MOVEMENT_PENALTY);
-    let sol = problem.solve(cfg.engine)?;
-
-    // 5. Assemble; with post-swap, EDL is re-typed by actual arrival.
-    let area_model = AreaModel::new(lib, cfg.overhead);
-    let mut outcome =
-        RetimeOutcome::assemble(&mut sta, &area_model, sol.cut, sol.solver_time, started)?;
-    let mut swapped = 0;
-    if cfg.post_swap {
-        // `assemble` already types by arrival; count differences from the
-        // initial typing.
-        for &(i, _, ed) in &typed {
-            if outcome.ed_sinks[i] != ed {
-                swapped += 1;
-            }
-        }
-    } else {
-        // Keep the initial typing (violations and waste included).
-        let mut ed_sinks = vec![false; cloud.sinks().len()];
-        for &(i, _, ed) in &typed {
-            ed_sinks[i] = ed;
-        }
-        outcome.seq = area_model.sequential(cloud, &outcome.cut, &ed_sinks);
-        outcome.ed_sinks = ed_sinks;
-        outcome.total_area = outcome.comb_area + outcome.seq.total();
-    }
-
+    let (state, timings) = ctx.into_parts();
+    let mut outcome = state.outcome.expect("commit stage ran");
+    outcome.phases = timings.clone();
     Ok(VlReport {
         outcome,
-        typed_ed,
-        frozen_nodes,
-        forced_targets,
-        failed_targets,
-        swapped,
+        typed_ed: state.typed_ed,
+        frozen_nodes: state.frozen_nodes,
+        forced_targets: state.forced_targets,
+        failed_targets: state.failed_targets,
+        swapped: state.swapped,
+        phases: timings,
     })
 }
 
@@ -401,6 +490,42 @@ mod tests {
     }
 
     #[test]
+    fn vl_flow_reports_uniform_phase_timings() {
+        let cloud = testbench();
+        let lib = Library::fdsoi28();
+        let clock = clock_for(&cloud, &lib, 1.1);
+        let rep = vl_retime(
+            &cloud,
+            &lib,
+            clock,
+            &VlConfig::new(VlVariant::Rvl, EdlOverhead::MEDIUM),
+        )
+        .unwrap();
+        assert!(rep.phases.total() > std::time::Duration::ZERO);
+        assert_eq!(rep.phases, rep.outcome.phases);
+        assert_eq!(rep.phases.counter("typed_ed"), rep.typed_ed as u64);
+        assert_eq!(rep.phases.counter("forced"), rep.forced_targets as u64);
+    }
+
+    #[test]
+    fn parallel_classify_matches_sequential_vl_run() {
+        let cloud = testbench();
+        let lib = Library::fdsoi28();
+        let clock = clock_for(&cloud, &lib, 1.1);
+        for variant in [VlVariant::Evl, VlVariant::Nvl, VlVariant::Rvl] {
+            let cfg = VlConfig::new(variant, EdlOverhead::MEDIUM);
+            let seq = vl_retime(&cloud, &lib, clock, &cfg.with_threads(1)).unwrap();
+            let par = vl_retime(&cloud, &lib, clock, &cfg.with_threads(4)).unwrap();
+            assert_eq!(seq.typed_ed, par.typed_ed);
+            assert_eq!(seq.forced_targets, par.forced_targets);
+            assert_eq!(seq.failed_targets, par.failed_targets);
+            assert_eq!(seq.outcome.cut, par.outcome.cut);
+            assert_eq!(seq.outcome.ed_sinks, par.outcome.ed_sinks);
+            assert!((seq.outcome.total_area - par.outcome.total_area).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn grar_beats_rvl_or_ties() {
         // Section VI-D: G-RAR outperforms RVL-RAR on sequential cost.
         let cloud = testbench();
@@ -408,8 +533,8 @@ mod tests {
         let clock = clock_for(&cloud, &lib, 1.1);
         for c in EdlOverhead::SWEEP {
             let rvl = vl_retime(&cloud, &lib, clock, &VlConfig::new(VlVariant::Rvl, c)).unwrap();
-            let g = retime_core::grar(&cloud, &lib, clock, &retime_core::GrarConfig::new(c))
-                .unwrap();
+            let g =
+                retime_core::grar(&cloud, &lib, clock, &retime_core::GrarConfig::new(c)).unwrap();
             assert!(
                 g.outcome.seq.total() <= rvl.outcome.seq.total() + 1e-9,
                 "G-RAR must not lose to RVL at {c}"

@@ -22,10 +22,7 @@ use retime_netlist::{CellId, Gate, Netlist, NetlistError};
 ///
 /// # Errors
 /// Propagates netlist reconstruction errors.
-pub fn forward_merge_pass(
-    n: &Netlist,
-    max_moves: usize,
-) -> Result<(Netlist, usize), NetlistError> {
+pub fn forward_merge_pass(n: &Netlist, max_moves: usize) -> Result<(Netlist, usize), NetlistError> {
     let mut current = n.clone();
     let mut moves = 0;
     while moves < max_moves {

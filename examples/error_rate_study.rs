@@ -34,10 +34,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("c     flow    EDL#   error-rate   silent-hazard-cycles");
     for c in EdlOverhead::SWEEP {
         let base = base_retime(&circuit.cloud, &lib, clock, DelayModel::PathBased, c)?;
-        let rvl = vl_retime(&circuit.cloud, &lib, clock, &VlConfig::new(VlVariant::Rvl, c))?;
+        let rvl = vl_retime(
+            &circuit.cloud,
+            &lib,
+            clock,
+            &VlConfig::new(VlVariant::Rvl, c),
+        )?;
         let g = grar(&circuit.cloud, &lib, clock, &GrarConfig::new(c))?;
         for (name, cut, ed, edl, delays) in [
-            ("base", &base.cut, &base.ed_sinks, base.seq.edl, &base.final_delays),
+            (
+                "base",
+                &base.cut,
+                &base.ed_sinks,
+                base.seq.edl,
+                &base.final_delays,
+            ),
             (
                 "RVL ",
                 &rvl.outcome.cut,

@@ -44,7 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("c     flow    slaves   EDL   seq-area   total-area   time");
     for c in EdlOverhead::SWEEP {
         let base = base_retime(&circuit.cloud, &lib, clock, DelayModel::PathBased, c)?;
-        let rvl = vl_retime(&circuit.cloud, &lib, clock, &VlConfig::new(VlVariant::Rvl, c))?;
+        let rvl = vl_retime(
+            &circuit.cloud,
+            &lib,
+            clock,
+            &VlConfig::new(VlVariant::Rvl, c),
+        )?;
         let g = grar(&circuit.cloud, &lib, clock, &GrarConfig::new(c))?;
         for (name, slaves, edl, seq, total, secs) in [
             (

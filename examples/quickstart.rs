@@ -18,9 +18,7 @@ use resilient_retiming::vl::{vl_retime, VlConfig, VlVariant};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A two-stage design: a deep arithmetic-ish cone and a shallow
     // control cone.
-    let mut src = String::from(
-        "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq1 = DFF(d1)\nq2 = DFF(d2)\n",
-    );
+    let mut src = String::from("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq1 = DFF(d1)\nq2 = DFF(d2)\n");
     src.push_str("c1 = NAND(a, b)\n");
     for i in 2..=12 {
         src.push_str(&format!("c{i} = NOT(c{})\n", i - 1));

@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut problem = RetimingProblem::build(&f.cloud, &regions);
     let c = EdlOverhead::HIGH; // c = 2 as in the example
     problem.add_pseudo_target(&g, (c.value() * BREADTH_SCALE as f64) as i64);
-    println!("\nILP (Eq. 10):\n{}", IlpFormulation::from_problem(&problem));
+    println!(
+        "\nILP (Eq. 10):\n{}",
+        IlpFormulation::from_problem(&problem)
+    );
 
     // Solve with all three engines.
     for engine in [
@@ -62,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .nodes()
             .iter()
             .enumerate()
-            .filter(|&(i, _)| sol.cut.is_moved(resilient_retiming::netlist::NodeId(i as u32)))
+            .filter(|&(i, _)| {
+                sol.cut
+                    .is_moved(resilient_retiming::netlist::NodeId(i as u32))
+            })
             .map(|(_, n)| n.name.as_str())
             .collect();
         println!(

@@ -16,6 +16,7 @@
 
 pub use retime_circuits as circuits;
 pub use retime_core as grar;
+pub use retime_engine as engine;
 pub use retime_flow as flow;
 pub use retime_liberty as liberty;
 pub use retime_netlist as netlist;

@@ -3,7 +3,7 @@
 
 use resilient_retiming::grar::{grar, GrarConfig};
 use resilient_retiming::liberty::{EdlOverhead, Library};
-use resilient_retiming::netlist::{bench, blif, CombCloud, Cut, Gate, Netlist, NetlistError};
+use resilient_retiming::netlist::{bench, blif, CombCloud, Cut, Gate, Netlist};
 use resilient_retiming::retime::{base_retime, Regions, RetimingProblem, SolverEngine};
 use resilient_retiming::sim::equivalent;
 use resilient_retiming::sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
@@ -122,11 +122,11 @@ fn self_loop_counter() {
 #[test]
 fn failure_injection_parsers() {
     for bad in [
-        "INPUT(a\n",               // unbalanced paren
-        "z = NOT()\nOUTPUT(z)\n",  // empty fanin
-        "z = DFF(a, b)\n",         // DFF arity
-        "OUTPUT(ghost)\n",         // dangling output
-        "INPUT(a)\nINPUT(a)\n",    // duplicate input
+        "INPUT(a\n",              // unbalanced paren
+        "z = NOT()\nOUTPUT(z)\n", // empty fanin
+        "z = DFF(a, b)\n",        // DFF arity
+        "OUTPUT(ghost)\n",        // dangling output
+        "INPUT(a)\nINPUT(a)\n",   // duplicate input
     ] {
         assert!(bench::parse("bad", bad).is_err(), "accepted: {bad:?}");
     }

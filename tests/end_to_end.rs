@@ -10,8 +10,10 @@ use resilient_retiming::sim::equivalent;
 use resilient_retiming::sta::DelayModel;
 use resilient_retiming::vl::{vl_retime, VlConfig, VlVariant};
 
-fn small_cases() -> Vec<(resilient_retiming::circuits::SuiteCircuit, resilient_retiming::sta::TwoPhaseClock)>
-{
+fn small_cases() -> Vec<(
+    resilient_retiming::circuits::SuiteCircuit,
+    resilient_retiming::sta::TwoPhaseClock,
+)> {
     let lib = Library::fdsoi28();
     paper_suite()
         .into_iter()
@@ -60,8 +62,13 @@ fn grar_savings_grow_with_overhead() {
             EdlOverhead::LOW,
         )
         .expect("base runs");
-        let gl = grar(&circuit.cloud, &lib, clock, &GrarConfig::new(EdlOverhead::LOW))
-            .expect("grar runs");
+        let gl = grar(
+            &circuit.cloud,
+            &lib,
+            clock,
+            &GrarConfig::new(EdlOverhead::LOW),
+        )
+        .expect("grar runs");
         let bh = base_retime(
             &circuit.cloud,
             &lib,
@@ -94,8 +101,8 @@ fn retimed_circuits_stay_functionally_equivalent() {
     let lib = Library::fdsoi28();
     for (circuit, clock) in small_cases().into_iter().take(2) {
         let c = EdlOverhead::MEDIUM;
-        let base = base_retime(&circuit.cloud, &lib, clock, DelayModel::PathBased, c)
-            .expect("base runs");
+        let base =
+            base_retime(&circuit.cloud, &lib, clock, DelayModel::PathBased, c).expect("base runs");
         let g = grar(&circuit.cloud, &lib, clock, &GrarConfig::new(c)).expect("grar runs");
         let rvl = vl_retime(
             &circuit.cloud,
@@ -137,7 +144,10 @@ fn edl_assignment_is_sound() {
         let pi = clock.period();
         for (idx, &t) in circuit.cloud.sinks().iter().enumerate() {
             use resilient_retiming::netlist::NodeKind;
-            if !matches!(circuit.cloud.node(t).kind, NodeKind::Sink { master: Some(_) }) {
+            if !matches!(
+                circuit.cloud.node(t).kind,
+                NodeKind::Sink { master: Some(_) }
+            ) {
                 continue;
             }
             if !g.outcome.ed_sinks[idx] {

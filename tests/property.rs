@@ -4,9 +4,11 @@
 use proptest::prelude::*;
 
 use resilient_retiming::circuits::SynthConfig;
-use resilient_retiming::grar::{exhaustive_best, grar, GrarConfig};
+use resilient_retiming::grar::{
+    classify_and_cut_set, classify_many, exhaustive_best, grar, GrarConfig,
+};
 use resilient_retiming::liberty::{EdlOverhead, Library};
-use resilient_retiming::netlist::{CombCloud, Cut};
+use resilient_retiming::netlist::{CombCloud, Cut, NodeId, NodeKind};
 use resilient_retiming::retime::{Regions, RetimingProblem, SolverEngine};
 use resilient_retiming::sim::equivalent;
 use resilient_retiming::sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
@@ -86,6 +88,57 @@ proptest! {
         // Books balance.
         let expect = report.outcome.comb_area + report.outcome.seq.total();
         prop_assert!((report.outcome.total_area - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_classify_matches_sequential(cfg in small_config()) {
+        // The parallel backward-pass/cut-set fan-out must be bit-identical
+        // to the sequential reference path: same SinkClass, same g(t),
+        // regardless of thread count or clock tightness.
+        let n = cfg.generate().expect("generates");
+        let cloud = CombCloud::extract(&n).expect("extracts");
+        let lib = Library::fdsoi28();
+        let sta0 = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::PathBased,
+        ).expect("sta builds");
+        let crit = cloud.sinks().iter().map(|&t| sta0.df(t)).fold(0.0f64, f64::max);
+        // Sweep loose, borderline, and tight clocks so all three sink
+        // classes (never / target / always) are exercised.
+        for factor in [2.0, 1.2, 0.9] {
+            let clock = TwoPhaseClock::from_max_delay(crit * factor + 0.05);
+            let sta = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::PathBased)
+                .expect("sta builds");
+            let targets: Vec<NodeId> = cloud
+                .sinks()
+                .iter()
+                .copied()
+                .filter(|&t| matches!(cloud.node(t).kind, NodeKind::Sink { master: Some(_) }))
+                .collect();
+            let reference: Vec<_> = targets
+                .iter()
+                .map(|&t| {
+                    let bp = sta.backward(t);
+                    classify_and_cut_set(&sta, &bp)
+                })
+                .collect();
+            for threads in [1, 2, 4, 0] {
+                let got = classify_many(&sta, &targets, threads);
+                prop_assert_eq!(&got, &reference, "threads={}", threads);
+            }
+            // The batch backward pass must agree with one-at-a-time.
+            let many = sta.backward_many(&targets, 4);
+            for (&t, bp) in targets.iter().zip(&many) {
+                let single = sta.backward(t);
+                prop_assert_eq!(bp.sink(), t);
+                prop_assert_eq!(
+                    classify_and_cut_set(&sta, bp),
+                    classify_and_cut_set(&sta, &single)
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`Strategy`] trait with
+//! `prop_map`, range and tuple strategies, [`prelude::any`], the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]` header),
+//! and `prop_assert!`/`prop_assert_eq!`. Inputs are sampled from a
+//! deterministic per-case seed, so failures reproduce exactly; there is no
+//! shrinking — the failing input is printed instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Base seed mixed into each case's generator.
+    pub seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 64,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy for the full domain of `T` (see [`prelude::any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+macro_rules! any_impl {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random()
+            }
+        }
+    )*};
+}
+any_impl!(bool, u64, u32, usize, f64);
+
+macro_rules! range_impl {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_impl!(usize, u64, u32, i64, i32);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! tuple_impl {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_impl!(A);
+tuple_impl!(A, B);
+tuple_impl!(A, B, C);
+tuple_impl!(A, B, C, D);
+tuple_impl!(A, B, C, D, E);
+tuple_impl!(A, B, C, D, E, F);
+tuple_impl!(A, B, C, D, E, F, G);
+tuple_impl!(A, B, C, D, E, F, G, H);
+
+/// Drives one `proptest!`-generated test: `cases` deterministic samples,
+/// each run through `body`. Not part of the public proptest API surface —
+/// only the macro calls it.
+pub fn run_cases<S: Strategy>(
+    config: &ProptestConfig,
+    strategy: &S,
+    mut body: impl FnMut(S::Value),
+) {
+    for case in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(
+            config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(u64::from(case)),
+        );
+        body(strategy.generate(&mut rng));
+    }
+}
+
+/// The conventional import surface.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    /// Strategy over the full domain of `T`.
+    pub fn any<T>() -> crate::Any<T>
+    where
+        crate::Any<T>: crate::Strategy,
+    {
+        crate::Any(std::marker::PhantomData)
+    }
+
+    /// Namespace mirror (`prop::collection` etc. are not stubbed).
+    pub mod prop {}
+}
+
+/// Assertion macros: the stub panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// The `proptest!` block macro: optional `#![proptest_config(expr)]`
+/// header, then `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategy = ($($strat,)+);
+            $crate::run_cases(&config, &strategy, |($($pat,)+)| $body);
+        }
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, u64)> {
+        (1usize..10, any::<u64>()).prop_map(|(a, b)| (a * 2, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn mapped_ranges_hold(v in pair()) {
+            prop_assert!(v.0 >= 2 && v.0 < 20);
+            prop_assert!(v.0 % 2 == 0);
+        }
+
+        #[test]
+        fn multi_binding(a in 0usize..5, b in 5usize..9) {
+            prop_assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = ProptestConfig::with_cases(8);
+        let mut first: Vec<(usize, u64)> = Vec::new();
+        crate::run_cases(&cfg, &pair(), |v| first.push(v));
+        let mut second: Vec<(usize, u64)> = Vec::new();
+        crate::run_cases(&cfg, &pair(), |v| second.push(v));
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 8);
+    }
+}

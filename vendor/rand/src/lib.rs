@@ -1,0 +1,276 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access and no registry cache, so the
+//! real `rand` cannot be fetched. This crate implements the exact API
+//! surface the workspace uses — `StdRng`, [`SeedableRng::seed_from_u64`],
+//! [`Rng::random`], [`Rng::random_bool`], [`Rng::random_range`], and the
+//! slice helpers in [`seq`] — over a deterministic xoshiro256++ generator
+//! seeded through SplitMix64.
+//!
+//! The stream differs from upstream `rand`'s ChaCha12-based `StdRng`, so
+//! seeded artifacts (synthetic circuits, simulation vectors) differ in
+//! content from a build against the real crate — but they are fully
+//! deterministic across runs and platforms, which is all the workspace
+//! relies on.
+
+pub mod rngs {
+    /// Deterministic xoshiro256++ generator (stand-in for the upstream
+    /// `StdRng`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeding interface (the workspace only uses [`seed_from_u64`]).
+///
+/// [`seed_from_u64`]: SeedableRng::seed_from_u64
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanded via SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro's all-zero state is degenerate; SplitMix64 never yields
+        // four zero outputs from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+}
+
+/// Uniform-sampling interface with the `rand 0.9` method names.
+pub trait Rng {
+    /// The next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a uniformly distributed value of `T`.
+    fn random<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of [0,1]");
+        f64::sample(self) < p
+    }
+
+    /// Samples uniformly from a range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ step.
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types [`Rng::random`] can produce.
+pub trait Sample {
+    /// Draws one uniformly distributed value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Sample for bool {
+    fn sample<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Sample for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for usize {
+    fn sample<R: Rng>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Sample for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> f64 {
+        // 53 mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`Rng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled element type.
+    type Output;
+    /// Draws one value from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64 + 1;
+                lo + if span == 0 {
+                    rng.next_u64() as $t
+                } else {
+                    (rng.next_u64() % span) as $t
+                }
+            }
+        }
+    )*};
+}
+int_range!(usize, u64, u32, i64, i32);
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Slice sampling/shuffling helpers (the `rand::seq` subset in use).
+pub mod seq {
+    use super::Rng;
+
+    /// Random element selection by index.
+    pub trait IndexedRandom {
+        /// The element type.
+        type Item;
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Item = T;
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+
+    /// In-place shuffling.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::{IndexedRandom, SliceRandom};
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_and_bool_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(3usize..9);
+            assert!((3..9).contains(&x));
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert!(!(0..1000).any(|_| rng.random_bool(0.0)));
+        assert!((0..1000).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_and_shuffle_preserve_elements() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [usize; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
