@@ -6,15 +6,25 @@
 //!   comparing the breadth-aware objective against plain latch counting,
 //! * sequential vs parallel backward/cut-set fan-out (the flow-engine
 //!   `parallel_map` classification stage).
+//!
+//! `--json` runs each variant once under a wall clock and writes the
+//! per-variant milliseconds to `BENCH_ablation.json` instead of the
+//! criterion sampling loop.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
 use retime_circuits::small_suite;
 use retime_core::{grar, GrarConfig};
 use retime_liberty::{EdlOverhead, Library};
 use retime_retime::base_retime;
 use retime_sta::DelayModel;
 
-fn bench_ablation(c: &mut Criterion) {
+fn setup() -> (
+    retime_circuits::SuiteCircuit,
+    Library,
+    retime_sta::TwoPhaseClock,
+) {
     let lib = Library::fdsoi28();
     let spec = small_suite()
         .into_iter()
@@ -24,6 +34,11 @@ fn bench_ablation(c: &mut Criterion) {
     let clock = circuit
         .calibrated_clock(&lib, DelayModel::PathBased)
         .expect("calibrates");
+    (circuit, lib, clock)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let (circuit, lib, clock) = setup();
     let mut group = c.benchmark_group("ablation_s1423");
     group.sample_size(10);
     group.bench_function("grar_with_pseudo_nodes", |b| {
@@ -85,5 +100,76 @@ fn bench_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+type Variant<'a> = (&'a str, Box<dyn Fn() + 'a>);
+
+/// One warmed, wall-clocked run per variant, written to
+/// `BENCH_ablation.json`.
+fn run_json() {
+    let (circuit, lib, clock) = setup();
+    let variants: Vec<Variant<'_>> = vec![
+        (
+            "grar_with_pseudo_nodes",
+            Box::new(|| {
+                grar(
+                    &circuit.cloud,
+                    &lib,
+                    clock,
+                    &GrarConfig::new(EdlOverhead::HIGH),
+                )
+                .map(|_| ())
+                .expect("grar")
+            }),
+        ),
+        (
+            "retime_without_pseudo_nodes",
+            Box::new(|| {
+                base_retime(
+                    &circuit.cloud,
+                    &lib,
+                    clock,
+                    DelayModel::PathBased,
+                    EdlOverhead::HIGH,
+                )
+                .map(|_| ())
+                .expect("base")
+            }),
+        ),
+        (
+            "grar_gate_based_delay",
+            Box::new(|| {
+                grar(
+                    &circuit.cloud,
+                    &lib,
+                    clock,
+                    &GrarConfig::new(EdlOverhead::HIGH).with_model(DelayModel::GateBased),
+                )
+                .map(|_| ())
+                .expect("grar")
+            }),
+        ),
+    ];
+    let mut cells = Vec::new();
+    for (name, run) in &variants {
+        run();
+        let t0 = Instant::now();
+        run();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        cells.push(format!("  \"{name}_ms\": {ms:.3}"));
+    }
+    let json = format!("{{\n  \"circuit\": \"s1423\",\n{}\n}}\n", cells.join(",\n"));
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_ablation.json");
+    std::fs::write(&out, &json).expect("writes json");
+    print!("{json}");
+}
+
 criterion_group!(benches, bench_ablation);
-criterion_main!(benches);
+
+fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        run_json();
+    } else {
+        benches();
+    }
+}

@@ -1,0 +1,193 @@
+//! Incremental STA vs full recompute.
+//!
+//! The workload mirrors multi-round legalization: each round upsizes a
+//! batch of gates (scales their delay tables by `LEGALIZE_SPEEDUP`) and
+//! re-queries the cut timing. The full path replays every round through
+//! `TimingAnalysis::update_delays` + `cut_timing` (from-scratch arrival
+//! propagation); the incremental path feeds the same edits to
+//! `IncrementalTiming`, which repairs only the dirty fan-out cones.
+//! Both paths must agree bit-for-bit — the bench asserts it.
+//!
+//! Modes:
+//!
+//! * default — criterion group on s1423 (fast, CI-smoke friendly);
+//! * `--json [circuit]` — timed comparison on `circuit` (default
+//!   s35932, the largest suite circuit), written to
+//!   `BENCH_incremental_sta.json` in the working directory.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use retime_circuits::paper_suite;
+use retime_liberty::Library;
+use retime_netlist::{CombCloud, Cut, NodeId, NodeKind};
+use retime_retime::LEGALIZE_SPEEDUP;
+use retime_sta::{CutTiming, DelayModel, IncrementalTiming, TimingAnalysis, TwoPhaseClock};
+
+const ROUNDS: usize = 6;
+const GATES_PER_ROUND: usize = 8;
+
+/// Deterministic per-round gate batches, spread across the netlist so
+/// successive rounds dirty different fan-out cones.
+fn round_targets(cloud: &CombCloud) -> Vec<Vec<NodeId>> {
+    let gates: Vec<NodeId> = (0..cloud.len())
+        .map(|i| NodeId(i as u32))
+        .filter(|&v| matches!(cloud.node(v).kind, NodeKind::Gate { .. }))
+        .collect();
+    assert!(!gates.is_empty(), "suite circuits always have gates");
+    let stride = (gates.len() / GATES_PER_ROUND).max(1);
+    (0..ROUNDS)
+        .map(|r| {
+            (0..GATES_PER_ROUND)
+                .map(|k| gates[(r * 131 + k * stride) % gates.len()])
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the edit rounds through a fresh-propagation `TimingAnalysis`.
+/// The analysis is constructed (and its initial arrivals computed)
+/// before the clock starts, so only the per-round work is timed.
+fn full_path(
+    cloud: &CombCloud,
+    lib: &Library,
+    clock: TwoPhaseClock,
+    rounds: &[Vec<NodeId>],
+) -> (Duration, CutTiming) {
+    let cut = Cut::initial(cloud);
+    let mut sta =
+        TimingAnalysis::new(cloud, lib, clock, DelayModel::PathBased).expect("sta builds");
+    let _ = sta.cut_timing(&cut);
+    let t0 = Instant::now();
+    let mut last = None;
+    for targets in rounds {
+        sta.update_delays(|d| {
+            for &g in targets {
+                d.scale_node(g, LEGALIZE_SPEEDUP);
+            }
+        });
+        last = Some(sta.cut_timing(&cut));
+    }
+    (t0.elapsed(), last.expect("at least one round"))
+}
+
+/// Runs the same edit rounds through the dirty-region engine. Returns
+/// the elapsed time, the final timing, and how many node arrivals the
+/// repairs re-evaluated.
+fn incremental_path(
+    cloud: &CombCloud,
+    lib: &Library,
+    clock: TwoPhaseClock,
+    rounds: &[Vec<NodeId>],
+) -> (Duration, CutTiming, u64) {
+    let mut inc = IncrementalTiming::new(
+        cloud,
+        lib,
+        clock,
+        DelayModel::PathBased,
+        Cut::initial(cloud),
+    )
+    .expect("engine builds");
+    let _ = inc.cut_timing();
+    let before = inc.stats();
+    let t0 = Instant::now();
+    let mut last = None;
+    for targets in rounds {
+        for &g in targets {
+            inc.scale_node(g, LEGALIZE_SPEEDUP);
+        }
+        last = Some(inc.cut_timing());
+    }
+    let elapsed = t0.elapsed();
+    let work = inc.stats().since(&before);
+    (
+        elapsed,
+        last.expect("at least one round"),
+        work.nodes_reevaluated,
+    )
+}
+
+fn build(name: &str) -> (CombCloud, Library, TwoPhaseClock) {
+    let lib = Library::fdsoi28();
+    let spec = paper_suite()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("{name} not in suite"));
+    let circuit = spec.build().expect("builds");
+    let clock = circuit
+        .calibrated_clock(&lib, DelayModel::PathBased)
+        .expect("calibrates");
+    (circuit.cloud, lib, clock)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Best-of-3 timed comparison written to `BENCH_incremental_sta.json`.
+fn run_json(circuit: &str) {
+    let (cloud, lib, clock) = build(circuit);
+    let rounds = round_targets(&cloud);
+    let mut full_best = Duration::MAX;
+    let mut inc_best = Duration::MAX;
+    let mut reevaluated = 0;
+    for _ in 0..3 {
+        let (full_t, full_timing) = full_path(&cloud, &lib, clock, &rounds);
+        let (inc_t, inc_timing, n) = incremental_path(&cloud, &lib, clock, &rounds);
+        assert_eq!(
+            inc_timing, full_timing,
+            "incremental result diverged from full recompute"
+        );
+        full_best = full_best.min(full_t);
+        inc_best = inc_best.min(inc_t);
+        reevaluated = n;
+    }
+    let speedup = ms(full_best) / ms(inc_best).max(1e-9);
+    let json = format!(
+        "{{\n  \"circuit\": \"{}\",\n  \"nodes\": {},\n  \"rounds\": {},\n  \
+         \"gates_per_round\": {},\n  \"full_ms\": {:.3},\n  \"incremental_ms\": {:.3},\n  \
+         \"nodes_reevaluated\": {},\n  \"speedup\": {:.2}\n}}\n",
+        circuit,
+        cloud.len(),
+        ROUNDS,
+        GATES_PER_ROUND,
+        ms(full_best),
+        ms(inc_best),
+        reevaluated,
+        speedup
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_incremental_sta.json");
+    std::fs::write(&out, &json).expect("writes json");
+    print!("{json}");
+}
+
+fn bench_incremental_sta(c: &mut Criterion) {
+    let (cloud, lib, clock) = build("s1423");
+    let rounds = round_targets(&cloud);
+    let mut group = c.benchmark_group("incremental_sta_s1423");
+    group.sample_size(10);
+    group.bench_function("full_recompute", |b| {
+        b.iter(|| full_path(&cloud, &lib, clock, &rounds))
+    });
+    group.bench_function("incremental", |b| {
+        b.iter(|| incremental_path(&cloud, &lib, clock, &rounds))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_sta);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let circuit = match args.get(pos + 1) {
+            Some(name) if !name.starts_with('-') => name.clone(),
+            _ => "s35932".to_string(),
+        };
+        run_json(&circuit);
+    } else {
+        benches();
+    }
+}

@@ -26,10 +26,16 @@ fn main() {
         &GrarConfig::new(EdlOverhead::HIGH),
     )
     .unwrap();
+    let counters: Vec<String> = g
+        .phases
+        .counters()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
     println!(
-        "{name}: {:.2}s total; phases {}; slaves={} edl={}",
+        "{name}: {:.2}s total; phases {}; counters {}; slaves={} edl={}",
         t0.elapsed().as_secs_f64(),
         g.phases,
+        counters.join(" "),
         g.outcome.seq.slaves,
         g.outcome.seq.edl
     );

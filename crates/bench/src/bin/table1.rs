@@ -1,33 +1,19 @@
 //! Table I: circuit information of the original flop-based designs.
 
-use retime_bench::{f2, load_suite, map_cases, print_table};
+use retime_bench::{load_suite, map_cases, print_table, table1_row};
 use retime_liberty::{EdlOverhead, Library};
-use retime_retime::{flop_design_area, AreaModel};
-use retime_sta::DelayModel;
+use retime_retime::AreaModel;
 
 fn main() {
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
     let model = AreaModel::new(&lib, EdlOverhead::MEDIUM);
     let rows = map_cases(&cases, |case| {
-        let spec = &case.circuit.spec;
-        let nce = case
-            .circuit
-            .nce_count(&lib, DelayModel::PathBased, case.clock)
-            .expect("sta runs");
-        let area = flop_design_area(&case.circuit.cloud, &model).expect("area computes");
-        vec![
-            spec.name.to_string(),
-            format!("{:.3}", case.clock.max_path_delay()),
-            spec.flops.to_string(),
-            nce.to_string(),
-            format!("{}", case.setup_time.as_millis()),
-            f2(area),
-            format!(
-                "(paper: P={} NCE={} area={})",
-                spec.paper_p, spec.nce, spec.paper_area
-            ),
-        ]
+        let mut row = table1_row(case, &lib, &model);
+        // The setup-time column is wall-clock (non-deterministic), so it
+        // lives only in the binary, not in the snapshot-tested cells.
+        row.insert(4, format!("{}", case.setup_time.as_millis()));
+        row
     });
     print_table(
         "Table I: circuit information of original flop-based designs",

@@ -1,32 +1,12 @@
 //! Table IV: sequential logic area — Base-Retiming vs RVL-RAR vs G-RAR.
 
-use retime_bench::{f2, load_suite, map_cases, mean, pct_impr, print_table, run_approaches};
-use retime_liberty::{EdlOverhead, Library};
+use retime_bench::{f2, load_suite, map_cases, mean, print_table, table4_row};
+use retime_liberty::Library;
 
 fn main() {
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
-    let per_case = map_cases(&cases, |case| {
-        let mut row = vec![case.circuit.spec.name.to_string()];
-        let mut rvl_impr = [0.0f64; 3];
-        let mut g_impr = [0.0f64; 3];
-        for (k, c) in EdlOverhead::SWEEP.into_iter().enumerate() {
-            let a = run_approaches(case, &lib, c).expect("flows run");
-            let base = a.base.seq.total();
-            let rvl = a.rvl.outcome.seq.total();
-            let g = a.grar.outcome.seq.total();
-            rvl_impr[k] = pct_impr(base, rvl);
-            g_impr[k] = pct_impr(base, g);
-            row.extend([
-                f2(base),
-                f2(rvl),
-                f2(pct_impr(base, rvl)),
-                f2(g),
-                f2(pct_impr(base, g)),
-            ]);
-        }
-        (row, rvl_impr, g_impr)
-    });
+    let per_case = map_cases(&cases, |case| table4_row(case, &lib));
     let mut rows = Vec::new();
     let mut rvl_avg: Vec<Vec<f64>> = vec![Vec::new(); 3];
     let mut g_avg: Vec<Vec<f64>> = vec![Vec::new(); 3];

@@ -22,7 +22,7 @@ use std::time::Instant;
 use retime_circuits::{paper_suite, SuiteCircuit};
 use retime_core::{grar, GrarConfig, GrarReport};
 use retime_liberty::{EdlOverhead, Library};
-use retime_retime::{base_retime, RetimeError, RetimeOutcome};
+use retime_retime::{base_retime, flop_design_area, AreaModel, RetimeError, RetimeOutcome};
 use retime_sta::{DelayModel, TwoPhaseClock};
 use retime_vl::{vl_retime, VlConfig, VlReport, VlVariant};
 
@@ -129,6 +129,64 @@ pub fn run_suite(
 /// of a `for` loop whenever per-case work is independent.
 pub fn map_cases<T: Send>(cases: &[BenchCase], f: impl Fn(&BenchCase) -> T + Sync) -> Vec<T> {
     retime_engine::parallel_map(0, cases, f)
+}
+
+/// The deterministic Table I cells of one case: name, clock, flop count,
+/// NCE count, flop-design area, and the paper reference. Shared by the
+/// `table1` binary (which splices in its volatile setup-time column) and
+/// the golden snapshot test.
+///
+/// # Panics
+/// Panics if STA or the area model fails (programming error — the suite
+/// circuits always time and cost out).
+pub fn table1_row(case: &BenchCase, lib: &Library, model: &AreaModel<'_>) -> Vec<String> {
+    let spec = &case.circuit.spec;
+    let nce = case
+        .circuit
+        .nce_count(lib, DelayModel::PathBased, case.clock)
+        .expect("sta runs");
+    let area = flop_design_area(&case.circuit.cloud, model).expect("area computes");
+    vec![
+        spec.name.to_string(),
+        format!("{:.3}", case.clock.max_path_delay()),
+        spec.flops.to_string(),
+        nce.to_string(),
+        f2(area),
+        format!(
+            "(paper: P={} NCE={} area={})",
+            spec.paper_p, spec.nce, spec.paper_area
+        ),
+    ]
+}
+
+/// The Table IV cells of one case — per EDL overhead of
+/// [`EdlOverhead::SWEEP`]: base, RVL, RVL improvement %, G-RAR, G-RAR
+/// improvement % — plus the raw per-overhead improvement percentages for
+/// the table's average row. Shared by the `table4` binary and the golden
+/// snapshot test.
+///
+/// # Panics
+/// Panics if a flow fails (the suite circuits are always feasible).
+pub fn table4_row(case: &BenchCase, lib: &Library) -> (Vec<String>, [f64; 3], [f64; 3]) {
+    let mut row = vec![case.circuit.spec.name.to_string()];
+    let mut rvl_impr = [0.0f64; 3];
+    let mut g_impr = [0.0f64; 3];
+    for (k, c) in EdlOverhead::SWEEP.into_iter().enumerate() {
+        let a = run_approaches(case, lib, c).expect("flows run");
+        let base = a.base.seq.total();
+        let rvl = a.rvl.outcome.seq.total();
+        let g = a.grar.outcome.seq.total();
+        rvl_impr[k] = pct_impr(base, rvl);
+        g_impr[k] = pct_impr(base, g);
+        row.extend([
+            f2(base),
+            f2(rvl),
+            f2(pct_impr(base, rvl)),
+            f2(g),
+            f2(pct_impr(base, g)),
+        ]);
+    }
+    (row, rvl_impr, g_impr)
 }
 
 /// Percent improvement of `new` over `base` (positive = smaller/better).

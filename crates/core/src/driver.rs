@@ -171,13 +171,9 @@ pub fn grar(
                 .count();
             let model = AreaModel::new(lib, cfg.overhead);
             let sta = state.sta.as_mut().expect("sta stage ran");
-            state.outcome = Some(RetimeOutcome::assemble(
-                sta,
-                &model,
-                sol.cut,
-                sol.solver_time,
-                started,
-            )?);
+            let outcome = RetimeOutcome::assemble(sta, &model, sol.cut, sol.solver_time, started)?;
+            outcome.legalize.record_counters(&mut ctx.timings);
+            ctx.data.outcome = Some(outcome);
             Ok(())
         })
         .run(&mut ctx)?;

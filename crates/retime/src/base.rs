@@ -161,13 +161,10 @@ pub fn base_retime_with(
             let sta = ctx.data.sta.as_mut().expect("sta stage ran");
             let sol = ctx.data.sol.take().expect("solve stage ran");
             let area_model = AreaModel::new(lib, c);
-            ctx.data.outcome = Some(RetimeOutcome::assemble(
-                sta,
-                &area_model,
-                sol.cut,
-                sol.solver_time,
-                started,
-            )?);
+            let outcome =
+                RetimeOutcome::assemble(sta, &area_model, sol.cut, sol.solver_time, started)?;
+            outcome.legalize.record_counters(&mut ctx.timings);
+            ctx.data.outcome = Some(outcome);
             Ok(())
         })
         .run(&mut ctx)?;

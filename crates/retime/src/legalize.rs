@@ -6,15 +6,16 @@
 //! model exactly that lever: gates on violating paths are sped up by a
 //! bounded upsizing factor, paying a proportional area penalty.
 
-use retime_liberty::Sense;
 use retime_netlist::{Cut, NodeId, NodeKind};
-use retime_sta::TimingAnalysis;
+use retime_sta::{IncrementalStats, IncrementalTiming, TimingAnalysis};
 
 use crate::area::AreaModel;
 use crate::error::RetimeError;
 
-/// Per-step speed-up of an upsized gate.
-const SPEEDUP: f64 = 0.88;
+/// Per-step speed-up of an upsized gate. Public so post-retiming stages
+/// (e.g. the VL swap loop) can replay a [`LegalizeReport`]'s upsizing
+/// into their own incremental timer bit-identically.
+pub const SPEEDUP: f64 = 0.88;
 /// Area multiplier paid per upsizing step, as a fraction of the gate area.
 const AREA_PENALTY: f64 = 0.30;
 /// Maximum upsizing rounds before giving up.
@@ -31,12 +32,33 @@ pub struct LegalizeReport {
     pub rounds: usize,
     /// Whether all violations were cleared.
     pub clean: bool,
+    /// Incremental-STA work counters of the legalization rounds
+    /// (re-evaluated nodes, memo hits, full passes).
+    pub sta: IncrementalStats,
+}
+
+impl LegalizeReport {
+    /// Publishes the legalization work into a flow's event counters, so
+    /// every flow reports the same Table VII-style breakdown.
+    pub fn record_counters(&self, timings: &mut retime_engine::PhaseTimings) {
+        timings.count("legalize_rounds", self.rounds as u64);
+        timings.count("legalize_upsized", self.upsized.len() as u64);
+        timings.count("sta_reevaluated", self.sta.nodes_reevaluated);
+        timings.count("sta_cache_hits", self.sta.cache_hits);
+        timings.count("sta_full_passes", self.sta.full_passes);
+    }
 }
 
 /// Repairs residual violations of constraints (6)/(7) for a fixed cut by
 /// upsizing gates on violating paths. Mutates the delay tables inside
 /// `sta` (exactly like a size-only incremental compile would) and returns
 /// what it did.
+///
+/// The rounds run on an [`IncrementalTiming`] engine, so each round pays
+/// only for the fan-out cones of the gates upsized in the previous round
+/// instead of a full-cloud forward pass per gate; the upsizing is then
+/// replayed into `sta` in one batch (same per-node scaling sequence, so
+/// the caller's tables are bit-identical to the incremental engine's).
 ///
 /// # Errors
 /// Returns [`RetimeError::Internal`] if violations persist after the
@@ -47,16 +69,38 @@ pub fn legalize(
     cut: &Cut,
     model: &AreaModel<'_>,
 ) -> Result<LegalizeReport, RetimeError> {
+    let mut inc = IncrementalTiming::from_analysis(sta, cut.clone());
     let mut report = LegalizeReport {
         clean: true,
         ..Default::default()
     };
+    let result = legalize_rounds(&mut inc, model, &mut report);
+    report.sta = inc.stats();
+    // Replay the upsizing into the caller's analysis — even on failure,
+    // matching the historical behavior of sizing `sta` in place.
+    if !report.upsized.is_empty() {
+        sta.update_delays(|d| {
+            for &g in &report.upsized {
+                d.scale_node(g, SPEEDUP);
+            }
+        });
+    }
+    result.map(|()| report)
+}
+
+/// The upsizing loop, run entirely against the incremental engine.
+fn legalize_rounds(
+    inc: &mut IncrementalTiming<'_>,
+    model: &AreaModel<'_>,
+    report: &mut LegalizeReport,
+) -> Result<(), RetimeError> {
+    let cloud = inc.cloud();
     for round in 0..MAX_ROUNDS {
-        let timing = sta.cut_timing(cut);
+        let timing = inc.cut_timing();
         if timing.is_feasible() {
             report.clean = true;
             report.rounds = round;
-            return Ok(report);
+            return Ok(());
         }
         report.clean = false;
         report.rounds = round + 1;
@@ -66,17 +110,14 @@ pub fn legalize(
         // form). A simple, bounded heuristic: upsize every gate in the
         // fan-in cone of each violation.
         let mut marked: Vec<NodeId> = Vec::new();
+        for &v in timing
+            .setup_violations
+            .iter()
+            .chain(timing.capture_violations.iter())
         {
-            let cloud = sta.cloud();
-            for &v in timing
-                .setup_violations
-                .iter()
-                .chain(timing.capture_violations.iter())
-            {
-                for w in cloud.fanin_cone(v) {
-                    if matches!(cloud.node(w).kind, NodeKind::Gate { .. }) {
-                        marked.push(w);
-                    }
+            for w in cloud.fanin_cone(v) {
+                if matches!(cloud.node(w).kind, NodeKind::Gate { .. }) {
+                    marked.push(w);
                 }
             }
         }
@@ -86,22 +127,20 @@ pub fn legalize(
             break;
         }
         for &g in &marked {
-            let fanin = sta.cloud().node(g).fanin.len();
-            let gate = match sta.cloud().node(g).kind {
+            let node = cloud.node(g);
+            let gate = match node.kind {
                 NodeKind::Gate { gate, .. } => gate,
                 _ => unreachable!("marked gates only"),
             };
-            let _ = Sense::Positive; // sense is unchanged by sizing
-            let cell_area = area_of(model, gate, fanin);
+            let cell_area = area_of(model, gate, node.fanin.len());
             report.area_penalty += cell_area * AREA_PENALTY;
-            sta.update_delays(|d| d.scale_node(g, SPEEDUP));
+            inc.scale_node(g, SPEEDUP);
             report.upsized.push(g);
         }
     }
-    let timing = sta.cut_timing(cut);
-    if timing.is_feasible() {
+    if inc.cut_timing().is_feasible() {
         report.clean = true;
-        Ok(report)
+        Ok(())
     } else {
         Err(RetimeError::Internal(
             "legalization could not clear timing violations".into(),
@@ -226,5 +265,91 @@ mod tests {
             legalize(&mut sta, &cut, &model),
             Err(RetimeError::Internal(_))
         ));
+        // The budget path ran: the full MAX_ROUNDS of upsizing were
+        // applied (and synced back) before giving up.
+        let fresh =
+            retime_sta::NodeDelays::from_library(&cloud, &lib, DelayModel::PathBased).unwrap();
+        let g1 = cloud.find("g1").unwrap();
+        let expect = fresh.arc(g1).max() * SPEEDUP.powi(MAX_ROUNDS as i32);
+        assert!((sta.delays().arc(g1).max() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_round_repair_keeps_books() {
+        // Pick a clock that one 0.88× upsizing round cannot satisfy but a
+        // second can: arrival ≈ floor + s·path with s the cumulative
+        // speed-up, against a budget of floor + 0.82·path.
+        let n = bench::parse(
+            "mr",
+            "INPUT(a)\nOUTPUT(z)\ng1 = NOT(a)\ng2 = NOT(g1)\nz = BUFF(g2)\n",
+        )
+        .unwrap();
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let ref_sta = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let t = cloud.sinks()[0];
+        let launch = ref_sta.delays().launch();
+        let path = ref_sta.df(t) - launch;
+        let floor = launch + lib.latch().d_to_q;
+        let p = floor + 0.82 * path;
+        let mut sta = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(p),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let cut = Cut::initial(&cloud);
+        assert!(!sta.cut_timing(&cut).is_feasible());
+        let model = AreaModel::new(&lib, EdlOverhead::LOW);
+        let report = legalize(&mut sta, &cut, &model).unwrap();
+        assert!(report.clean);
+        assert!(report.rounds >= 2, "one 0.88x round cannot meet 0.82x");
+        // Every round upsizes all three gates of the single violating cone.
+        assert_eq!(report.upsized.len(), 3 * report.rounds);
+        assert!(report.area_penalty > 0.0);
+        // The rounds ran incrementally: one construction-time full pass,
+        // then dirty-region repairs only.
+        assert_eq!(report.sta.full_passes, 1);
+        assert!(report.sta.nodes_reevaluated > 0);
+        // The upsizing was synced back into the caller's analysis.
+        assert!(sta.cut_timing(&cut).is_feasible());
+    }
+
+    #[test]
+    fn gate_free_violation_breaks_without_upsizing() {
+        // Both sinks (the flop D-pin and the primary output) are driven
+        // straight from sources: the violating cones contain no gates, so
+        // the marked set is empty and legalization must give up
+        // immediately without touching the delay tables.
+        let n = bench::parse("gf", "INPUT(a)\nOUTPUT(q1)\nq1 = DFF(a)\n").unwrap();
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let mut sta = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(0.001),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let model = AreaModel::new(&lib, EdlOverhead::LOW);
+        let cut = Cut::initial(&cloud);
+        assert!(!sta.cut_timing(&cut).is_feasible());
+        let fresh = sta.delays().clone();
+        assert!(matches!(
+            legalize(&mut sta, &cut, &model),
+            Err(RetimeError::Internal(_))
+        ));
+        assert_eq!(
+            sta.delays(),
+            &fresh,
+            "the break path must not upsize anything"
+        );
     }
 }

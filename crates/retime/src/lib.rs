@@ -58,7 +58,7 @@ pub use area::{flop_design_area, master_backed_sinks, AreaModel, SeqBreakdown};
 pub use base::{base_retime, base_retime_with, RetimeOutcome, RunStats};
 pub use classic::{ClassicGraph, ClassicRetiming};
 pub use error::RetimeError;
-pub use legalize::{legalize, LegalizeReport};
+pub use legalize::{legalize, LegalizeReport, SPEEDUP as LEGALIZE_SPEEDUP};
 pub use problem::{
     RetimingProblem, RetimingSolution, SolverEngine, BREADTH_SCALE, COMMERCIAL_MOVEMENT_PENALTY,
 };

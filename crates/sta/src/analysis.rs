@@ -98,8 +98,9 @@ impl<'a> TimingAnalysis<'a> {
         }
     }
 
-    /// The analysed cloud.
-    pub fn cloud(&self) -> &CombCloud {
+    /// The analysed cloud (borrowed for the cloud's own lifetime, so
+    /// derived engines like `IncrementalTiming` can outlive `self`).
+    pub fn cloud(&self) -> &'a CombCloud {
         self.cloud
     }
 

@@ -39,10 +39,12 @@ pub mod analysis;
 pub mod backward;
 pub mod clock;
 pub mod forward;
+pub mod incremental;
 pub mod model;
 
 pub use analysis::{CutTiming, SinkClass, TimingAnalysis};
 pub use backward::BackwardPass;
 pub use clock::TwoPhaseClock;
 pub use forward::relaunch;
+pub use incremental::{IncrementalStats, IncrementalTiming};
 pub use model::{DelayModel, NodeDelays, StaError};

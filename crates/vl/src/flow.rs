@@ -14,7 +14,7 @@ use retime_retime::{
     AreaModel, Region, Regions, RetimeError, RetimeOutcome, RetimingProblem, RetimingSolution,
     SolverEngine,
 };
-use retime_sta::{DelayModel, SinkClass, TimingAnalysis, TwoPhaseClock};
+use retime_sta::{DelayModel, IncrementalTiming, SinkClass, TimingAnalysis, TwoPhaseClock};
 
 /// The three initial-typing variants of Section V.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -112,6 +112,10 @@ pub struct VlReport {
 #[derive(Default)]
 struct VlState<'a> {
     sta: Option<TimingAnalysis<'a>>,
+    /// Incremental timer seeded at the initial cut by the `Seed` stage and
+    /// reused by the `Swap` stage (replaying legalization and the final
+    /// cut as dirty-region edits instead of full recomputes).
+    inc: Option<IncrementalTiming<'a>>,
     base_regions: Option<Regions>,
     regions: Option<Regions>,
     /// `(sink idx, sink node, typed error-detecting)` per master-backed
@@ -157,8 +161,13 @@ pub fn vl_retime(
 
             // 1. Initial typing per master-backed sink. Near-criticality
             //    for RVL typing follows the paper's Table I definition:
-            //    arrival with the *initial* slave placement past Π.
-            let initial_timing = sta.cut_timing(&retime_netlist::Cut::initial(cloud));
+            //    arrival with the *initial* slave placement past Π. The
+            //    query runs on an incremental timer (bit-identical to
+            //    `sta.cut_timing`) that the swap stage later reuses.
+            let mut inc =
+                IncrementalTiming::from_analysis(sta, retime_netlist::Cut::initial(cloud));
+            let initial_timing = inc.cut_timing();
+            state.inc = Some(inc);
             state.typed = cloud
                 .sinks()
                 .iter()
@@ -266,26 +275,43 @@ pub fn vl_retime(
             let sol = state.sol.take().expect("solve stage ran");
             let area_model = AreaModel::new(lib, cfg.overhead);
             let sta = state.sta.as_mut().expect("sta stage ran");
-            state.outcome = Some(RetimeOutcome::assemble(
-                sta,
-                &area_model,
-                sol.cut,
-                sol.solver_time,
-                started,
-            )?);
+            let outcome =
+                RetimeOutcome::assemble(sta, &area_model, sol.cut, sol.solver_time, started)?;
+            outcome.legalize.record_counters(&mut ctx.timings);
+            ctx.data.outcome = Some(outcome);
             Ok(())
         })
         .stage(Stage::Swap, |ctx| {
             let state = &mut ctx.data;
             let outcome = state.outcome.as_mut().expect("commit stage ran");
             if cfg.post_swap {
-                // `assemble` already types by arrival; count differences
-                // from the initial typing.
+                // Re-type by actual arrival, answering the query on the
+                // Seed stage's incremental timer: the legalization
+                // upsizing and the final cut replay as dirty-region edits,
+                // and the resulting flags are bit-identical to the full
+                // recompute `assemble` performed.
+                let inc = state.inc.as_mut().expect("seed stage ran");
+                let before = inc.stats();
+                for &g in &outcome.legalize.upsized {
+                    inc.scale_node(g, retime_retime::LEGALIZE_SPEEDUP);
+                }
+                inc.set_cut(&outcome.cut);
+                let final_timing = inc.cut_timing();
+                let area_model = AreaModel::new(lib, cfg.overhead);
+                let ed_now = area_model.ed_flags(cloud, &final_timing);
+                debug_assert_eq!(
+                    ed_now, outcome.ed_sinks,
+                    "incremental swap typing must match the full recompute"
+                );
                 for &(i, _, ed) in &state.typed {
-                    if outcome.ed_sinks[i] != ed {
+                    if ed_now[i] != ed {
                         state.swapped += 1;
                     }
                 }
+                let work = inc.stats().since(&before);
+                ctx.timings
+                    .count("swap_reevaluated", work.nodes_reevaluated);
+                ctx.timings.count("swap_cache_hits", work.cache_hits);
             } else {
                 // Keep the initial typing (violations and waste included).
                 let area_model = AreaModel::new(lib, cfg.overhead);

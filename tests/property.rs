@@ -11,7 +11,9 @@ use resilient_retiming::liberty::{EdlOverhead, Library};
 use resilient_retiming::netlist::{CombCloud, Cut, NodeId, NodeKind};
 use resilient_retiming::retime::{Regions, RetimingProblem, SolverEngine};
 use resilient_retiming::sim::equivalent;
-use resilient_retiming::sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
+use resilient_retiming::sta::{
+    DelayModel, IncrementalTiming, NodeDelays, TimingAnalysis, TwoPhaseClock,
+};
 
 fn small_config() -> impl Strategy<Value = SynthConfig> {
     (
@@ -138,6 +140,98 @@ proptest! {
                     classify_and_cut_set(&sta, &single)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn incremental_sta_matches_full_recompute(cfg in small_config()) {
+        // The dirty-region engine must stay bit-identical to a fresh
+        // from-scratch analysis after every edit in a random sequence of
+        // delay scalings and cut moves — arrivals, EDL flags, and both
+        // violation sets.
+        let n = cfg.generate().expect("generates");
+        let cloud = CombCloud::extract(&n).expect("extracts");
+        let lib = Library::fdsoi28();
+        let sta0 = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::PathBased,
+        ).expect("sta builds");
+        let crit = cloud.sinks().iter().map(|&t| sta0.df(t)).fold(0.0f64, f64::max);
+        // Tight enough that EDL flags and violations actually flip as
+        // delays and latch positions change.
+        let clock = TwoPhaseClock::from_max_delay(crit * 0.85 + 0.05);
+        let mut inc = IncrementalTiming::new(
+            &cloud,
+            &lib,
+            clock,
+            DelayModel::PathBased,
+            Cut::initial(&cloud),
+        ).expect("engine builds");
+
+        // Deterministic pseudo-random op sequence seeded by the config.
+        let gates: Vec<NodeId> = (0..cloud.len())
+            .map(|i| NodeId(i as u32))
+            .filter(|&v| matches!(cloud.node(v).kind, NodeKind::Gate { .. }))
+            .collect();
+        prop_assert!(!gates.is_empty(), "configs always synthesize gates");
+        let mut rng = cfg.seed | 1;
+        let mut next = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        // Snapshots of (delays, cut, timing) after each step, re-verified
+        // across thread counts below.
+        let mut snapshots: Vec<(NodeDelays, Cut)> = Vec::new();
+        let mut results = Vec::new();
+        for step in 0..12 {
+            if step % 3 == 2 {
+                // Cut move: grow the moved set by the fan-in closure of a
+                // random non-sink node (closures never contain sinks, so
+                // the cut stays valid).
+                let v = NodeId((next() as usize % cloud.len()) as u32);
+                if cloud.node(v).is_sink() {
+                    continue;
+                }
+                let mut cut = inc.cut().clone();
+                for u in cloud.fanin_cone(v) {
+                    cut.set_moved(u, true);
+                }
+                cut.validate(&cloud).expect("closure cuts are valid");
+                inc.set_cut(&cut);
+            } else {
+                // Delay edit: scale a random gate up or down.
+                let g = gates[next() as usize % gates.len()];
+                let k = [0.8, 0.9, 1.1, 1.25][next() as usize % 4];
+                inc.scale_node(g, k);
+            }
+            let got = inc.cut_timing();
+            let fresh = TimingAnalysis::with_delays(&cloud, inc.delays().clone(), clock);
+            let want = fresh.cut_timing(inc.cut());
+            // Equal as values, and bit-identical as floats (`==` alone
+            // would let -0.0 pass for 0.0).
+            prop_assert_eq!(&got, &want, "divergence at step {}", step);
+            for (a, b) in got.sink_arrivals.iter().zip(&want.sink_arrivals) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            snapshots.push((inc.delays().clone(), inc.cut().clone()));
+            results.push(got);
+        }
+        prop_assert_eq!(inc.stats().full_passes, 1, "repairs must stay incremental");
+        // The same snapshots re-timed under different RETIME_THREADS-style
+        // fan-outs must reproduce the incremental results bit-for-bit
+        // (fresh analyses are per-item, so index-ordered parallel_map
+        // keeps them deterministic).
+        for threads in [1usize, 4, 0] {
+            let replayed = resilient_retiming::engine::parallel_map(
+                threads,
+                &snapshots,
+                |(delays, cut)| {
+                    TimingAnalysis::with_delays(&cloud, delays.clone(), clock).cut_timing(cut)
+                },
+            );
+            prop_assert_eq!(&replayed, &results, "threads={}", threads);
         }
     }
 
