@@ -1,14 +1,38 @@
 //! Table I: circuit information of the original flop-based designs.
 
-use retime_bench::{load_suite, map_cases, print_table, table1_row};
+use retime_bench::{certify_case, load_suite, map_cases, print_table, table1_row, verify_enabled};
 use retime_liberty::{EdlOverhead, Library};
-use retime_retime::AreaModel;
+use retime_retime::{base_retime, AreaModel};
+use retime_sta::DelayModel;
+use retime_verify::FlowKind;
 
 fn main() {
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
     let model = AreaModel::new(&lib, EdlOverhead::MEDIUM);
     let rows = map_cases(&cases, |case| {
+        if verify_enabled() {
+            // Table I itself runs no retiming; under RETIME_VERIFY=1 it
+            // still self-certifies a base run per case so every table
+            // binary exercises the checker.
+            let mut base = base_retime(
+                &case.circuit.cloud,
+                &lib,
+                case.clock,
+                DelayModel::PathBased,
+                EdlOverhead::MEDIUM,
+            )
+            .expect("base flow runs");
+            certify_case(
+                case,
+                &lib,
+                EdlOverhead::MEDIUM,
+                FlowKind::Base,
+                "base",
+                &mut base,
+            )
+            .expect("certificate accepted");
+        }
         let mut row = table1_row(case, &lib, &model);
         // The setup-time column is wall-clock (non-deterministic), so it
         // lives only in the binary, not in the snapshot-tested cells.

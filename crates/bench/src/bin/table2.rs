@@ -3,11 +3,14 @@
 
 use std::time::Instant;
 
-use retime_bench::{f2, load_suite, map_cases, mean, pct_impr, print_table};
+use retime_bench::{
+    certify, f2, load_suite, map_cases, mean, pct_impr, print_table, verify_enabled,
+};
 use retime_core::{grar, GrarConfig};
 use retime_liberty::{EdlOverhead, Library};
 use retime_retime::{AreaModel, RetimeOutcome};
 use retime_sta::{DelayModel, TimingAnalysis};
+use retime_verify::FlowKind;
 
 fn main() {
     let lib = Library::fdsoi28();
@@ -16,20 +19,41 @@ fn main() {
         let mut row = vec![case.circuit.spec.name.to_string()];
         let mut imprs = [0.0f64; 3];
         for (k, c) in EdlOverhead::SWEEP.into_iter().enumerate() {
-            let gate = grar(
+            let mut gate = grar(
                 &case.circuit.cloud,
                 &lib,
                 case.clock,
                 &GrarConfig::new(c).with_model(DelayModel::GateBased),
             )
             .expect("gate-based G-RAR runs");
-            let path = grar(
+            let mut path = grar(
                 &case.circuit.cloud,
                 &lib,
                 case.clock,
                 &GrarConfig::new(c).with_model(DelayModel::PathBased),
             )
             .expect("path-based G-RAR runs");
+            if verify_enabled() {
+                // Each optimization run certifies against the delay
+                // model that drove it.
+                for (report, model, label) in [
+                    (&mut gate, DelayModel::GateBased, "grar/gate"),
+                    (&mut path, DelayModel::PathBased, "grar/path"),
+                ] {
+                    certify(
+                        &case.circuit.netlist,
+                        &case.circuit.cloud,
+                        &lib,
+                        case.clock,
+                        model,
+                        c,
+                        FlowKind::Grar,
+                        &format!("{} [{label}]", case.circuit.spec.name),
+                        &mut report.outcome,
+                    )
+                    .expect("certificate accepted");
+                }
+            }
             // As in the paper, both placements are signed off by the
             // accurate (path-based) timing engine; the gate-based model
             // only drove the *optimization*.

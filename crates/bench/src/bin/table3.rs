@@ -1,7 +1,8 @@
 //! Table III: area comparison of the three virtual-library variants.
 
-use retime_bench::{f2, load_suite, map_cases, mean, print_table};
+use retime_bench::{certify_case, f2, load_suite, map_cases, mean, print_table, verify_enabled};
 use retime_liberty::{EdlOverhead, Library};
+use retime_verify::FlowKind;
 use retime_vl::{vl_retime, VlConfig, VlVariant};
 
 fn main() {
@@ -13,13 +14,24 @@ fn main() {
         let mut col = 0;
         for c in EdlOverhead::SWEEP {
             for variant in [VlVariant::Nvl, VlVariant::Evl, VlVariant::Rvl] {
-                let rep = vl_retime(
+                let mut rep = vl_retime(
                     &case.circuit.cloud,
                     &lib,
                     case.clock,
                     &VlConfig::new(variant, c),
                 )
                 .expect("VL flow runs");
+                if verify_enabled() {
+                    certify_case(
+                        case,
+                        &lib,
+                        c,
+                        FlowKind::Vl,
+                        variant.name(),
+                        &mut rep.outcome,
+                    )
+                    .expect("certificate accepted");
+                }
                 areas[col] = rep.outcome.total_area;
                 row.push(f2(rep.outcome.total_area));
                 col += 1;

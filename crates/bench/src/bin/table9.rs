@@ -1,8 +1,10 @@
 //! Table IX: fixed-master vs movable-master RVL-RAR.
 
-use retime_bench::{f2, load_suite, map_cases, mean, print_table};
+use retime_bench::{certify, f2, load_suite, map_cases, mean, print_table, verify_enabled};
 use retime_liberty::{EdlOverhead, Library};
 use retime_netlist::CombCloud;
+use retime_sta::DelayModel;
+use retime_verify::FlowKind;
 use retime_vl::{forward_merge_pass, vl_retime, VlConfig, VlVariant};
 
 fn main() {
@@ -17,20 +19,46 @@ fn main() {
             forward_merge_pass(&case.circuit.netlist, 64).expect("merge pass runs");
         let moved_cloud = CombCloud::extract(&moved_netlist).expect("cloud extracts");
         for (k, c) in EdlOverhead::SWEEP.into_iter().enumerate() {
-            let fixed = vl_retime(
+            let mut fixed = vl_retime(
                 &case.circuit.cloud,
                 &lib,
                 case.clock,
                 &VlConfig::new(VlVariant::Rvl, c),
             )
             .expect("fixed RVL runs");
-            let movable = vl_retime(
+            let mut movable = vl_retime(
                 &moved_cloud,
                 &lib,
                 case.clock,
                 &VlConfig::new(VlVariant::Rvl, c),
             )
             .expect("movable RVL runs");
+            if verify_enabled() {
+                // The movable run certifies against the merged netlist
+                // and its cloud — the circuit it actually retimed.
+                for (rep, netlist, cloud, label) in [
+                    (
+                        &mut fixed,
+                        &case.circuit.netlist,
+                        &case.circuit.cloud,
+                        "rvl/fixed",
+                    ),
+                    (&mut movable, &moved_netlist, &moved_cloud, "rvl/movable"),
+                ] {
+                    certify(
+                        netlist,
+                        cloud,
+                        &lib,
+                        case.clock,
+                        DelayModel::PathBased,
+                        c,
+                        FlowKind::Vl,
+                        &format!("{} [{label}]", case.circuit.spec.name),
+                        &mut rep.outcome,
+                    )
+                    .expect("certificate accepted");
+                }
+            }
             let fa = fixed.outcome.total_area;
             let ma = movable.outcome.total_area;
             let diff = if fa > 0.0 {

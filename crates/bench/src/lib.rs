@@ -12,6 +12,13 @@
 //! `full` (default — all twelve circuits), `small` (≤ 200 flip-flops),
 //! or `tiny` (the four smallest; used by the smoke tests).
 //!
+//! With `RETIME_VERIFY=1`, every flow result additionally passes the
+//! independent certificate checker of `retime-verify` (ILP feasibility,
+//! optimality for G-RAR, timing/EDL/area recount, and functional
+//! equivalence under random stimulus) before it is tabulated; the
+//! verification wall-clock shows up as the `verify` phase of each
+//! outcome's instrumentation.
+//!
 //! Criterion benches (`benches/`) cover algorithm-level scaling:
 //! network-flow engines, STA passes, cut-set construction, and
 //! end-to-end G-RAR, plus the ablation studies called out in
@@ -22,8 +29,10 @@ use std::time::Instant;
 use retime_circuits::{paper_suite, SuiteCircuit};
 use retime_core::{grar, GrarConfig, GrarReport};
 use retime_liberty::{EdlOverhead, Library};
+use retime_netlist::{CombCloud, Netlist};
 use retime_retime::{base_retime, flop_design_area, AreaModel, RetimeError, RetimeOutcome};
 use retime_sta::{DelayModel, TwoPhaseClock};
+use retime_verify::{verify_certificate, FlowKind, VerifyOptions, VerifySetup};
 use retime_vl::{vl_retime, VlConfig, VlReport, VlVariant};
 
 /// A suite circuit with its calibrated clock.
@@ -94,19 +103,93 @@ pub struct Approaches {
     pub grar: GrarReport,
 }
 
-/// Runs base retiming, RVL-RAR, and G-RAR on one case.
+/// Whether `RETIME_VERIFY=1` requested self-certification of every flow
+/// result (one switch shared by all table binaries).
+pub fn verify_enabled() -> bool {
+    retime_verify::enabled()
+}
+
+/// Runs the independent certificate checker of `retime-verify` on one
+/// flow result and merges the verification wall-clock and counters into
+/// the outcome's phase instrumentation (`Stage::Verify`). `label` names
+/// the run in the failure message.
 ///
 /// # Errors
-/// Propagates flow failures.
+/// Returns [`RetimeError::Internal`] carrying the checker's diagnosis
+/// when the certificate is rejected.
+#[allow(clippy::too_many_arguments)]
+pub fn certify(
+    netlist: &Netlist,
+    cloud: &CombCloud,
+    lib: &Library,
+    clock: TwoPhaseClock,
+    model: DelayModel,
+    c: EdlOverhead,
+    kind: FlowKind,
+    label: &str,
+    outcome: &mut RetimeOutcome,
+) -> Result<(), RetimeError> {
+    let setup = VerifySetup {
+        netlist,
+        cloud,
+        lib,
+        clock,
+        model,
+        overhead: c,
+    };
+    let report = verify_certificate(&setup, kind, outcome, &VerifyOptions::default())
+        .map_err(|e| RetimeError::Internal(format!("certificate rejected for {label}: {e}")))?;
+    outcome.phases.merge(&report.phases);
+    Ok(())
+}
+
+/// [`certify`] against a suite case's circuit, with the default
+/// path-based delay model the table flows use.
+///
+/// # Errors
+/// Returns [`RetimeError::Internal`] carrying the checker's diagnosis
+/// when the certificate is rejected.
+pub fn certify_case(
+    case: &BenchCase,
+    lib: &Library,
+    c: EdlOverhead,
+    kind: FlowKind,
+    label: &str,
+    outcome: &mut RetimeOutcome,
+) -> Result<(), RetimeError> {
+    certify(
+        &case.circuit.netlist,
+        &case.circuit.cloud,
+        lib,
+        case.clock,
+        DelayModel::PathBased,
+        c,
+        kind,
+        &format!("{} [{label}]", case.circuit.spec.name),
+        outcome,
+    )
+}
+
+/// Runs base retiming, RVL-RAR, and G-RAR on one case. With
+/// `RETIME_VERIFY=1`, each of the three results must additionally pass
+/// the independent certificate checker.
+///
+/// # Errors
+/// Propagates flow failures and rejected certificates.
 pub fn run_approaches(
     case: &BenchCase,
     lib: &Library,
     c: EdlOverhead,
 ) -> Result<Approaches, RetimeError> {
     let cloud = &case.circuit.cloud;
-    let base = base_retime(cloud, lib, case.clock, DelayModel::PathBased, c)?;
-    let rvl = vl_retime(cloud, lib, case.clock, &VlConfig::new(VlVariant::Rvl, c))?;
-    let g = grar(cloud, lib, case.clock, &GrarConfig::new(c))?;
+    let mut base = base_retime(cloud, lib, case.clock, DelayModel::PathBased, c)?;
+    let mut rvl = vl_retime(cloud, lib, case.clock, &VlConfig::new(VlVariant::Rvl, c))?;
+    let mut g = grar(cloud, lib, case.clock, &GrarConfig::new(c))?;
+    if verify_enabled() {
+        certify_case(case, lib, c, FlowKind::Base, "base", &mut base)?;
+        certify_case(case, lib, c, FlowKind::Vl, "rvl", &mut rvl.outcome)?;
+        certify_case(case, lib, c, FlowKind::Grar, "grar", &mut g.outcome)?;
+    }
     Ok(Approaches { base, rvl, grar: g })
 }
 

@@ -10,7 +10,8 @@ use std::time::{Duration, Instant};
 /// `Sta → Solve → Commit`, G-RAR inserts `Classify` (the per-target
 /// backward passes and cut-set construction that dominate its runtime),
 /// and the virtual-library flow adds its typing/freezing `Seed` pass and
-/// the post-retiming `Swap` step.
+/// the post-retiming `Swap` step. When `RETIME_VERIFY=1`, every flow
+/// appends the independent certificate-checker `Verify` stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Stage {
     /// Forward STA, region computation, problem construction.
@@ -25,17 +26,20 @@ pub enum Stage {
     Commit,
     /// Post-retiming latch-type swap.
     Swap,
+    /// Independent certificate verification of the finished result.
+    Verify,
 }
 
 impl Stage {
     /// All stages, in canonical execution order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Sta,
         Stage::Seed,
         Stage::Classify,
         Stage::Solve,
         Stage::Commit,
         Stage::Swap,
+        Stage::Verify,
     ];
 
     /// Stable display name.
@@ -47,6 +51,7 @@ impl Stage {
             Stage::Solve => "solve",
             Stage::Commit => "commit",
             Stage::Swap => "swap",
+            Stage::Verify => "verify",
         }
     }
 
@@ -58,6 +63,7 @@ impl Stage {
             Stage::Solve => 3,
             Stage::Commit => 4,
             Stage::Swap => 5,
+            Stage::Verify => 6,
         }
     }
 }

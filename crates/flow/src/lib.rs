@@ -12,7 +12,11 @@
 //!   the default) and [`MinCostFlow::solve_network_simplex`] (a
 //!   spanning-tree network simplex, the algorithm class the paper uses).
 //!   Both return identical objective values; the test-suite cross-checks
-//!   them on randomized instances.
+//!   them on randomized instances. A third engine,
+//!   [`MinCostFlow::solve_reference`], is a deliberately-slow plain
+//!   successive-shortest-paths solver (one Bellman–Ford per
+//!   augmentation) sharing no search machinery with the fast paths — the
+//!   differential reference `retime-verify` audits the others against.
 //! * [`MaxFlow`] — Dinic's algorithm.
 //! * [`Closure`] — maximum-weight closure via min-cut. Because the
 //!   retiming variables are binary (`r(v) ∈ {−1, 0}`), the retiming ILP is

@@ -124,6 +124,17 @@ impl MinCostFlow {
         (self.head[e + 1], self.head[e], self.cap[e], self.cost[e])
     }
 
+    /// The `(from, to, capacity, cost)` of a user arc — the public
+    /// introspection hook external certificate checkers use to audit a
+    /// [`FlowSolution`] (conservation, capacity bounds, complementary
+    /// slackness) without re-deriving the instance.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn arc_info(&self, id: ArcId) -> (usize, usize, i64, i64) {
+        self.raw_arc(id.0)
+    }
+
     fn push_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) {
         self.adj[from].push(self.head.len());
         self.head.push(to);
@@ -244,6 +255,119 @@ impl MinCostFlow {
         // virtual everywhere-source (Bellman-Ford to a fixpoint). The
         // optimal residual graph has no negative cycles, so this
         // terminates and certifies optimality.
+        let potentials = residual_potentials(&g, self.n);
+        Ok(FlowSolution {
+            cost,
+            flows,
+            potentials,
+        })
+    }
+
+    /// Solves by *plain* successive shortest paths: one Bellman–Ford
+    /// shortest-path computation per augmentation over the residual
+    /// graph, pushing a single path's bottleneck at a time — no Johnson
+    /// potentials, no Dijkstra, no blocking flow.
+    ///
+    /// Deliberately the simplest correct min-cost-flow algorithm in the
+    /// crate: it shares no search machinery with [`MinCostFlow::solve`]
+    /// or the network simplex, so it serves as the differential
+    /// reference those engines are cross-checked against (see
+    /// `retime-verify`). Quadratic-ish and slow — not a production path.
+    ///
+    /// # Errors
+    /// [`FlowError::UnbalancedDemands`] if demands do not sum to zero,
+    /// [`FlowError::Infeasible`] if the demands cannot be routed,
+    /// [`FlowError::NegativeCycle`] if relaxation fails to converge.
+    pub fn solve_reference(&self) -> Result<FlowSolution, FlowError> {
+        let total: i64 = self.demand.iter().sum();
+        if total != 0 {
+            return Err(FlowError::UnbalancedDemands { total });
+        }
+        // Working copy with super source / sink appended, exactly as in
+        // `solve` — the two engines share only the instance encoding.
+        let s = self.n;
+        let t = self.n + 1;
+        let mut g = self.clone();
+        g.n += 2;
+        g.adj.push(Vec::new());
+        g.adj.push(Vec::new());
+        g.demand.push(0);
+        g.demand.push(0);
+        let mut required = 0i64;
+        for v in 0..self.n {
+            let b = self.demand[v];
+            if b < 0 {
+                g.push_edge(s, v, -b, 0);
+            } else if b > 0 {
+                g.push_edge(v, t, b, 0);
+                required += b;
+            }
+        }
+
+        let mut shipped = 0i64;
+        while shipped < required {
+            // Queue-based Bellman-Ford with parent-edge tracking; costs
+            // in the residual graph may be negative, so no Dijkstra.
+            let mut dist = vec![i64::MAX; g.n];
+            let mut parent = vec![usize::MAX; g.n];
+            let mut in_queue = vec![false; g.n];
+            let mut relaxations = vec![0usize; g.n];
+            let mut queue = std::collections::VecDeque::new();
+            dist[s] = 0;
+            queue.push_back(s);
+            in_queue[s] = true;
+            while let Some(u) = queue.pop_front() {
+                in_queue[u] = false;
+                for &e in &g.adj[u] {
+                    if g.cap[e] == 0 {
+                        continue;
+                    }
+                    let v = g.head[e];
+                    let nd = dist[u] + g.cost[e];
+                    if nd < dist[v] {
+                        dist[v] = nd;
+                        parent[v] = e;
+                        relaxations[v] += 1;
+                        if relaxations[v] > g.n {
+                            return Err(FlowError::NegativeCycle);
+                        }
+                        if !in_queue[v] {
+                            in_queue[v] = true;
+                            queue.push_back(v);
+                        }
+                    }
+                }
+            }
+            if dist[t] == i64::MAX {
+                return Err(FlowError::Infeasible);
+            }
+            // Bottleneck of the shortest path, then push along it. The
+            // paired edge representation makes `e ^ 1` the reverse arc,
+            // whose head is the tail of `e`.
+            let mut push = required - shipped;
+            let mut v = t;
+            while v != s {
+                let e = parent[v];
+                push = push.min(g.cap[e]);
+                v = g.head[e ^ 1];
+            }
+            let mut v = t;
+            while v != s {
+                let e = parent[v];
+                g.cap[e] -= push;
+                g.cap[e ^ 1] += push;
+                v = g.head[e ^ 1];
+            }
+            shipped += push;
+        }
+
+        let mut flows = Vec::with_capacity(self.user_arcs);
+        let mut cost = 0i64;
+        for a in 0..self.user_arcs {
+            let f = g.cap[2 * a + 1];
+            flows.push(f);
+            cost += f * self.cost[2 * a];
+        }
         let potentials = residual_potentials(&g, self.n);
         Ok(FlowSolution {
             cost,
@@ -543,6 +667,111 @@ mod tests {
     fn self_loop_rejected() {
         let mut p = MinCostFlow::new(2);
         p.add_arc(1, 1, 1, 1);
+    }
+
+    #[test]
+    fn reference_matches_fast_engine_on_basics() {
+        // Every scenario the fast SSP is unit-tested on, replayed
+        // through the reference solver: identical objective, and an
+        // identical error on the degenerate instances.
+        let build = |arcs: &[(usize, usize, i64, i64)], demands: &[(usize, i64)], n: usize| {
+            let mut p = MinCostFlow::new(n);
+            for &(u, v, cap, cost) in arcs {
+                p.add_arc(u, v, cap, cost);
+            }
+            for &(v, b) in demands {
+                p.set_demand(v, b);
+            }
+            p
+        };
+        let cases: Vec<MinCostFlow> = vec![
+            build(
+                &[(0, 1, 10, 1), (1, 2, 10, 1), (0, 2, 10, 3)],
+                &[(0, -5), (2, 5)],
+                3,
+            ),
+            build(
+                &[(0, 1, 3, 1), (1, 2, 3, 1), (0, 2, 10, 3)],
+                &[(0, -5), (2, 5)],
+                3,
+            ),
+            build(
+                &[(0, 1, 10, -2), (1, 2, 10, 1), (0, 2, 10, 0)],
+                &[(0, -4), (2, 4)],
+                3,
+            ),
+            build(
+                &[(0, 1, 10, -1), (1, 0, 10, 1), (0, 2, 10, 2)],
+                &[(1, -3), (2, 3)],
+                3,
+            ),
+            build(
+                &[(0, 2, 10, 1), (1, 2, 10, 2), (2, 3, 10, 1), (2, 4, 10, 3)],
+                &[(0, -3), (1, -2), (3, 4), (4, 1)],
+                5,
+            ),
+        ];
+        for (i, p) in cases.iter().enumerate() {
+            let fast = p.solve().expect("fast engine solves");
+            let slow = p.solve_reference().expect("reference solves");
+            assert_eq!(fast.cost, slow.cost, "objective mismatch on case {i}");
+        }
+    }
+
+    #[test]
+    fn reference_rejects_degenerate_instances() {
+        let mut p = MinCostFlow::new(2);
+        p.add_arc(0, 1, 10, 1);
+        p.set_demand(0, -5);
+        p.set_demand(1, 4);
+        assert_eq!(
+            p.solve_reference(),
+            Err(FlowError::UnbalancedDemands { total: -1 })
+        );
+
+        let mut p = MinCostFlow::new(3);
+        p.add_arc(0, 1, 2, 1);
+        p.add_arc(1, 2, 10, 1);
+        p.set_demand(0, -5);
+        p.set_demand(2, 5);
+        assert_eq!(p.solve_reference(), Err(FlowError::Infeasible));
+
+        let mut p = MinCostFlow::new(3);
+        p.add_arc(0, 1, 10, -4);
+        p.add_arc(1, 0, 10, -4);
+        p.add_arc(0, 2, 10, 1);
+        p.set_demand(0, -1);
+        p.set_demand(2, 1);
+        assert_eq!(p.solve_reference(), Err(FlowError::NegativeCycle));
+    }
+
+    #[test]
+    fn reference_dual_certificate_holds() {
+        let mut p = MinCostFlow::new(4);
+        let arcs = [
+            (0usize, 1usize, 5i64, 2i64),
+            (0, 2, 5, 1),
+            (2, 1, 5, 0),
+            (1, 3, 10, 1),
+            (2, 3, 2, 4),
+        ];
+        for &(u, v, cap, cost) in &arcs {
+            p.add_arc(u, v, cap, cost);
+        }
+        p.set_demand(0, -6);
+        p.set_demand(3, 6);
+        let sol = p.solve_reference().unwrap();
+        for (i, &(u, v, cap, cost)) in arcs.iter().enumerate() {
+            let f = sol.flows[i];
+            let y = &sol.potentials;
+            assert_eq!(p.arc_info(ArcId(i)), (u, v, cap, cost));
+            if f < cap {
+                assert!(y[v] - y[u] <= cost, "dual violated on unsaturated arc {i}");
+            }
+            if f > 0 {
+                assert!(y[v] - y[u] >= cost, "dual violated on flowing arc {i}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Differential testing of the min-cost-flow engines.
+//!
+//! Random instances are *feasible by construction*: a flow is planned
+//! arc by arc, capacities are the planned flow plus slack, and node
+//! demands are exactly the planned flow's excess. The production
+//! engines — primal-dual SSP ([`MinCostFlow::solve`]) and the network
+//! simplex — are then cross-checked against the deliberately simple
+//! reference solver ([`MinCostFlow::solve_reference`]): all three must
+//! agree on the objective, and every returned solution must satisfy
+//! capacity bounds, flow conservation against the stored demands, the
+//! reported cost, and complementary slackness with its own potentials.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retime_flow::{ArcId, FlowSolution, MinCostFlow};
+
+/// Builds a random feasible instance from scalar parameters.
+///
+/// When `dag_negative` is set every arc runs from a lower- to a
+/// higher-numbered node, so the graph is acyclic and negative costs
+/// cannot form a negative directed cycle. Otherwise arcs run in either
+/// direction but all costs are non-negative — no negative cycle exists
+/// in either mode, which every engine requires.
+fn random_instance(nodes: usize, arcs: usize, dag_negative: bool, seed: u64) -> MinCostFlow {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = MinCostFlow::new(nodes);
+    for _ in 0..arcs {
+        let a = rng.random_range(0..nodes);
+        let b = rng.random_range(0..nodes);
+        if a == b {
+            continue;
+        }
+        let (from, to) = if dag_negative && a > b {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        let planned = rng.random_range(0..=4i64);
+        let cap = planned + rng.random_range(1..=4i64);
+        let cost = if dag_negative {
+            rng.random_range(-4..=8i64)
+        } else {
+            rng.random_range(0..=8i64)
+        };
+        p.add_arc(from, to, cap, cost);
+        p.add_demand(to, planned);
+        p.add_demand(from, -planned);
+    }
+    p
+}
+
+/// Primal and dual sanity of one engine's answer: capacity bounds,
+/// conservation against the instance demands, cost recomputation, and
+/// complementary slackness between the flows and the potentials.
+fn check_solution(p: &MinCostFlow, sol: &FlowSolution, engine: &str) {
+    assert_eq!(
+        sol.flows.len(),
+        p.arc_count(),
+        "{engine}: flow vector length"
+    );
+    assert_eq!(
+        sol.potentials.len(),
+        p.node_count(),
+        "{engine}: potential vector length"
+    );
+    let mut excess = vec![0i64; p.node_count()];
+    let mut cost = 0i64;
+    for (a, &f) in sol.flows.iter().enumerate() {
+        let (from, to, cap, arc_cost) = p.arc_info(ArcId(a));
+        assert!(
+            (0..=cap).contains(&f),
+            "{engine}: arc {a} flow {f} outside [0, {cap}]"
+        );
+        excess[to] += f;
+        excess[from] -= f;
+        cost += f * arc_cost;
+        let dual_gain = sol.potentials[to] - sol.potentials[from];
+        if f < cap {
+            assert!(
+                dual_gain <= arc_cost,
+                "{engine}: arc {a} unsaturated but dual gain {dual_gain} > cost {arc_cost}"
+            );
+        }
+        if f > 0 {
+            assert!(
+                dual_gain >= arc_cost,
+                "{engine}: arc {a} carries flow but dual gain {dual_gain} < cost {arc_cost}"
+            );
+        }
+    }
+    for (v, &net) in excess.iter().enumerate() {
+        assert_eq!(
+            net,
+            p.demand(v),
+            "{engine}: conservation violated at node {v}"
+        );
+    }
+    assert_eq!(cost, sol.cost, "{engine}: reported cost mismatch");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All three engines solve every feasible instance, agree on the
+    /// objective value, and return primally/dually consistent answers.
+    #[test]
+    fn engines_agree_on_random_instances(
+        nodes in 2usize..12,
+        arcs in 0usize..24,
+        seed in any::<u64>(),
+        dag_negative in any::<bool>(),
+    ) {
+        let p = random_instance(nodes, arcs, dag_negative, seed);
+        let fast = p.solve().expect("primal-dual SSP solves a feasible instance");
+        let simplex = p
+            .solve_network_simplex()
+            .expect("network simplex solves a feasible instance");
+        let reference = p
+            .solve_reference()
+            .expect("reference SSP solves a feasible instance");
+        prop_assert_eq!(fast.cost, reference.cost, "fast SSP vs reference objective");
+        prop_assert_eq!(simplex.cost, reference.cost, "simplex vs reference objective");
+        check_solution(&p, &fast, "fast SSP");
+        check_solution(&p, &simplex, "network simplex");
+        check_solution(&p, &reference, "reference SSP");
+    }
+}

@@ -34,6 +34,11 @@ pub enum SolverEngine {
     /// Max-weight closure via min-cut — exploits the binary structure of
     /// `r(v) ∈ {−1, 0}`; used as an independent exactness oracle.
     Closure,
+    /// Plain successive-shortest-paths on the same dual
+    /// ([`MinCostFlow::solve_reference`]) — the deliberately-slow
+    /// reference engine the certificate checker re-solves with when
+    /// auditing a flow's claimed optimum.
+    ReferenceSsp,
 }
 
 /// What a flow node stands for.
@@ -266,9 +271,9 @@ impl RetimingProblem {
     pub fn solve(&self, engine: SolverEngine) -> Result<RetimingSolution, RetimeError> {
         let start = Instant::now();
         let r = match engine {
-            SolverEngine::MinCostFlow | SolverEngine::NetworkSimplex => {
-                self.solve_via_flow(engine)?
-            }
+            SolverEngine::MinCostFlow
+            | SolverEngine::NetworkSimplex
+            | SolverEngine::ReferenceSsp => self.solve_via_flow(engine)?,
             SolverEngine::Closure => self.solve_via_closure()?,
         };
         let solver_time = start.elapsed();
@@ -328,6 +333,7 @@ impl RetimingProblem {
         let sol = match engine {
             SolverEngine::MinCostFlow => flow.solve(),
             SolverEngine::NetworkSimplex => flow.solve_network_simplex(),
+            SolverEngine::ReferenceSsp => flow.solve_reference(),
             SolverEngine::Closure => unreachable!("handled by caller"),
         }
         .map_err(RetimeError::from)?;
@@ -387,6 +393,20 @@ impl RetimingProblem {
             .iter()
             .map(|e| e.beta * (e.w + r[e.to] - r[e.from]))
             .sum()
+    }
+
+    /// Extends a cloud assignment with the derived optimal mirror
+    /// (`max` of fanout values), pseudo (`max` of `g(t)` values), and
+    /// host (`0`) labels — the complete label vector over
+    /// [`RetimingProblem::node_count`] variables that certificate
+    /// checkers hand to `IlpFormulation::is_feasible`.
+    ///
+    /// # Panics
+    /// Panics if `moved_cloud.len()` differs from
+    /// [`RetimingProblem::cloud_len`].
+    pub fn full_assignment_for(&self, moved_cloud: &[bool]) -> Vec<i64> {
+        assert_eq!(moved_cloud.len(), self.n_cloud);
+        self.full_assignment(moved_cloud)
     }
 
     /// Extends a cloud assignment with derived mirror/pseudo/host values.
@@ -538,8 +558,10 @@ z = NOT(h)
         let a = prob.solve(SolverEngine::MinCostFlow).unwrap();
         let b = prob.solve(SolverEngine::NetworkSimplex).unwrap();
         let c = prob.solve(SolverEngine::Closure).unwrap();
+        let d = prob.solve(SolverEngine::ReferenceSsp).unwrap();
         assert_eq!(a.objective_scaled, b.objective_scaled);
         assert_eq!(a.objective_scaled, c.objective_scaled);
+        assert_eq!(a.objective_scaled, d.objective_scaled);
     }
 
     #[test]
@@ -681,6 +703,7 @@ w = BUFF(b)
             SolverEngine::MinCostFlow,
             SolverEngine::NetworkSimplex,
             SolverEngine::Closure,
+            SolverEngine::ReferenceSsp,
         ] {
             let sol = prob.solve(engine).unwrap();
             assert_eq!(

@@ -1,0 +1,469 @@
+//! The retiming-certificate checker.
+//!
+//! [`verify_certificate`] takes a finished flow result (base, G-RAR, or
+//! virtual-library) and re-derives everything it claims from scratch:
+//! the region bounds and target cut-sets come from a fresh STA pass on
+//! the *original* library delays, the ILP is rebuilt and the labels
+//! checked against it, timing and EDL typing are recomputed from the
+//! outcome's final (legalized) delays, the area bill is recounted
+//! against the library, and the retimed netlist is simulated against the
+//! original. For G-RAR — whose movement penalty is a pure tie-break —
+//! the checker additionally re-solves the problem with the slow
+//! reference engine and demands objective equality, certifying
+//! optimality, not just feasibility.
+//!
+//! Soundness across flows: the virtual-library flow only *tightens*
+//! retiming regions (Free → Forbidden when freezing cones, Free →
+//! Mandatory when forcing targets), so every flow's cut must satisfy the
+//! base region bounds the checker rebuilds — ILP feasibility is checked
+//! for all three flows, optimality for G-RAR only.
+
+use retime_core::{classify_many, IlpFormulation};
+use retime_engine::{FlowContext, PhaseTimings, Pipeline, Stage};
+use retime_liberty::{EdlOverhead, Library};
+use retime_netlist::{CombCloud, Netlist, NodeId, NodeKind};
+use retime_retime::{
+    AreaModel, Regions, RetimeOutcome, RetimingProblem, RetimingSolution, SolverEngine,
+    BREADTH_SCALE,
+};
+use retime_sim::equivalent;
+use retime_sta::{CutTiming, DelayModel, SinkClass, TimingAnalysis, TwoPhaseClock};
+
+use crate::error::VerifyError;
+
+/// Which flow produced the certificate under check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowKind {
+    /// Resiliency-unaware base retiming.
+    Base,
+    /// G-RAR — the only flow whose objective the checker certifies
+    /// optimal (base and VL bias the solve with the commercial movement
+    /// penalty and tightened regions).
+    Grar,
+    /// A virtual-library variant (EVL/NVL/RVL).
+    Vl,
+}
+
+impl FlowKind {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowKind::Base => "base",
+            FlowKind::Grar => "grar",
+            FlowKind::Vl => "vl",
+        }
+    }
+}
+
+/// Everything the checker re-derives a certificate from: the circuit and
+/// the run parameters the flow was given. Deliberately *not* the flow's
+/// internal state — the whole point is an independent reconstruction.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifySetup<'a> {
+    /// The original (pre-retiming) netlist.
+    pub netlist: &'a Netlist,
+    /// The combinational cloud the flow retimed.
+    pub cloud: &'a CombCloud,
+    /// The cell library.
+    pub lib: &'a Library,
+    /// The two-phase clock the flow targeted.
+    pub clock: TwoPhaseClock,
+    /// The delay model the flow classified with.
+    pub model: DelayModel,
+    /// The EDL area overhead `c`.
+    pub overhead: EdlOverhead,
+}
+
+/// Knobs of a verification run.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyOptions {
+    /// Random stimulus cycles for the functional-equivalence check
+    /// (`0` skips simulation).
+    pub cycles: usize,
+    /// Stimulus seed.
+    pub seed: u64,
+    /// Worker threads for the classification fan-out (`0` = auto).
+    pub threads: usize,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> VerifyOptions {
+        VerifyOptions {
+            cycles: 256,
+            seed: 0x5EED_CE27,
+            threads: 0,
+        }
+    }
+}
+
+/// What a successful verification established.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Target masters found by the checker's own classification.
+    pub targets: usize,
+    /// Targets whose whole cut-set the certificate retimed through
+    /// (each independently confirmed non-error-detecting).
+    pub targets_saved: usize,
+    /// Stimulus cycles simulated without divergence.
+    pub cycles: usize,
+    /// Wall-clock of the verification, under [`Stage::Verify`], plus
+    /// `verify_checks` / `verify_targets` / `verify_cycles` counters —
+    /// merge into the flow's own [`PhaseTimings`] to publish.
+    pub phases: PhaseTimings,
+}
+
+#[derive(Default)]
+struct CheckState {
+    problem: Option<RetimingProblem>,
+    full: Vec<i64>,
+    /// `(pseudo flow node, sink idx)` per target master, in sink order.
+    pseudos: Vec<(usize, usize)>,
+    /// Sink indices classified never-error-detecting.
+    never_ed: Vec<usize>,
+    checks: u64,
+}
+
+/// Independently re-validates a finished flow result. See the module
+/// docs for what is re-derived and from where.
+///
+/// # Errors
+/// Returns the first failed check as a diagnosis-specific
+/// [`VerifyError`].
+pub fn verify_certificate(
+    setup: &VerifySetup<'_>,
+    kind: FlowKind,
+    outcome: &RetimeOutcome,
+    opts: &VerifyOptions,
+) -> Result<VerifyReport, VerifyError> {
+    let cloud = setup.cloud;
+    let mut ctx = FlowContext::new(CheckState::default());
+
+    Pipeline::<FlowContext<CheckState>, VerifyError>::new()
+        // Labels: rebuild regions + targets from scratch, check the cut
+        // and its retiming labels against the Eq. (10) ILP, and (G-RAR)
+        // re-solve with the reference engine for optimality.
+        .stage(Stage::Verify, |ctx| {
+            let sta = TimingAnalysis::new(cloud, setup.lib, setup.clock, setup.model)
+                .map_err(internal)?;
+            let regions = Regions::compute(&sta).map_err(internal)?;
+            let mut problem = RetimingProblem::build(cloud, &regions);
+            let targets: Vec<(usize, NodeId)> = cloud
+                .sinks()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| matches!(cloud.node(t).kind, NodeKind::Sink { master: Some(_) }))
+                .map(|(i, &t)| (i, t))
+                .collect();
+            let sinks: Vec<NodeId> = targets.iter().map(|&(_, t)| t).collect();
+            let classified = classify_many(&sta, &sinks, opts.threads);
+            let c_scaled = (setup.overhead.value() * BREADTH_SCALE as f64).round() as i64;
+            for (&(sink_idx, _), (class, g)) in targets.iter().zip(classified) {
+                match class {
+                    SinkClass::Target => {
+                        let p = problem.add_pseudo_target(&g, c_scaled);
+                        ctx.data.pseudos.push((p, sink_idx));
+                    }
+                    SinkClass::NeverErrorDetecting => ctx.data.never_ed.push(sink_idx),
+                    SinkClass::AlwaysErrorDetecting => {}
+                }
+            }
+
+            outcome
+                .cut
+                .validate(cloud)
+                .map_err(|e| VerifyError::IllegalCut {
+                    detail: e.to_string(),
+                })?;
+            if !outcome.cut.check_paths(cloud) {
+                return Err(VerifyError::IllegalCut {
+                    detail: "a source→sink path does not cross exactly one slave latch".into(),
+                });
+            }
+            let moved: Vec<bool> = (0..cloud.len())
+                .map(|i| outcome.cut.is_moved(NodeId(i as u32)))
+                .collect();
+            let full = problem.full_assignment_for(&moved);
+            let ilp = IlpFormulation::from_problem(&problem);
+            if !ilp.is_feasible(&full) {
+                return Err(VerifyError::LabelInfeasible {
+                    violated: first_violation(&ilp, &full),
+                });
+            }
+            ctx.data.checks += 3;
+
+            if kind == FlowKind::Grar {
+                let achieved = problem.objective_scaled_for(&moved);
+                let reference = problem
+                    .solve(SolverEngine::ReferenceSsp)
+                    .map_err(internal)?;
+                if reference.objective_scaled < achieved {
+                    return Err(VerifyError::Suboptimal {
+                        certificate: achieved,
+                        reference: reference.objective_scaled,
+                    });
+                }
+                if reference.objective_scaled > achieved {
+                    return Err(internal(format!(
+                        "reference solver returned {} but the certificate achieves {achieved}",
+                        reference.objective_scaled
+                    )));
+                }
+                ctx.data.checks += 1;
+            }
+            ctx.data.full = full;
+            ctx.data.problem = Some(problem);
+            Ok(())
+        })
+        // Timing + EDL typing: a from-scratch STA pass over the final
+        // (legalized) delays must reproduce the stored CutTiming exactly,
+        // the window must be legal, the EDL flags must match the
+        // arrival-based rule, and every reclaimed target must really
+        // land outside the window.
+        .stage(Stage::Verify, |ctx| {
+            let fresh_sta =
+                TimingAnalysis::with_delays(cloud, outcome.final_delays.clone(), setup.clock);
+            let fresh = fresh_sta.cut_timing(&outcome.cut);
+            if let Some(&v) = fresh.setup_violations.first() {
+                return Err(VerifyError::WindowViolation {
+                    kind: "setup",
+                    node: cloud.node(v).name.clone(),
+                });
+            }
+            if let Some(&v) = fresh.capture_violations.first() {
+                return Err(VerifyError::WindowViolation {
+                    kind: "capture",
+                    node: cloud.node(v).name.clone(),
+                });
+            }
+            if fresh != outcome.timing {
+                return Err(VerifyError::TimingMismatch {
+                    detail: timing_diff(cloud, &outcome.timing, &fresh),
+                });
+            }
+            let area_model = AreaModel::new(setup.lib, setup.overhead);
+            let flags = area_model.ed_flags(cloud, &fresh);
+            if flags.len() != outcome.ed_sinks.len() {
+                return Err(internal(format!(
+                    "certificate carries {} EDL flags for {} sinks",
+                    outcome.ed_sinks.len(),
+                    flags.len()
+                )));
+            }
+            if let Some(i) = (0..flags.len()).find(|&i| flags[i] != outcome.ed_sinks[i]) {
+                return Err(VerifyError::EdlFlagMismatch {
+                    sink: cloud.node(cloud.sinks()[i]).name.clone(),
+                    claimed: outcome.ed_sinks[i],
+                    recomputed: flags[i],
+                });
+            }
+            // Cut-set soundness: a target whose whole g(t) was retimed
+            // through — and any never-ED sink — must time outside the
+            // resiliency window. Legalization only speeds gates up, so
+            // the classification's promise must survive it.
+            for &(p, sink_idx) in &ctx.data.pseudos {
+                if ctx.data.full[p] == -1 && fresh.error_detecting[sink_idx] {
+                    return Err(VerifyError::CutSetInconsistent {
+                        sink: cloud.node(cloud.sinks()[sink_idx]).name.clone(),
+                    });
+                }
+            }
+            for &sink_idx in &ctx.data.never_ed {
+                if fresh.error_detecting[sink_idx] {
+                    return Err(VerifyError::CutSetInconsistent {
+                        sink: cloud.node(cloud.sinks()[sink_idx]).name.clone(),
+                    });
+                }
+            }
+            ctx.data.checks += 4;
+            Ok(())
+        })
+        // Area: recount the sequential breakdown and the combinational
+        // bill against the library.
+        .stage(Stage::Verify, |ctx| {
+            let area_model = AreaModel::new(setup.lib, setup.overhead);
+            let seq = area_model.sequential(cloud, &outcome.cut, &outcome.ed_sinks);
+            let counts: [(&'static str, usize, usize); 3] = [
+                ("slaves", outcome.seq.slaves, seq.slaves),
+                ("masters", outcome.seq.masters, seq.masters),
+                ("edl", outcome.seq.edl, seq.edl),
+            ];
+            for (field, claimed, recomputed) in counts {
+                if claimed != recomputed {
+                    return Err(VerifyError::AreaMismatch {
+                        field,
+                        claimed: claimed as f64,
+                        recomputed: recomputed as f64,
+                    });
+                }
+            }
+            let comb =
+                area_model.combinational(cloud).map_err(internal)? + outcome.legalize.area_penalty;
+            let figures: [(&'static str, f64, f64); 5] = [
+                ("slave_area", outcome.seq.slave_area, seq.slave_area),
+                ("master_area", outcome.seq.master_area, seq.master_area),
+                ("edl_area", outcome.seq.edl_area, seq.edl_area),
+                ("comb_area", outcome.comb_area, comb),
+                ("total_area", outcome.total_area, comb + seq.total()),
+            ];
+            for (field, claimed, recomputed) in figures {
+                if (claimed - recomputed).abs() > 1e-9 {
+                    return Err(VerifyError::AreaMismatch {
+                        field,
+                        claimed,
+                        recomputed,
+                    });
+                }
+            }
+            ctx.data.checks += 8;
+            Ok(())
+        })
+        // Functional equivalence: the retimed netlist must compute the
+        // same cycle-level outputs as the original under random stimulus.
+        .stage(Stage::Verify, |ctx| {
+            if opts.cycles == 0 {
+                return Ok(());
+            }
+            let retimed =
+                outcome
+                    .cut
+                    .apply(cloud, setup.netlist)
+                    .map_err(|e| VerifyError::IllegalCut {
+                        detail: e.to_string(),
+                    })?;
+            match equivalent(setup.netlist, &retimed, opts.cycles, opts.seed).map_err(internal)? {
+                Ok(()) => {}
+                Err(cycle) => return Err(VerifyError::NotEquivalent { cycle }),
+            }
+            ctx.data.checks += 1;
+            Ok(())
+        })
+        .run(&mut ctx)?;
+
+    let (state, mut phases) = ctx.into_parts();
+    let targets_saved = state
+        .pseudos
+        .iter()
+        .filter(|&&(p, _)| state.full[p] == -1)
+        .count();
+    phases.count("verify_checks", state.checks);
+    phases.count("verify_targets", state.pseudos.len() as u64);
+    phases.count(
+        "verify_cycles",
+        if opts.cycles == 0 {
+            0
+        } else {
+            opts.cycles as u64
+        },
+    );
+    Ok(VerifyReport {
+        targets: state.pseudos.len(),
+        targets_saved,
+        cycles: opts.cycles,
+        phases,
+    })
+}
+
+/// Checks a raw [`RetimingSolution`] against its [`RetimingProblem`]:
+/// label/cut agreement, ILP feasibility, objective accounting, and
+/// optimality against the reference engine.
+///
+/// # Errors
+/// Returns the first failed check as a diagnosis-specific
+/// [`VerifyError`].
+pub fn verify_retiming_solution(
+    problem: &RetimingProblem,
+    sol: &RetimingSolution,
+) -> Result<(), VerifyError> {
+    if sol.r.len() != problem.node_count() {
+        return Err(internal(format!(
+            "solution carries {} labels for {} flow nodes",
+            sol.r.len(),
+            problem.node_count()
+        )));
+    }
+    let ilp = IlpFormulation::from_problem(problem);
+    if !ilp.is_feasible(&sol.r) {
+        return Err(VerifyError::LabelInfeasible {
+            violated: first_violation(&ilp, &sol.r),
+        });
+    }
+    let moved: Vec<bool> = sol.r[..problem.cloud_len()]
+        .iter()
+        .map(|&x| x == -1)
+        .collect();
+    if let Some(v) =
+        (0..problem.cloud_len()).find(|&v| sol.cut.is_moved(NodeId(v as u32)) != moved[v])
+    {
+        return Err(VerifyError::IllegalCut {
+            detail: format!("cut disagrees with label r({v}) = {}", sol.r[v]),
+        });
+    }
+    let recomputed = problem.objective_scaled_for(&moved);
+    if recomputed != sol.objective_scaled {
+        return Err(VerifyError::ObjectiveMismatch {
+            reported: sol.objective_scaled,
+            recomputed,
+        });
+    }
+    let reference = problem
+        .solve(SolverEngine::ReferenceSsp)
+        .map_err(internal)?;
+    if reference.objective_scaled < sol.objective_scaled {
+        return Err(VerifyError::Suboptimal {
+            certificate: sol.objective_scaled,
+            reference: reference.objective_scaled,
+        });
+    }
+    if reference.objective_scaled > sol.objective_scaled {
+        return Err(internal(format!(
+            "reference solver returned {} but the certificate achieves {}",
+            reference.objective_scaled, sol.objective_scaled
+        )));
+    }
+    Ok(())
+}
+
+fn internal(e: impl ToString) -> VerifyError {
+    VerifyError::Internal(e.to_string())
+}
+
+/// Renders the first violated bound or difference constraint of an
+/// infeasible assignment.
+fn first_violation(ilp: &IlpFormulation, r: &[i64]) -> String {
+    for (v, (&(lo, hi), &rv)) in ilp.bounds.iter().zip(r).enumerate() {
+        if rv < lo || rv > hi {
+            return format!("bound {lo} ≤ r({v}) ≤ {hi} violated by r({v}) = {rv}");
+        }
+    }
+    for &(u, v, w) in &ilp.constraints {
+        if r[u] - r[v] > w {
+            return format!(
+                "constraint r({u}) − r({v}) ≤ {w} violated by {} − {}",
+                r[u], r[v]
+            );
+        }
+    }
+    "reported infeasible, yet no violated constraint found".into()
+}
+
+/// Renders what differs between the stored and recomputed cut timing.
+fn timing_diff(cloud: &CombCloud, stored: &CutTiming, fresh: &CutTiming) -> String {
+    for (i, &t) in cloud.sinks().iter().enumerate() {
+        let name = &cloud.node(t).name;
+        if stored.sink_arrivals.get(i) != fresh.sink_arrivals.get(i) {
+            return format!(
+                "arrival at {name}: stored {:?}, recomputed {:?}",
+                stored.sink_arrivals.get(i),
+                fresh.sink_arrivals.get(i)
+            );
+        }
+        if stored.error_detecting.get(i) != fresh.error_detecting.get(i) {
+            return format!(
+                "error-detecting flag at {name}: stored {:?}, recomputed {:?}",
+                stored.error_detecting.get(i),
+                fresh.error_detecting.get(i)
+            );
+        }
+    }
+    "violation lists differ".into()
+}

@@ -1,0 +1,83 @@
+//! Functional-equivalence regression suite: every flow on the Fig. 4
+//! instance and the tiny benchmark suite must produce a certificate the
+//! independent checker accepts end to end — label feasibility, timing,
+//! area accounting, and bit-level equivalence of the retimed netlist
+//! over 256 random input cycles.
+
+use retime_circuits::{paper_suite, Fig4};
+use retime_core::{grar, GrarConfig};
+use retime_liberty::{EdlOverhead, Library};
+use retime_netlist::{CombCloud, Netlist};
+use retime_retime::base_retime;
+use retime_sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
+use retime_verify::{verify_certificate, FlowKind, VerifyOptions, VerifySetup};
+use retime_vl::{vl_retime, VlConfig, VlVariant};
+
+/// Runs base, RVL-RAR, and G-RAR at every EDL overhead and certifies
+/// each outcome, equivalence check included.
+fn certify_all_flows(netlist: &Netlist, cloud: &CombCloud, clock: TwoPhaseClock, label: &str) {
+    let lib = Library::fdsoi28();
+    let opts = VerifyOptions {
+        cycles: 256,
+        ..VerifyOptions::default()
+    };
+    for c in EdlOverhead::SWEEP {
+        let setup = VerifySetup {
+            netlist,
+            cloud,
+            lib: &lib,
+            clock,
+            model: DelayModel::PathBased,
+            overhead: c,
+        };
+        let base = base_retime(cloud, &lib, clock, DelayModel::PathBased, c).expect("base runs");
+        verify_certificate(&setup, FlowKind::Base, &base, &opts)
+            .unwrap_or_else(|e| panic!("{label} base c={c:?}: {e}"));
+        let rvl =
+            vl_retime(cloud, &lib, clock, &VlConfig::new(VlVariant::Rvl, c)).expect("RVL runs");
+        verify_certificate(&setup, FlowKind::Vl, &rvl.outcome, &opts)
+            .unwrap_or_else(|e| panic!("{label} rvl c={c:?}: {e}"));
+        let g = grar(cloud, &lib, clock, &GrarConfig::new(c)).expect("grar runs");
+        let report = verify_certificate(&setup, FlowKind::Grar, &g.outcome, &opts)
+            .unwrap_or_else(|e| panic!("{label} grar c={c:?}: {e}"));
+        assert_eq!(report.cycles, 256, "{label}: equivalence stage must run");
+    }
+}
+
+/// A clock loose enough for every flow to be feasible, derived from the
+/// circuit's own critical delay (the suite's calibration scheme).
+fn feasible_clock(cloud: &CombCloud, lib: &Library) -> TwoPhaseClock {
+    let sta = TimingAnalysis::new(
+        cloud,
+        lib,
+        TwoPhaseClock::from_max_delay(1.0),
+        DelayModel::PathBased,
+    )
+    .expect("probe sta builds");
+    let crit = cloud
+        .sinks()
+        .iter()
+        .map(|&t| sta.df(t))
+        .fold(0.0f64, f64::max);
+    let latch = lib.latch();
+    TwoPhaseClock::from_max_delay((crit + latch.d_to_q + latch.clk_to_q) / 0.7)
+}
+
+#[test]
+fn fig4_all_flows_certify_at_all_overheads() {
+    let fig = Fig4::new();
+    let lib = Library::fdsoi28();
+    let clock = feasible_clock(&fig.cloud, &lib);
+    certify_all_flows(&fig.netlist, &fig.cloud, clock, "fig4");
+}
+
+#[test]
+fn tiny_suite_all_flows_certify_at_all_overheads() {
+    for spec in paper_suite().into_iter().take(4) {
+        let circuit = spec.build().expect("suite circuit builds");
+        let clock = circuit
+            .calibrated_clock(&Library::fdsoi28(), DelayModel::PathBased)
+            .expect("clock calibrates");
+        certify_all_flows(&circuit.netlist, &circuit.cloud, clock, spec.name);
+    }
+}

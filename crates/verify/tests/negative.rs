@@ -1,0 +1,171 @@
+//! Negative-path coverage: each kind of certificate corruption must be
+//! rejected with its own descriptive [`VerifyError`] variant — a flipped
+//! retiming label, a flipped EDL flag, and mis-counted area figures.
+
+use retime_circuits::paper_suite;
+use retime_core::{grar, GrarConfig};
+use retime_liberty::{EdlOverhead, Library};
+use retime_netlist::NodeId;
+use retime_retime::RetimeOutcome;
+use retime_sta::DelayModel;
+use retime_verify::{verify_certificate, FlowKind, VerifyError, VerifyOptions, VerifySetup};
+
+/// A genuine G-RAR outcome on the smallest suite circuit, plus
+/// everything needed to re-verify it.
+struct Fixture {
+    circuit: retime_circuits::SuiteCircuit,
+    lib: Library,
+    clock: retime_sta::TwoPhaseClock,
+    outcome: RetimeOutcome,
+}
+
+fn fixture() -> Fixture {
+    let lib = Library::fdsoi28();
+    let circuit = paper_suite()[0].build().expect("suite circuit builds");
+    let clock = circuit
+        .calibrated_clock(&lib, DelayModel::PathBased)
+        .expect("clock calibrates");
+    let outcome = grar(
+        &circuit.cloud,
+        &lib,
+        clock,
+        &GrarConfig::new(EdlOverhead::MEDIUM),
+    )
+    .expect("grar runs")
+    .outcome;
+    Fixture {
+        circuit,
+        lib,
+        clock,
+        outcome,
+    }
+}
+
+impl Fixture {
+    fn verify(&self, outcome: &RetimeOutcome, cycles: usize) -> Result<(), VerifyError> {
+        let setup = VerifySetup {
+            netlist: &self.circuit.netlist,
+            cloud: &self.circuit.cloud,
+            lib: &self.lib,
+            clock: self.clock,
+            model: DelayModel::PathBased,
+            overhead: EdlOverhead::MEDIUM,
+        };
+        verify_certificate(
+            &setup,
+            FlowKind::Grar,
+            outcome,
+            &VerifyOptions {
+                cycles,
+                ..VerifyOptions::default()
+            },
+        )
+        .map(|_| ())
+    }
+}
+
+#[test]
+fn genuine_certificate_is_accepted() {
+    let fx = fixture();
+    fx.verify(&fx.outcome, 256)
+        .expect("genuine certificate passes");
+}
+
+#[test]
+fn flipped_retiming_label_is_rejected() {
+    let fx = fixture();
+    let cloud = &fx.circuit.cloud;
+    // Flip a single node's moved bit so the label assignment no longer
+    // describes a legal fanin-closed cut. Such a node always exists:
+    // flipping an unmoved node with an unmoved fanin (or a moved node
+    // with a moved fanout) breaks closure.
+    let mutated = (0..cloud.len()).find_map(|i| {
+        let v = NodeId(i as u32);
+        let mut outcome = fx.outcome.clone();
+        outcome.cut.set_moved(v, !outcome.cut.is_moved(v));
+        let broken = outcome.cut.validate(cloud).is_err() || !outcome.cut.check_paths(cloud);
+        broken.then_some(outcome)
+    });
+    let mutated = mutated.expect("some single-bit flip breaks cut legality");
+    let err = fx
+        .verify(&mutated, 0)
+        .expect_err("corrupted labels rejected");
+    assert!(
+        matches!(err, VerifyError::IllegalCut { .. }),
+        "expected IllegalCut, got: {err}"
+    );
+    assert!(!err.to_string().is_empty(), "error message is descriptive");
+}
+
+#[test]
+fn flipped_edl_flag_is_rejected() {
+    let fx = fixture();
+    let mut mutated = fx.outcome.clone();
+    assert!(!mutated.ed_sinks.is_empty(), "suite circuits have sinks");
+    mutated.ed_sinks[0] = !mutated.ed_sinks[0];
+    let err = fx.verify(&mutated, 0).expect_err("wrong EDL flag rejected");
+    match err {
+        VerifyError::EdlFlagMismatch {
+            sink,
+            claimed,
+            recomputed,
+        } => {
+            let expected = &fx.circuit.cloud.node(fx.circuit.cloud.sinks()[0]).name;
+            assert_eq!(&sink, expected, "mismatch names the offending sink");
+            assert_eq!(claimed, mutated.ed_sinks[0]);
+            assert_eq!(recomputed, fx.outcome.ed_sinks[0]);
+        }
+        other => panic!("expected EdlFlagMismatch, got: {other}"),
+    }
+}
+
+#[test]
+fn miscounted_area_is_rejected() {
+    let fx = fixture();
+    // A wrong latch count is caught by the exact recount.
+    let mut wrong_count = fx.outcome.clone();
+    wrong_count.seq.slaves += 1;
+    let err = fx
+        .verify(&wrong_count, 0)
+        .expect_err("wrong count rejected");
+    assert!(
+        matches!(
+            err,
+            VerifyError::AreaMismatch {
+                field: "slaves",
+                ..
+            }
+        ),
+        "expected AreaMismatch on slaves, got: {err}"
+    );
+    // A perturbed area figure is caught by the float recomputation.
+    let mut wrong_area = fx.outcome.clone();
+    wrong_area.seq.slave_area += 0.25;
+    let err = fx.verify(&wrong_area, 0).expect_err("wrong area rejected");
+    assert!(
+        matches!(
+            err,
+            VerifyError::AreaMismatch {
+                field: "slave_area",
+                ..
+            }
+        ),
+        "expected AreaMismatch on slave_area, got: {err}"
+    );
+    // And so is a wrong bottom line.
+    let mut wrong_total = fx.outcome.clone();
+    wrong_total.total_area += 1.0;
+    let err = fx
+        .verify(&wrong_total, 0)
+        .expect_err("wrong total rejected");
+    assert!(
+        matches!(
+            err,
+            VerifyError::AreaMismatch {
+                field: "total_area",
+                ..
+            }
+        ),
+        "expected AreaMismatch on total_area, got: {err}"
+    );
+}

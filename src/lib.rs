@@ -23,4 +23,5 @@ pub use retime_netlist as netlist;
 pub use retime_retime as retime;
 pub use retime_sim as sim;
 pub use retime_sta as sta;
+pub use retime_verify as verify;
 pub use retime_vl as vl;

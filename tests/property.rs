@@ -9,11 +9,12 @@ use resilient_retiming::grar::{
 };
 use resilient_retiming::liberty::{EdlOverhead, Library};
 use resilient_retiming::netlist::{CombCloud, Cut, NodeId, NodeKind};
-use resilient_retiming::retime::{Regions, RetimingProblem, SolverEngine};
+use resilient_retiming::retime::{Regions, RetimingProblem, SolverEngine, BREADTH_SCALE};
 use resilient_retiming::sim::equivalent;
 use resilient_retiming::sta::{
-    DelayModel, IncrementalTiming, NodeDelays, TimingAnalysis, TwoPhaseClock,
+    DelayModel, IncrementalTiming, NodeDelays, SinkClass, TimingAnalysis, TwoPhaseClock,
 };
+use resilient_retiming::verify::{verify_retiming_solution, VerifyError};
 
 fn small_config() -> impl Strategy<Value = SynthConfig> {
     (
@@ -58,11 +59,76 @@ proptest! {
                 SolverEngine::MinCostFlow,
                 SolverEngine::NetworkSimplex,
                 SolverEngine::Closure,
+                SolverEngine::ReferenceSsp,
             ] {
                 let sol = problem.solve(engine).expect("solves");
                 prop_assert_eq!(sol.objective_scaled, best);
             }
         }
+    }
+
+    #[test]
+    fn grar_problems_match_oracle_and_certify(cfg in small_config()) {
+        // Full G-RAR problems (pseudo targets from sink classification)
+        // must hit the exhaustive optimum on every engine, and the
+        // independent certificate checker must accept the genuine
+        // solution while rejecting any mutation of it.
+        let n = cfg.generate().expect("generates");
+        let cloud = CombCloud::extract(&n).expect("extracts");
+        let lib = Library::fdsoi28();
+        let sta0 = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::PathBased,
+        ).expect("sta builds");
+        let crit = cloud.sinks().iter().map(|&t| sta0.df(t)).fold(0.0f64, f64::max);
+        // Borderline clock so a mix of never / target / always sinks
+        // shows up and pseudo targets actually enter the problem.
+        let clock = TwoPhaseClock::from_max_delay(crit * 1.1 + 0.05);
+        let sta = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::PathBased)
+            .expect("sta builds");
+        let regions = Regions::compute(&sta).expect("regions");
+        let mut problem = RetimingProblem::build(&cloud, &regions);
+        let sinks: Vec<NodeId> = cloud
+            .sinks()
+            .iter()
+            .copied()
+            .filter(|&t| matches!(cloud.node(t).kind, NodeKind::Sink { master: Some(_) }))
+            .collect();
+        let c_scaled =
+            (EdlOverhead::HIGH.value() * BREADTH_SCALE as f64).round() as i64;
+        for (class, g) in classify_many(&sta, &sinks, 0) {
+            if class == SinkClass::Target {
+                problem.add_pseudo_target(&g, c_scaled);
+            }
+        }
+        if let Some((best, _)) = exhaustive_best(&problem, 18) {
+            for engine in [
+                SolverEngine::MinCostFlow,
+                SolverEngine::NetworkSimplex,
+                SolverEngine::Closure,
+                SolverEngine::ReferenceSsp,
+            ] {
+                let sol = problem.solve(engine).expect("solves");
+                prop_assert_eq!(sol.objective_scaled, best, "engine {:?}", engine);
+            }
+        }
+        let sol = problem.solve(SolverEngine::MinCostFlow).expect("solves");
+        // The genuine certificate passes the independent re-validation.
+        prop_assert_eq!(verify_retiming_solution(&problem, &sol), Ok(()));
+        // A misreported objective is caught by the cost recomputation.
+        let mut wrong_cost = sol.clone();
+        wrong_cost.objective_scaled += 1;
+        prop_assert!(matches!(
+            verify_retiming_solution(&problem, &wrong_cost),
+            Err(VerifyError::ObjectiveMismatch { .. })
+        ));
+        // A flipped retiming label either breaks ILP feasibility or
+        // disagrees with the claimed cut — rejected either way.
+        let mut flipped = sol.clone();
+        flipped.r[0] = -1 - flipped.r[0];
+        prop_assert!(verify_retiming_solution(&problem, &flipped).is_err());
     }
 
     #[test]
