@@ -1,6 +1,6 @@
 //! Table I: circuit information of the original flop-based designs.
 
-use retime_bench::{certify_case, load_suite, map_cases, print_table, table1_row, verify_enabled};
+use retime_bench::{load_suite, map_cases, print_table, table1_row, verify_enabled, Certification};
 use retime_liberty::{EdlOverhead, Library};
 use retime_retime::{base_retime, AreaModel};
 use retime_sta::DelayModel;
@@ -23,15 +23,8 @@ fn main() {
                 EdlOverhead::MEDIUM,
             )
             .expect("base flow runs");
-            certify_case(
-                case,
-                &lib,
-                EdlOverhead::MEDIUM,
-                FlowKind::Base,
-                "base",
-                &mut base,
-            )
-            .expect("certificate accepted");
+            Certification::of_case(case, EdlOverhead::MEDIUM, FlowKind::Base, "base")
+                .expect_pass(&lib, &mut base);
         }
         let mut row = table1_row(case, &lib, &model);
         // The setup-time column is wall-clock (non-deterministic), so it

@@ -1,6 +1,6 @@
 //! Table III: area comparison of the three virtual-library variants.
 
-use retime_bench::{certify_case, f2, load_suite, map_cases, mean, print_table, verify_enabled};
+use retime_bench::{f2, load_suite, map_cases, mean, print_table, Certification};
 use retime_liberty::{EdlOverhead, Library};
 use retime_verify::FlowKind;
 use retime_vl::{vl_retime, VlConfig, VlVariant};
@@ -21,17 +21,8 @@ fn main() {
                     &VlConfig::new(variant, c),
                 )
                 .expect("VL flow runs");
-                if verify_enabled() {
-                    certify_case(
-                        case,
-                        &lib,
-                        c,
-                        FlowKind::Vl,
-                        variant.name(),
-                        &mut rep.outcome,
-                    )
-                    .expect("certificate accepted");
-                }
+                Certification::of_case(case, c, FlowKind::Vl, variant.name())
+                    .expect_pass(&lib, &mut rep.outcome);
                 areas[col] = rep.outcome.total_area;
                 row.push(f2(rep.outcome.total_area));
                 col += 1;

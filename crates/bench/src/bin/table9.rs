@@ -1,9 +1,8 @@
 //! Table IX: fixed-master vs movable-master RVL-RAR.
 
-use retime_bench::{certify, f2, load_suite, map_cases, mean, print_table, verify_enabled};
+use retime_bench::{f2, load_suite, map_cases, mean, print_table, Certification};
 use retime_liberty::{EdlOverhead, Library};
 use retime_netlist::CombCloud;
-use retime_sta::DelayModel;
 use retime_verify::FlowKind;
 use retime_vl::{forward_merge_pass, vl_retime, VlConfig, VlVariant};
 
@@ -33,32 +32,20 @@ fn main() {
                 &VlConfig::new(VlVariant::Rvl, c),
             )
             .expect("movable RVL runs");
-            if verify_enabled() {
-                // The movable run certifies against the merged netlist
-                // and its cloud — the circuit it actually retimed.
-                for (rep, netlist, cloud, label) in [
-                    (
-                        &mut fixed,
-                        &case.circuit.netlist,
-                        &case.circuit.cloud,
-                        "rvl/fixed",
-                    ),
-                    (&mut movable, &moved_netlist, &moved_cloud, "rvl/movable"),
-                ] {
-                    certify(
-                        netlist,
-                        cloud,
-                        &lib,
-                        case.clock,
-                        DelayModel::PathBased,
-                        c,
-                        FlowKind::Vl,
-                        &format!("{} [{label}]", case.circuit.spec.name),
-                        &mut rep.outcome,
-                    )
-                    .expect("certificate accepted");
-                }
-            }
+            // The movable run certifies against the merged netlist and
+            // its cloud — the circuit it actually retimed (under
+            // RETIME_VERIFY=1).
+            Certification::of_case(case, c, FlowKind::Vl, "rvl/fixed")
+                .expect_pass(&lib, &mut fixed.outcome);
+            Certification::of_netlist(
+                &moved_netlist,
+                &moved_cloud,
+                case.clock,
+                c,
+                FlowKind::Vl,
+                format!("{} [rvl/movable]", case.circuit.spec.name),
+            )
+            .expect_pass(&lib, &mut movable.outcome);
             let fa = fixed.outcome.total_area;
             let ma = movable.outcome.total_area;
             let diff = if fa > 0.0 {

@@ -45,6 +45,65 @@ pub struct BenchCase {
     pub setup_time: std::time::Duration,
 }
 
+/// Which slice of the paper suite a run works on (the `RETIME_SUITE`
+/// environment variable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SuiteMode {
+    /// All twelve circuits (the default).
+    #[default]
+    Full,
+    /// Circuits with ≤ 200 flip-flops.
+    Small,
+    /// The four smallest circuits (smoke tests, CI).
+    Tiny,
+}
+
+impl SuiteMode {
+    /// Parses a raw `RETIME_SUITE` value. `Err` carries the one-line
+    /// warning to print — the same shape `RETIME_THREADS` uses (see
+    /// [`retime_engine::parse_thread_override`]), so the two knobs fail
+    /// the same way.
+    ///
+    /// # Errors
+    /// Returns the warning line when the value is unrecognized.
+    pub fn parse(raw: &str) -> Result<SuiteMode, String> {
+        match raw {
+            "full" => Ok(SuiteMode::Full),
+            "small" => Ok(SuiteMode::Small),
+            "tiny" => Ok(SuiteMode::Tiny),
+            other => Err(format!(
+                "warning: unrecognized RETIME_SUITE value {other:?}; \
+                 accepted values are \"full\", \"small\", or \"tiny\" — \
+                 running the full suite"
+            )),
+        }
+    }
+
+    /// The `RETIME_SUITE` selection, warning once on stderr for an
+    /// unrecognized value (falls back to the full suite).
+    pub fn from_env() -> SuiteMode {
+        match std::env::var("RETIME_SUITE") {
+            Ok(raw) => SuiteMode::parse(&raw).unwrap_or_else(|warning| {
+                eprintln!("{warning}");
+                SuiteMode::Full
+            }),
+            Err(_) => SuiteMode::Full,
+        }
+    }
+
+    /// Restricts the suite definition to this slice.
+    pub fn select(
+        self,
+        specs: Vec<retime_circuits::CircuitSpec>,
+    ) -> Vec<retime_circuits::CircuitSpec> {
+        match self {
+            SuiteMode::Full => specs,
+            SuiteMode::Small => specs.into_iter().filter(|s| s.flops <= 200).collect(),
+            SuiteMode::Tiny => specs.into_iter().take(4).collect(),
+        }
+    }
+}
+
 /// Loads the benchmark suite honoring `RETIME_SUITE`
 /// (`full` | `small` | `tiny`), building and calibrating the circuits in
 /// parallel (`RETIME_THREADS` caps the fan-out). Case order always
@@ -57,21 +116,7 @@ pub struct BenchCase {
 /// Panics if a circuit fails to build — the suite is deterministic, so
 /// this only happens on programming errors.
 pub fn load_suite(lib: &Library) -> Vec<BenchCase> {
-    let mode = std::env::var("RETIME_SUITE").unwrap_or_else(|_| "full".into());
-    let specs = paper_suite();
-    let specs: Vec<_> = match mode.as_str() {
-        "tiny" => specs.into_iter().take(4).collect(),
-        "small" => specs.into_iter().filter(|s| s.flops <= 200).collect(),
-        "full" => specs,
-        other => {
-            eprintln!(
-                "warning: unrecognized RETIME_SUITE value {other:?}; \
-                 accepted values are \"full\", \"small\", or \"tiny\" — \
-                 running the full suite"
-            );
-            specs
-        }
-    };
+    let specs = SuiteMode::from_env().select(paper_suite());
     retime_engine::parallel_map(0, &specs, |spec| build_case(spec, lib))
 }
 
@@ -109,65 +154,117 @@ pub fn verify_enabled() -> bool {
     retime_verify::enabled()
 }
 
-/// Runs the independent certificate checker of `retime-verify` on one
-/// flow result and merges the verification wall-clock and counters into
-/// the outcome's phase instrumentation (`Stage::Verify`). `label` names
-/// the run in the failure message.
+/// One certification request against the independent checker of
+/// `retime-verify` — the single home of the `RETIME_VERIFY` plumbing
+/// that used to be hand-rolled in every table binary.
 ///
-/// # Errors
-/// Returns [`RetimeError::Internal`] carrying the checker's diagnosis
-/// when the certificate is rejected.
-#[allow(clippy::too_many_arguments)]
-pub fn certify(
-    netlist: &Netlist,
-    cloud: &CombCloud,
-    lib: &Library,
-    clock: TwoPhaseClock,
-    model: DelayModel,
-    c: EdlOverhead,
-    kind: FlowKind,
-    label: &str,
-    outcome: &mut RetimeOutcome,
-) -> Result<(), RetimeError> {
-    let setup = VerifySetup {
-        netlist,
-        cloud,
-        lib,
-        clock,
-        model,
-        overhead: c,
-    };
-    let report = verify_certificate(&setup, kind, outcome, &VerifyOptions::default())
-        .map_err(|e| RetimeError::Internal(format!("certificate rejected for {label}: {e}")))?;
-    outcome.phases.merge(&report.phases);
-    Ok(())
+/// The common shape ([`Certification::of_case`]) certifies against a
+/// suite case's own netlist, clock, and the path-based delay model;
+/// Table II's per-delay-model runs override the model with
+/// [`Certification::with_model`], and Table IX's movable-master runs
+/// certify against the merged netlist via [`Certification::of_netlist`].
+/// `retime-serve` drives the same type for `verify: true` jobs.
+pub struct Certification<'a> {
+    /// The circuit the flow actually retimed.
+    pub netlist: &'a Netlist,
+    /// Its retiming view.
+    pub cloud: &'a CombCloud,
+    /// The clock the flow ran under.
+    pub clock: TwoPhaseClock,
+    /// The delay model that drove the optimization.
+    pub model: DelayModel,
+    /// EDL overhead `c`.
+    pub overhead: EdlOverhead,
+    /// Which flow produced the outcome.
+    pub kind: FlowKind,
+    /// Names the run in the failure message.
+    pub label: String,
 }
 
-/// [`certify`] against a suite case's circuit, with the default
-/// path-based delay model the table flows use.
-///
-/// # Errors
-/// Returns [`RetimeError::Internal`] carrying the checker's diagnosis
-/// when the certificate is rejected.
-pub fn certify_case(
-    case: &BenchCase,
-    lib: &Library,
-    c: EdlOverhead,
-    kind: FlowKind,
-    label: &str,
-    outcome: &mut RetimeOutcome,
-) -> Result<(), RetimeError> {
-    certify(
-        &case.circuit.netlist,
-        &case.circuit.cloud,
-        lib,
-        case.clock,
-        DelayModel::PathBased,
-        c,
-        kind,
-        &format!("{} [{label}]", case.circuit.spec.name),
-        outcome,
-    )
+impl<'a> Certification<'a> {
+    /// A request against a suite case's circuit with the default
+    /// path-based delay model; the failure label becomes
+    /// `"<circuit> [<label>]"`.
+    pub fn of_case(
+        case: &'a BenchCase,
+        c: EdlOverhead,
+        kind: FlowKind,
+        label: &str,
+    ) -> Certification<'a> {
+        Certification::of_netlist(
+            &case.circuit.netlist,
+            &case.circuit.cloud,
+            case.clock,
+            c,
+            kind,
+            format!("{} [{label}]", case.circuit.spec.name),
+        )
+    }
+
+    /// A request against an explicit netlist/cloud pair (Table IX's
+    /// merged netlists, `retime-serve`'s inline submissions).
+    pub fn of_netlist(
+        netlist: &'a Netlist,
+        cloud: &'a CombCloud,
+        clock: TwoPhaseClock,
+        c: EdlOverhead,
+        kind: FlowKind,
+        label: String,
+    ) -> Certification<'a> {
+        Certification {
+            netlist,
+            cloud,
+            clock,
+            model: DelayModel::PathBased,
+            overhead: c,
+            kind,
+            label,
+        }
+    }
+
+    /// Overrides the delay model (Table II certifies each run against
+    /// the model that drove it).
+    #[must_use]
+    pub fn with_model(mut self, model: DelayModel) -> Certification<'a> {
+        self.model = model;
+        self
+    }
+
+    /// Runs the checker unconditionally and merges the verification
+    /// wall-clock and counters into the outcome's phase instrumentation
+    /// (`Stage::Verify`).
+    ///
+    /// # Errors
+    /// Returns [`RetimeError::Internal`] carrying the checker's
+    /// diagnosis when the certificate is rejected.
+    pub fn run(&self, lib: &Library, outcome: &mut RetimeOutcome) -> Result<(), RetimeError> {
+        let setup = VerifySetup {
+            netlist: self.netlist,
+            cloud: self.cloud,
+            lib,
+            clock: self.clock,
+            model: self.model,
+            overhead: self.overhead,
+        };
+        let report = verify_certificate(&setup, self.kind, outcome, &VerifyOptions::default())
+            .map_err(|e| {
+                RetimeError::Internal(format!("certificate rejected for {}: {e}", self.label))
+            })?;
+        outcome.phases.merge(&report.phases);
+        Ok(())
+    }
+
+    /// The table-binary guard: a no-op unless `RETIME_VERIFY=1`
+    /// requested certification, then [`Certification::run`].
+    ///
+    /// # Panics
+    /// Panics with the checker's diagnosis when the certificate is
+    /// rejected.
+    pub fn expect_pass(&self, lib: &Library, outcome: &mut RetimeOutcome) {
+        if verify_enabled() {
+            self.run(lib, outcome).expect("certificate accepted");
+        }
+    }
 }
 
 /// Runs base retiming, RVL-RAR, and G-RAR on one case. With
@@ -186,9 +283,9 @@ pub fn run_approaches(
     let mut rvl = vl_retime(cloud, lib, case.clock, &VlConfig::new(VlVariant::Rvl, c))?;
     let mut g = grar(cloud, lib, case.clock, &GrarConfig::new(c))?;
     if verify_enabled() {
-        certify_case(case, lib, c, FlowKind::Base, "base", &mut base)?;
-        certify_case(case, lib, c, FlowKind::Vl, "rvl", &mut rvl.outcome)?;
-        certify_case(case, lib, c, FlowKind::Grar, "grar", &mut g.outcome)?;
+        Certification::of_case(case, c, FlowKind::Base, "base").run(lib, &mut base)?;
+        Certification::of_case(case, c, FlowKind::Vl, "rvl").run(lib, &mut rvl.outcome)?;
+        Certification::of_case(case, c, FlowKind::Grar, "grar").run(lib, &mut g.outcome)?;
     }
     Ok(Approaches { base, rvl, grar: g })
 }
@@ -382,6 +479,41 @@ mod tests {
             .collect();
         assert_eq!(first, second);
         assert_eq!(first.len(), cases.len());
+    }
+
+    #[test]
+    fn suite_mode_parses_known_values() {
+        assert_eq!(SuiteMode::parse("full"), Ok(SuiteMode::Full));
+        assert_eq!(SuiteMode::parse("small"), Ok(SuiteMode::Small));
+        assert_eq!(SuiteMode::parse("tiny"), Ok(SuiteMode::Tiny));
+    }
+
+    #[test]
+    fn suite_mode_warns_on_garbage_like_thread_override() {
+        // The two env knobs fail the same way: a one-line
+        // `warning: unrecognized <VAR> value "<raw>"; …` message.
+        for raw in ["Tiny", "medium", ""] {
+            let warning = SuiteMode::parse(raw).unwrap_err();
+            assert!(
+                warning.starts_with("warning: unrecognized RETIME_SUITE value"),
+                "unexpected warning shape: {warning}"
+            );
+            assert!(warning.contains(&format!("{raw:?}")));
+        }
+        let threads = retime_engine::parse_thread_override("garbage").unwrap_err();
+        assert!(threads.starts_with("warning: unrecognized RETIME_THREADS value"));
+    }
+
+    #[test]
+    fn suite_mode_selects_slices() {
+        let all = paper_suite();
+        let n = all.len();
+        assert_eq!(SuiteMode::Full.select(paper_suite()).len(), n);
+        assert_eq!(SuiteMode::Tiny.select(paper_suite()).len(), 4);
+        assert!(SuiteMode::Small
+            .select(paper_suite())
+            .iter()
+            .all(|s| s.flops <= 200));
     }
 
     #[test]

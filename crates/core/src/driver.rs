@@ -158,6 +158,7 @@ pub fn grar(
                 .as_ref()
                 .expect("sta stage ran")
                 .solve(cfg.engine)?;
+            ctx.timings.count("solver_invocations", 1);
             ctx.data.sol = Some(sol);
             Ok(())
         })

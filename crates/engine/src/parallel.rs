@@ -12,22 +12,35 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
+/// Parses a raw `RETIME_THREADS` value: `Ok(n)` for a non-negative
+/// integer (`0` means auto, same as unset), `Err(warning)` for anything
+/// else — the same one-line warning shape `RETIME_SUITE` uses, so the
+/// two knobs fail the same way.
+///
+/// # Errors
+/// Returns the warning line to print when the value is unrecognized.
+pub fn parse_thread_override(raw: &str) -> Result<usize, String> {
+    raw.trim().parse::<usize>().map_err(|_| {
+        format!(
+            "warning: unrecognized RETIME_THREADS value {raw:?}; \
+             want a non-negative integer (0 = auto) — using auto"
+        )
+    })
+}
+
 /// Number of worker threads a fan-out uses when the caller passes `0`
 /// (auto): the `RETIME_THREADS` environment variable when set to a
 /// positive integer, otherwise [`std::thread::available_parallelism`].
 /// `RETIME_THREADS=0` means auto too, mirroring the API convention.
+/// An unrecognized value warns once on stderr and falls back to auto.
 pub fn thread_count() -> usize {
     if let Ok(v) = std::env::var("RETIME_THREADS") {
-        match v.trim().parse::<usize>() {
+        match parse_thread_override(&v) {
             Ok(n) if n >= 1 => return n,
             Ok(_) => {} // 0 = auto, same as unset
-            Err(_) => {
+            Err(warning) => {
                 static WARNED: std::sync::Once = std::sync::Once::new();
-                WARNED.call_once(|| {
-                    eprintln!(
-                        "warning: ignoring invalid RETIME_THREADS={v:?} (want a non-negative integer)"
-                    );
-                });
+                WARNED.call_once(|| eprintln!("{warning}"));
             }
         }
     }
@@ -143,5 +156,24 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn thread_override_parses_integers() {
+        assert_eq!(parse_thread_override("8"), Ok(8));
+        assert_eq!(parse_thread_override(" 2 "), Ok(2));
+        assert_eq!(parse_thread_override("0"), Ok(0));
+    }
+
+    #[test]
+    fn thread_override_warns_on_garbage() {
+        for raw in ["nope", "-3", "1.5", ""] {
+            let warning = parse_thread_override(raw).unwrap_err();
+            assert!(
+                warning.starts_with("warning: unrecognized RETIME_THREADS value"),
+                "unexpected warning shape: {warning}"
+            );
+            assert!(warning.contains(&format!("{raw:?}")));
+        }
     }
 }

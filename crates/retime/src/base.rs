@@ -154,6 +154,7 @@ pub fn base_retime_with(
                 .as_ref()
                 .expect("sta stage ran")
                 .solve(engine)?;
+            ctx.timings.count("solver_invocations", 1);
             ctx.data.sol = Some(sol);
             Ok(())
         })

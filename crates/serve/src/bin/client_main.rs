@@ -1,0 +1,147 @@
+//! `retime-client` — command-line client for a running `retime-serve`.
+//!
+//! ```text
+//! retime-client --addr HOST:PORT submit --circuit s1196 [--flow grar]
+//!               [--c medium|low|high|<num>] [--model path|gate]
+//!               [--clock NS] [--verify] [--wait]
+//! retime-client --addr HOST:PORT submit --netlist FILE [--name NAME] …
+//! retime-client --addr HOST:PORT status <ID>
+//! retime-client --addr HOST:PORT result <ID> [--wait]
+//! retime-client --addr HOST:PORT metrics
+//! retime-client --addr HOST:PORT pause | resume | shutdown
+//! ```
+//!
+//! Replies print as one JSON line on stdout; `metrics` prints the raw
+//! Prometheus text. Exits non-zero when the reply carries `"ok": false`.
+
+use retime_serve::json::{obj, Json};
+use retime_serve::Client;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(ok) => std::process::exit(i32::from(!ok)),
+        Err(e) => {
+            eprintln!("retime-client: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs one command; `Ok(false)` means the server replied `"ok": false`.
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut rest: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: retime-client --addr HOST:PORT \
+                     (submit … | status ID | result ID [--wait] | metrics | pause | resume | shutdown)"
+                );
+                return Ok(true);
+            }
+            other => rest.push(other),
+        }
+    }
+    let Some((&cmd, tail)) = rest.split_first() else {
+        return Err("missing command (try --help)".to_string());
+    };
+
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    match cmd {
+        "submit" => submit(&mut client, tail),
+        "status" => by_id(&mut client, "status", tail, false),
+        "result" => by_id(&mut client, "result", tail, tail.contains(&"--wait")),
+        "metrics" => {
+            let text = client.metrics_text().map_err(|e| e.to_string())?;
+            print!("{text}");
+            Ok(true)
+        }
+        "pause" | "resume" | "shutdown" => {
+            let reply = client
+                .request(&obj(vec![("cmd", Json::Str(cmd.to_string()))]))
+                .map_err(|e| e.to_string())?;
+            println!("{}", reply.render());
+            Ok(is_ok(&reply))
+        }
+        other => Err(format!("unknown command {other:?} (try --help)")),
+    }
+}
+
+fn submit(client: &mut Client, tail: &[&str]) -> Result<bool, String> {
+    let mut fields: Vec<(&str, Json)> = vec![("cmd", Json::Str("submit".to_string()))];
+    let mut wait = false;
+    let mut it = tail.iter();
+    while let Some(&a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a {
+            "--circuit" => fields.push(("circuit", Json::Str(value("--circuit")?))),
+            "--netlist" => {
+                let path = value("--netlist")?;
+                let text =
+                    std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+                fields.push(("netlist", Json::Str(text)));
+            }
+            "--name" => fields.push(("name", Json::Str(value("--name")?))),
+            "--flow" => fields.push(("flow", Json::Str(value("--flow")?))),
+            "--c" => {
+                let raw = value("--c")?;
+                fields.push(("c", raw.parse::<f64>().map_or(Json::Str(raw), Json::Num)));
+            }
+            "--model" => fields.push(("model", Json::Str(value("--model")?))),
+            "--clock" => {
+                let raw = value("--clock")?;
+                let ns: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--clock wants a number, got {raw:?}"))?;
+                fields.push(("clock", Json::Num(ns)));
+            }
+            "--verify" => fields.push(("verify", Json::Bool(true))),
+            "--wait" => wait = true,
+            other => return Err(format!("unknown submit flag {other:?}")),
+        }
+    }
+    let reply = client.request(&obj(fields)).map_err(|e| e.to_string())?;
+    println!("{}", reply.render());
+    if !is_ok(&reply) {
+        return Ok(false);
+    }
+    if wait {
+        if let Some(id) = reply.get("id").and_then(Json::as_u64) {
+            let result = client.wait_result(id).map_err(|e| e.to_string())?;
+            println!("{}", result.render());
+            return Ok(is_ok(&result));
+        }
+    }
+    Ok(true)
+}
+
+fn by_id(client: &mut Client, cmd: &str, tail: &[&str], wait: bool) -> Result<bool, String> {
+    let id: u64 = tail
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| format!("{cmd} needs a job id"))?
+        .parse()
+        .map_err(|_| format!("{cmd} wants a numeric job id"))?;
+    let mut fields = vec![
+        ("cmd", Json::Str(cmd.to_string())),
+        ("id", Json::Num(id as f64)),
+    ];
+    if wait {
+        fields.push(("wait", Json::Bool(true)));
+    }
+    let reply = client.request(&obj(fields)).map_err(|e| e.to_string())?;
+    println!("{}", reply.render());
+    Ok(is_ok(&reply))
+}
+
+fn is_ok(reply: &Json) -> bool {
+    matches!(reply.get("ok"), Some(Json::Bool(true)))
+}

@@ -1,0 +1,63 @@
+//! `retime-serve` — start the retiming daemon.
+//!
+//! ```text
+//! retime-serve [--addr 127.0.0.1:0] [--workers N] [--queue-bound N] [--verbose]
+//! ```
+//!
+//! Prints the bound address on stdout (one line, flushed) so scripts can
+//! bind port 0 and discover the kernel-chosen port, then serves until a
+//! client sends `shutdown`.
+
+use std::io::Write;
+
+use retime_serve::{Server, ServerConfig};
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = expect_value(&mut args, "--addr"),
+            "--workers" => config.workers = expect_parsed(&mut args, "--workers"),
+            "--queue-bound" => config.queue_bound = expect_parsed(&mut args, "--queue-bound"),
+            "--verbose" | "-v" => config.verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: retime-serve [--addr HOST:PORT] [--workers N] \
+                     [--queue-bound N] [--verbose]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("retime-serve: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let handle = match Server::spawn(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("retime-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("retime-serve listening on {}", handle.addr());
+    std::io::stdout().flush().ok();
+    handle.wait();
+}
+
+fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("retime-serve: {flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn expect_parsed(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
+    let raw = expect_value(args, flag);
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("retime-serve: {flag} wants a non-negative integer, got {raw:?}");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,114 @@
+//! Content-addressed result cache.
+//!
+//! Keys are the SHA-256 of canonical netlist + library + flow config
+//! (see [`crate::canon::cache_key`]); values are the finished job
+//! payloads. A repeat submission of an identical job is answered from
+//! here with zero solver work, byte-identical to the first run.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::job::JobOutput;
+
+/// A cached result: the deterministic payload and its digest.
+#[derive(Debug)]
+pub struct CachedResult {
+    /// Rendered payload text.
+    pub payload: String,
+    /// SHA-256 (hex) of `payload`.
+    pub payload_sha256: String,
+}
+
+/// Thread-safe content-addressed store with hit/miss counters.
+#[derive(Default)]
+pub struct ResultCache {
+    entries: Mutex<HashMap<String, Arc<CachedResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// Looks up a key, counting the hit or miss.
+    pub fn lookup(&self, key: &str) -> Option<Arc<CachedResult>> {
+        let found = self.entries.lock().expect("cache lock").get(key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stores a finished job under its key (first writer wins; a
+    /// concurrent duplicate computed the same bytes anyway).
+    pub fn store(&self, key: &str, output: &JobOutput) {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .entry(key.to_string())
+            .or_insert_with(|| {
+                Arc::new(CachedResult {
+                    payload: output.payload.clone(),
+                    payload_sha256: output.payload_sha256.clone(),
+                })
+            });
+    }
+
+    /// Entries stored.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) since start.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retime_engine::PhaseTimings;
+
+    fn output(payload: &str) -> JobOutput {
+        JobOutput {
+            payload: payload.to_string(),
+            payload_sha256: crate::hash::sha256_hex(payload.as_bytes()),
+            solver_invocations: 1,
+            phases: PhaseTimings::new(),
+        }
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = ResultCache::new();
+        assert!(cache.lookup("k").is_none());
+        cache.store("k", &output("{\"a\":1}"));
+        let hit = cache.lookup("k").unwrap();
+        assert_eq!(hit.payload, "{\"a\":1}");
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn first_writer_wins() {
+        let cache = ResultCache::new();
+        cache.store("k", &output("first"));
+        cache.store("k", &output("second"));
+        assert_eq!(cache.lookup("k").unwrap().payload, "first");
+    }
+}

@@ -1,0 +1,412 @@
+//! Job specification, circuit resolution, and flow execution.
+//!
+//! A submitted job names a circuit (suite name or inline `.bench` text),
+//! a flow, an overhead, and options. Resolution turns that into a built
+//! circuit with a clock and a canonical netlist text; execution runs the
+//! named flow through the same entry points the table binaries use and
+//! renders the deterministic result payload the cache stores.
+
+use retime_bench::{build_case, Certification};
+use retime_circuits::paper_suite;
+use retime_core::{grar, GrarConfig};
+use retime_liberty::{EdlOverhead, Library};
+use retime_netlist::{bench, CombCloud, Netlist, NodeId};
+use retime_retime::{base_retime, RetimeError, RetimeOutcome};
+use retime_sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
+use retime_verify::FlowKind;
+use retime_vl::{vl_retime, VlConfig, VlVariant};
+
+use crate::canon::{cache_key, canonical_bench, KeyConfig};
+use crate::hash::sha256_hex;
+use crate::json::{obj, Json};
+
+/// The circuit a job names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitRef {
+    /// A calibrated suite circuit by name (`s1196`, …, `plasma`).
+    Suite(String),
+    /// Inline `.bench` source text (with a display name).
+    Inline {
+        /// Display name used in payloads and logs.
+        name: String,
+        /// Raw `.bench` source.
+        text: String,
+    },
+}
+
+/// One parsed submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// What to retime.
+    pub circuit: CircuitRef,
+    /// Which flow to run.
+    pub flow: FlowKind,
+    /// EDL overhead `c`.
+    pub overhead: EdlOverhead,
+    /// Delay model (base and G-RAR honor it; the VL flow is path-based).
+    pub model: DelayModel,
+    /// Clock override in ns of max path delay (`None` = the circuit's
+    /// calibrated / derived clock).
+    pub clock: Option<f64>,
+    /// Route the result through `retime-verify` certification.
+    pub verify: bool,
+}
+
+impl JobSpec {
+    /// Parses a `submit` command object.
+    ///
+    /// # Errors
+    /// Returns a one-line diagnosis for missing or malformed fields.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let circuit = match (v.get("circuit"), v.get("netlist")) {
+            (Some(c), None) => CircuitRef::Suite(
+                c.as_str()
+                    .ok_or("`circuit` must be a suite circuit name")?
+                    .to_string(),
+            ),
+            (None, Some(t)) => CircuitRef::Inline {
+                name: v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .unwrap_or("inline")
+                    .to_string(),
+                text: t.as_str().ok_or("`netlist` must be a string")?.to_string(),
+            },
+            (Some(_), Some(_)) => return Err("give either `circuit` or `netlist`, not both".into()),
+            (None, None) => return Err("missing `circuit` (suite name) or `netlist` (text)".into()),
+        };
+        let flow = match v.get("flow").and_then(Json::as_str) {
+            Some("base") => FlowKind::Base,
+            Some("grar") | None => FlowKind::Grar,
+            Some("vl") => FlowKind::Vl,
+            Some(other) => return Err(format!("unknown flow {other:?} (base | grar | vl)")),
+        };
+        let overhead = match v.get("c") {
+            None => EdlOverhead::MEDIUM,
+            Some(Json::Num(x)) if *x > 0.0 => EdlOverhead::new(*x),
+            Some(Json::Str(s)) => match s.as_str() {
+                "low" => EdlOverhead::LOW,
+                "medium" => EdlOverhead::MEDIUM,
+                "high" => EdlOverhead::HIGH,
+                other => return Err(format!("unknown overhead {other:?} (low | medium | high)")),
+            },
+            Some(_) => return Err("`c` must be a positive number or low|medium|high".into()),
+        };
+        let model = match v.get("model").and_then(Json::as_str) {
+            None | Some("path") => DelayModel::PathBased,
+            Some("gate") => DelayModel::GateBased,
+            Some(other) => return Err(format!("unknown model {other:?} (path | gate)")),
+        };
+        let clock = match v.get("clock") {
+            None => None,
+            Some(Json::Num(x)) if *x > 0.0 => Some(*x),
+            Some(_) => return Err("`clock` must be a positive number (ns)".into()),
+        };
+        let verify = match v.get("verify") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err("`verify` must be a boolean".into()),
+        };
+        Ok(JobSpec {
+            circuit,
+            flow,
+            overhead,
+            model,
+            clock,
+            verify,
+        })
+    }
+
+    /// Short flow name for metrics labels.
+    pub fn flow_name(&self) -> &'static str {
+        self.flow.name()
+    }
+}
+
+/// A resolved circuit: built netlist, retiming view, default clock, and
+/// canonical text (the cache-key input).
+#[derive(Debug)]
+pub struct ResolvedCircuit {
+    /// Display name.
+    pub name: String,
+    /// The circuit the flow runs on.
+    pub netlist: Netlist,
+    /// Its retiming view.
+    pub cloud: CombCloud,
+    /// Calibrated (suite) or derived (inline) clock.
+    pub clock: TwoPhaseClock,
+    /// Canonical `.bench` text.
+    pub canonical: String,
+}
+
+/// Resolves a [`CircuitRef`]: suite names build and calibrate the
+/// matching Table I circuit (exactly like the table binaries); inline
+/// text is parsed, canonicalized, and **re-parsed from its canonical
+/// form**, so the flow result depends only on the cache key, never on
+/// the submitted statement order.
+///
+/// # Errors
+/// Returns a one-line diagnosis for unknown suite names, parse errors,
+/// or STA failures while deriving a clock.
+pub fn resolve_circuit(circuit: &CircuitRef, lib: &Library) -> Result<ResolvedCircuit, String> {
+    match circuit {
+        CircuitRef::Suite(name) => {
+            let spec = paper_suite()
+                .into_iter()
+                .find(|s| s.name == name.as_str())
+                .ok_or_else(|| format!("unknown suite circuit {name:?}"))?;
+            let case = build_case(&spec, lib);
+            let canonical = canonical_bench(&case.circuit.netlist);
+            Ok(ResolvedCircuit {
+                name: name.clone(),
+                netlist: case.circuit.netlist,
+                cloud: case.circuit.cloud,
+                clock: case.clock,
+                canonical,
+            })
+        }
+        CircuitRef::Inline { name, text } => {
+            let parsed =
+                bench::parse(name, text).map_err(|e| format!("netlist parse error: {e}"))?;
+            let canonical = canonical_bench(&parsed);
+            let netlist = bench::parse(name, &canonical)
+                .map_err(|e| format!("canonical re-parse error: {e}"))?;
+            let cloud =
+                CombCloud::extract(&netlist).map_err(|e| format!("cloud extraction: {e}"))?;
+            let clock = derive_clock(&cloud, lib).map_err(|e| format!("clock derivation: {e}"))?;
+            Ok(ResolvedCircuit {
+                name: name.clone(),
+                netlist,
+                cloud,
+                clock,
+                canonical,
+            })
+        }
+    }
+}
+
+/// A relaxed clock for an inline circuit with no explicit `clock`: the
+/// critical path plus the latch flow-through, divided by 0.7 — the same
+/// regime `SuiteCircuit::calibrated_clock` uses for rescuable circuits.
+fn derive_clock(cloud: &CombCloud, lib: &Library) -> Result<TwoPhaseClock, retime_sta::StaError> {
+    let sta = TimingAnalysis::new(
+        cloud,
+        lib,
+        TwoPhaseClock::from_max_delay(1.0),
+        DelayModel::PathBased,
+    )?;
+    let crit = cloud
+        .sinks()
+        .iter()
+        .map(|&t| sta.df(t))
+        .fold(0.0f64, f64::max);
+    let latch = lib.latch();
+    Ok(TwoPhaseClock::from_max_delay(
+        (crit + latch.d_to_q + latch.clk_to_q) / 0.7,
+    ))
+}
+
+/// The flow configuration a job resolves to, plus its cache key.
+#[derive(Debug, Clone)]
+pub struct PreparedJob {
+    /// Everything besides the circuit that determines the result.
+    pub key_config: KeyConfig,
+    /// Content-addressed cache key (SHA-256 hex).
+    pub key: String,
+}
+
+/// Combines a resolved circuit with the job options into the final flow
+/// configuration and its cache key.
+pub fn prepare(spec: &JobSpec, circuit: &ResolvedCircuit, lib: &Library) -> PreparedJob {
+    let clock = spec
+        .clock
+        .map_or(circuit.clock, TwoPhaseClock::from_max_delay);
+    let key_config = KeyConfig {
+        flow: spec.flow,
+        overhead: spec.overhead,
+        clock,
+        model: spec.model,
+        verify: spec.verify,
+    };
+    let key = cache_key(&circuit.canonical, lib, &key_config);
+    PreparedJob { key_config, key }
+}
+
+/// One executed (or cache-served) job result.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// Deterministic rendered payload (see [`render_payload`]).
+    pub payload: String,
+    /// SHA-256 (hex) of `payload`.
+    pub payload_sha256: String,
+    /// Solver invocations this job actually performed (0 on cache hits).
+    pub solver_invocations: u64,
+    /// The run's phase instrumentation (empty on cache hits).
+    pub phases: retime_engine::PhaseTimings,
+}
+
+/// Runs the configured flow on a resolved circuit — the same entry
+/// points (`base_retime` / `grar` / `vl_retime`) a direct call uses, so
+/// a cached payload is bit-identical to a fresh one.
+///
+/// # Errors
+/// Propagates flow failures and rejected certificates.
+pub fn execute(
+    cfg: &KeyConfig,
+    circuit: &ResolvedCircuit,
+    lib: &Library,
+) -> Result<JobOutput, RetimeError> {
+    let cloud = &circuit.cloud;
+    let mut outcome = match cfg.flow {
+        FlowKind::Base => base_retime(cloud, lib, cfg.clock, cfg.model, cfg.overhead)?,
+        FlowKind::Grar => {
+            grar(
+                cloud,
+                lib,
+                cfg.clock,
+                &GrarConfig::new(cfg.overhead).with_model(cfg.model),
+            )?
+            .outcome
+        }
+        FlowKind::Vl => {
+            vl_retime(
+                cloud,
+                lib,
+                cfg.clock,
+                &VlConfig::new(VlVariant::Rvl, cfg.overhead),
+            )?
+            .outcome
+        }
+    };
+    if cfg.verify {
+        Certification::of_netlist(
+            &circuit.netlist,
+            &circuit.cloud,
+            cfg.clock,
+            cfg.overhead,
+            cfg.flow,
+            format!("{} [serve/{}]", circuit.name, cfg.flow.name()),
+        )
+        .with_model(cfg.model)
+        .run(lib, &mut outcome)?;
+    }
+    let payload = render_payload(&circuit.name, cfg, cloud, &outcome);
+    let payload_sha256 = sha256_hex(payload.as_bytes());
+    Ok(JobOutput {
+        payload,
+        payload_sha256,
+        solver_invocations: outcome.phases.counter("solver_invocations"),
+        phases: outcome.phases.clone(),
+    })
+}
+
+/// Renders the deterministic result payload for an outcome: the area
+/// bill, latch counts, feasibility, and digests of the exact placement
+/// and EDL assignment. Every field is a pure function of the flow
+/// result, so two runs of the same job render byte-identical text —
+/// the contract the content-addressed cache stores and integration
+/// tests compare against a direct flow call.
+pub fn render_payload(
+    name: &str,
+    cfg: &KeyConfig,
+    cloud: &CombCloud,
+    outcome: &RetimeOutcome,
+) -> String {
+    let moved: Vec<u8> = (0..cloud.len())
+        .map(|i| u8::from(outcome.cut.is_moved(NodeId(i as u32))))
+        .collect();
+    let ed: Vec<u8> = outcome.ed_sinks.iter().map(|&b| u8::from(b)).collect();
+    obj(vec![
+        ("circuit", Json::Str(name.to_string())),
+        ("flow", Json::Str(cfg.flow.name().to_string())),
+        ("c", Json::Num(cfg.overhead.value())),
+        ("clock", Json::Num(cfg.clock.max_path_delay())),
+        ("slaves", Json::Num(outcome.seq.slaves as f64)),
+        ("masters", Json::Num(outcome.seq.masters as f64)),
+        ("edl", Json::Num(outcome.seq.edl as f64)),
+        ("seq_area", Json::Num(outcome.seq.total())),
+        ("comb_area", Json::Num(outcome.comb_area)),
+        ("total_area", Json::Num(outcome.total_area)),
+        ("feasible", Json::Bool(outcome.timing.is_feasible())),
+        ("cut_sha256", Json::Str(sha256_hex(&moved))),
+        ("ed_sha256", Json::Str(sha256_hex(&ed))),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn submit(src: &str) -> Result<JobSpec, String> {
+        JobSpec::from_json(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn parses_suite_submission() {
+        let spec =
+            submit(r#"{"cmd":"submit","circuit":"s1196","flow":"grar","c":"high","verify":true}"#)
+                .unwrap();
+        assert_eq!(spec.circuit, CircuitRef::Suite("s1196".into()));
+        assert_eq!(spec.flow, FlowKind::Grar);
+        assert_eq!(spec.overhead, EdlOverhead::HIGH);
+        assert!(spec.verify);
+        assert_eq!(spec.clock, None);
+    }
+
+    #[test]
+    fn parses_inline_submission_with_defaults() {
+        let spec =
+            submit(r#"{"cmd":"submit","netlist":"INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n"}"#).unwrap();
+        assert!(matches!(spec.circuit, CircuitRef::Inline { .. }));
+        assert_eq!(spec.flow, FlowKind::Grar);
+        assert_eq!(spec.overhead, EdlOverhead::MEDIUM);
+        assert!(!spec.verify);
+    }
+
+    #[test]
+    fn rejects_malformed_submissions() {
+        assert!(submit(r#"{"cmd":"submit"}"#).is_err());
+        assert!(submit(r#"{"cmd":"submit","circuit":"x","netlist":"y"}"#).is_err());
+        assert!(submit(r#"{"cmd":"submit","circuit":"x","flow":"warp"}"#).is_err());
+        assert!(submit(r#"{"cmd":"submit","circuit":"x","c":-1}"#).is_err());
+        assert!(submit(r#"{"cmd":"submit","circuit":"x","clock":"fast"}"#).is_err());
+    }
+
+    #[test]
+    fn unknown_suite_name_is_diagnosed() {
+        let lib = Library::fdsoi28();
+        let err = resolve_circuit(&CircuitRef::Suite("s0".into()), &lib).unwrap_err();
+        assert!(err.contains("unknown suite circuit"));
+    }
+
+    #[test]
+    fn inline_resolution_is_order_insensitive_end_to_end() {
+        let lib = Library::fdsoi28();
+        let a = resolve_circuit(
+            &CircuitRef::Inline {
+                name: "t".into(),
+                text: "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq = DFF(g)\ng = AND(a, b)\nz = OR(g, q)\n"
+                    .into(),
+            },
+            &lib,
+        )
+        .unwrap();
+        let b = resolve_circuit(
+            &CircuitRef::Inline {
+                name: "t".into(),
+                text:
+                    "INPUT(b)\n  g   = AND( a,b )\nz = OR(g, q)\nINPUT(a)\nq = DFF(g)\nOUTPUT(z)\n"
+                        .into(),
+            },
+            &lib,
+        )
+        .unwrap();
+        assert_eq!(a.canonical, b.canonical);
+        assert_eq!(
+            a.clock.max_path_delay().to_bits(),
+            b.clock.max_path_delay().to_bits()
+        );
+    }
+}

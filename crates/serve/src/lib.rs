@@ -1,0 +1,60 @@
+//! `retime-serve` — a concurrent retiming service with content-addressed
+//! result caching and backpressure.
+//!
+//! The table binaries answer "what does the paper's Table N look like";
+//! this crate answers "retime this circuit for me, now, again" — the
+//! batch flows wrapped in a daemon. A `retime-serve` process listens on
+//! TCP, speaks newline-delimited JSON, and runs submissions through the
+//! exact flow entry points (`base_retime` / `grar` / `vl_retime`) the
+//! tables use, on a worker pool built from
+//! [`retime_engine::parallel_map`].
+//!
+//! Three properties carry the design:
+//!
+//! 1. **Content-addressed caching** ([`canon`], [`cache`]): a job's key
+//!    is the SHA-256 of its canonicalized netlist plus library and flow
+//!    configuration. Re-submitting the same circuit — even with shuffled
+//!    statements or different whitespace — is answered from the cache,
+//!    byte-identical to the first run, with zero solver work.
+//! 2. **Backpressure** ([`queue`]): the job queue is bounded; a
+//!    submission past the bound gets a structured `overloaded` reply
+//!    carrying `retry_after_ms` estimated from observed job wall-clock,
+//!    never an unbounded backlog.
+//! 3. **Observability** ([`metrics`]): cache hits/misses, queue depth,
+//!    per-flow per-stage wall-clock (the service view of Table VII), and
+//!    rejection counts export in Prometheus text format.
+//!
+//! Protocol (one JSON object per line, both directions):
+//!
+//! ```text
+//! → {"cmd":"submit","circuit":"s1196","flow":"grar","c":"medium"}
+//! ← {"ok":true,"id":1,"status":"queued","cached":false,"key":"ab12…"}
+//! → {"cmd":"result","id":1,"wait":true}
+//! ← {"ok":true,"id":1,"status":"done","cached":false,…,"result":{…}}
+//! → {"cmd":"metrics"}
+//! ← {"ok":true,"metrics":"# HELP retime_serve_…"}
+//! → {"cmd":"shutdown"}
+//! ← {"ok":true,"draining":true}
+//! ```
+//!
+//! See `DESIGN.md` §2c for the full protocol and policy specification.
+
+pub mod cache;
+pub mod canon;
+pub mod client;
+pub mod hash;
+pub mod job;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CachedResult, ResultCache};
+pub use canon::{cache_key, canonical_bench, KeyConfig};
+pub use client::Client;
+pub use hash::{sha256, sha256_hex};
+pub use job::{execute, prepare, render_payload, resolve_circuit, CircuitRef, JobOutput, JobSpec};
+pub use json::Json;
+pub use metrics::Metrics;
+pub use queue::{JobQueue, PushError};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,536 @@
+//! The retiming daemon: TCP acceptor, NDJSON protocol dispatch, and the
+//! worker pool that drains the bounded job queue.
+//!
+//! One connection carries any number of newline-delimited JSON commands:
+//!
+//! * `submit` — name a circuit (suite name or inline `.bench` text), a
+//!   flow, an overhead; the reply is `queued`, `done` (cache hit), or a
+//!   structured `overloaded` rejection with `retry_after_ms`.
+//! * `status` / `result` — poll or (with `"wait": true`) block on a job.
+//! * `metrics` — Prometheus text exposition of the service counters.
+//! * `pause` / `resume` — hold and release the worker pool (used by the
+//!   backpressure tests to fill the queue deterministically).
+//! * `shutdown` — drain-then-exit: no new work is accepted, queued jobs
+//!   finish, workers and the acceptor join.
+//!
+//! The pool is literally built on [`retime_engine::parallel_map`] — one
+//! supervisor thread fans `worker_loop` out over `workers` slots, so the
+//! pool size honors `RETIME_THREADS` exactly like every flow does.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use retime_engine::{parallel_map, thread_count};
+use retime_liberty::Library;
+
+use crate::cache::{CachedResult, ResultCache};
+use crate::canon::KeyConfig;
+use crate::job::{execute, prepare, resolve_circuit, CircuitRef, JobSpec, ResolvedCircuit};
+use crate::json::{obj, parse, Json};
+use crate::metrics::Metrics;
+use crate::queue::{JobQueue, PushError};
+
+/// How a [`Server`] is wired up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free loopback port).
+    pub addr: String,
+    /// Worker threads (`0` = auto via `RETIME_THREADS` /
+    /// available parallelism).
+    pub workers: usize,
+    /// Job-queue bound; a submission past it gets an `overloaded` reply.
+    pub queue_bound: usize,
+    /// Log job lifecycle events to stderr.
+    pub verbose: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_bound: 64,
+            verbose: false,
+        }
+    }
+}
+
+/// What a queued job still needs to run.
+struct QueuedWork {
+    cfg: KeyConfig,
+    circuit: Arc<ResolvedCircuit>,
+    key: String,
+    flow: &'static str,
+}
+
+enum JobState {
+    Queued(Box<QueuedWork>),
+    Running,
+    Done {
+        payload: Arc<CachedResult>,
+        solver_invocations: u64,
+    },
+    Failed {
+        error: String,
+    },
+}
+
+struct JobRecord {
+    cached: bool,
+    key: String,
+    state: JobState,
+}
+
+impl JobRecord {
+    fn status_name(&self) -> &'static str {
+        match self.state {
+            JobState::Queued(_) => "queued",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// Everything the acceptor, connections, and workers share.
+struct Shared {
+    lib: Library,
+    addr: SocketAddr,
+    queue: JobQueue,
+    cache: ResultCache,
+    metrics: Metrics,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    jobs_wake: Condvar,
+    suite_store: Mutex<HashMap<String, Arc<ResolvedCircuit>>>,
+    next_id: AtomicU64,
+    workers: usize,
+    shutting_down: AtomicBool,
+    verbose: bool,
+}
+
+/// The retiming service. [`Server::spawn`] binds, starts the pool, and
+/// returns a handle; all interaction then goes over the socket.
+pub struct Server;
+
+impl Server {
+    /// Binds the listener, starts the acceptor and the worker pool, and
+    /// returns a handle holding the bound address.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = match config.workers {
+            0 => thread_count(),
+            n => n,
+        };
+        let shared = Arc::new(Shared {
+            lib: Library::fdsoi28(),
+            addr,
+            queue: JobQueue::new(config.queue_bound),
+            cache: ResultCache::new(),
+            metrics: Metrics::new(),
+            jobs: Mutex::new(HashMap::new()),
+            jobs_wake: Condvar::new(),
+            suite_store: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            workers,
+            shutting_down: AtomicBool::new(false),
+            verbose: config.verbose,
+        });
+
+        let pool = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let slots: Vec<usize> = (0..shared.workers).collect();
+                parallel_map(shared.workers, &slots, |_| worker_loop(&shared));
+            })
+        };
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutting_down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || handle_connection(&shared, stream));
+                }
+            })
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            pool: Some(pool),
+        })
+    }
+}
+
+/// A running server: its bound address and the threads to join on exit.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    pool: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (with the kernel-chosen port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server has drained and every thread joined —
+    /// returns after a client sends `shutdown`.
+    pub fn wait(mut self) {
+        if let Some(pool) = self.pool.take() {
+            let _ = pool.join();
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    /// Initiates drain-then-exit from the hosting process (same path the
+    /// `shutdown` command takes).
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+}
+
+/// Flips the service into drain mode and pokes the acceptor awake.
+fn begin_shutdown(shared: &Shared) {
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    shared.queue.close();
+    // The acceptor blocks in `accept`; a throwaway connection makes it
+    // re-check the flag.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// One worker: pull job ids until the queue closes and drains.
+fn worker_loop(shared: &Shared) {
+    while let Some(id) = shared.queue.pop() {
+        let work = {
+            let mut jobs = shared.jobs.lock().expect("jobs lock");
+            match jobs.get_mut(&id) {
+                Some(record) => match std::mem::replace(&mut record.state, JobState::Running) {
+                    JobState::Queued(work) => Some(work),
+                    other => {
+                        record.state = other;
+                        None
+                    }
+                },
+                None => None,
+            }
+        };
+        let Some(work) = work else { continue };
+        if shared.verbose {
+            eprintln!(
+                "[retime-serve] job {id}: running {} / {}",
+                work.circuit.name, work.flow
+            );
+        }
+        let label = format!("flow=\"{}\"", work.flow);
+        let state = match execute(&work.cfg, &work.circuit, &shared.lib) {
+            Ok(output) => {
+                shared.cache.store(&work.key, &output);
+                shared.metrics.observe_job(work.flow, &output.phases);
+                shared
+                    .metrics
+                    .inc("retime_serve_jobs_completed_total", &label, 1);
+                if work.cfg.verify {
+                    shared
+                        .metrics
+                        .inc("retime_serve_verified_jobs_total", "", 1);
+                }
+                JobState::Done {
+                    payload: Arc::new(CachedResult {
+                        payload: output.payload,
+                        payload_sha256: output.payload_sha256,
+                    }),
+                    solver_invocations: output.solver_invocations,
+                }
+            }
+            Err(e) => {
+                shared
+                    .metrics
+                    .inc("retime_serve_jobs_failed_total", &label, 1);
+                JobState::Failed {
+                    error: e.to_string(),
+                }
+            }
+        };
+        let mut jobs = shared.jobs.lock().expect("jobs lock");
+        if let Some(record) = jobs.get_mut(&id) {
+            record.state = state;
+        }
+        drop(jobs);
+        shared.jobs_wake.notify_all();
+    }
+}
+
+/// Serves one client connection: a loop of NDJSON request → reply.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = dispatch(shared, &line);
+        let mut text = reply.render();
+        text.push('\n');
+        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+fn error_reply(msg: &str) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(msg.to_string())),
+    ])
+}
+
+/// Parses one request line and routes it to the command handler.
+fn dispatch(shared: &Shared, line: &str) -> Json {
+    let v = match parse(line) {
+        Ok(v) => v,
+        Err(e) => return error_reply(&format!("bad request: {e}")),
+    };
+    match v.get("cmd").and_then(Json::as_str) {
+        Some("submit") => handle_submit(shared, &v),
+        Some("status") => handle_status(shared, &v),
+        Some("result") => handle_result(shared, &v),
+        Some("metrics") => handle_metrics(shared),
+        Some("pause") => {
+            shared.queue.pause();
+            obj(vec![("ok", Json::Bool(true)), ("paused", Json::Bool(true))])
+        }
+        Some("resume") => {
+            shared.queue.resume();
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("paused", Json::Bool(false)),
+            ])
+        }
+        Some("shutdown") => {
+            begin_shutdown(shared);
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("draining", Json::Bool(true)),
+            ])
+        }
+        Some(other) => error_reply(&format!(
+            "unknown cmd {other:?} (submit | status | result | metrics | pause | resume | shutdown)"
+        )),
+        None => error_reply("missing `cmd`"),
+    }
+}
+
+/// Resolves a circuit, reusing prior suite builds (inline netlists are
+/// resolved fresh — their canonical form already dedups the cache key).
+fn resolve_shared(shared: &Shared, circuit: &CircuitRef) -> Result<Arc<ResolvedCircuit>, String> {
+    if let CircuitRef::Suite(name) = circuit {
+        if let Some(hit) = shared.suite_store.lock().expect("suite lock").get(name) {
+            return Ok(Arc::clone(hit));
+        }
+        let resolved = Arc::new(resolve_circuit(circuit, &shared.lib)?);
+        return Ok(Arc::clone(
+            shared
+                .suite_store
+                .lock()
+                .expect("suite lock")
+                .entry(name.clone())
+                .or_insert(resolved),
+        ));
+    }
+    Ok(Arc::new(resolve_circuit(circuit, &shared.lib)?))
+}
+
+fn handle_submit(shared: &Shared, v: &Json) -> Json {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return error_reply("shutting_down");
+    }
+    let spec = match JobSpec::from_json(v) {
+        Ok(spec) => spec,
+        Err(e) => return error_reply(&e),
+    };
+    let flow = spec.flow_name();
+    let label = format!("flow=\"{flow}\"");
+    shared
+        .metrics
+        .inc("retime_serve_submissions_total", &label, 1);
+
+    let circuit = match resolve_shared(shared, &spec.circuit) {
+        Ok(c) => c,
+        Err(e) => return error_reply(&e),
+    };
+    let prepared = prepare(&spec, &circuit, &shared.lib);
+
+    if let Some(hit) = shared.cache.lookup(&prepared.key) {
+        shared.metrics.inc("retime_serve_cache_hits_total", "", 1);
+        let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+        shared.jobs.lock().expect("jobs lock").insert(
+            id,
+            JobRecord {
+                cached: true,
+                key: prepared.key.clone(),
+                state: JobState::Done {
+                    payload: hit,
+                    solver_invocations: 0,
+                },
+            },
+        );
+        shared.jobs_wake.notify_all();
+        return obj(vec![
+            ("ok", Json::Bool(true)),
+            ("id", Json::Num(id as f64)),
+            ("status", Json::Str("done".to_string())),
+            ("cached", Json::Bool(true)),
+            ("key", Json::Str(prepared.key)),
+        ]);
+    }
+    shared.metrics.inc("retime_serve_cache_misses_total", "", 1);
+
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    let retry_after_ms = shared
+        .metrics
+        .retry_after_ms(shared.queue.depth(), shared.workers);
+    shared.jobs.lock().expect("jobs lock").insert(
+        id,
+        JobRecord {
+            cached: false,
+            key: prepared.key.clone(),
+            state: JobState::Queued(Box::new(QueuedWork {
+                cfg: prepared.key_config,
+                circuit,
+                key: prepared.key.clone(),
+                flow,
+            })),
+        },
+    );
+    match shared.queue.push(id, retry_after_ms) {
+        Ok(()) => obj(vec![
+            ("ok", Json::Bool(true)),
+            ("id", Json::Num(id as f64)),
+            ("status", Json::Str("queued".to_string())),
+            ("cached", Json::Bool(false)),
+            ("key", Json::Str(prepared.key)),
+        ]),
+        Err(err) => {
+            shared.jobs.lock().expect("jobs lock").remove(&id);
+            match err {
+                PushError::Overloaded { retry_after_ms } => {
+                    shared
+                        .metrics
+                        .inc("retime_serve_rejected_overload_total", "", 1);
+                    obj(vec![
+                        ("ok", Json::Bool(false)),
+                        ("error", Json::Str("overloaded".to_string())),
+                        ("retry_after_ms", Json::Num(retry_after_ms as f64)),
+                        ("queue_bound", Json::Num(shared.queue.bound() as f64)),
+                    ])
+                }
+                PushError::ShuttingDown => error_reply("shutting_down"),
+            }
+        }
+    }
+}
+
+fn job_id(v: &Json) -> Result<u64, Json> {
+    v.get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| error_reply("missing or non-integer `id`"))
+}
+
+fn handle_status(shared: &Shared, v: &Json) -> Json {
+    let id = match job_id(v) {
+        Ok(id) => id,
+        Err(e) => return e,
+    };
+    let jobs = shared.jobs.lock().expect("jobs lock");
+    match jobs.get(&id) {
+        Some(record) => obj(vec![
+            ("ok", Json::Bool(true)),
+            ("id", Json::Num(id as f64)),
+            ("status", Json::Str(record.status_name().to_string())),
+            ("cached", Json::Bool(record.cached)),
+            ("key", Json::Str(record.key.clone())),
+        ]),
+        None => error_reply(&format!("unknown job id {id}")),
+    }
+}
+
+fn handle_result(shared: &Shared, v: &Json) -> Json {
+    let id = match job_id(v) {
+        Ok(id) => id,
+        Err(e) => return e,
+    };
+    let wait = matches!(v.get("wait"), Some(Json::Bool(true)));
+    let mut jobs = shared.jobs.lock().expect("jobs lock");
+    loop {
+        let Some(record) = jobs.get(&id) else {
+            return error_reply(&format!("unknown job id {id}"));
+        };
+        match &record.state {
+            JobState::Done {
+                payload,
+                solver_invocations,
+            } => {
+                return obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("id", Json::Num(id as f64)),
+                    ("status", Json::Str("done".to_string())),
+                    ("cached", Json::Bool(record.cached)),
+                    ("key", Json::Str(record.key.clone())),
+                    ("payload_sha256", Json::Str(payload.payload_sha256.clone())),
+                    ("solver_invocations", Json::Num(*solver_invocations as f64)),
+                    ("result", Json::Raw(payload.payload.clone())),
+                ]);
+            }
+            JobState::Failed { error } => {
+                return obj(vec![
+                    ("ok", Json::Bool(false)),
+                    ("id", Json::Num(id as f64)),
+                    ("status", Json::Str("failed".to_string())),
+                    ("error", Json::Str(error.clone())),
+                ]);
+            }
+            _ if wait => {
+                jobs = shared.jobs_wake.wait(jobs).expect("jobs lock");
+            }
+            _ => {
+                return obj(vec![
+                    ("ok", Json::Bool(false)),
+                    ("id", Json::Num(id as f64)),
+                    ("status", Json::Str(record.status_name().to_string())),
+                    ("error", Json::Str("pending".to_string())),
+                ]);
+            }
+        }
+    }
+}
+
+fn handle_metrics(shared: &Shared) -> Json {
+    let text = shared.metrics.render(&[
+        ("retime_serve_queue_depth", shared.queue.depth() as f64),
+        ("retime_serve_workers", shared.workers as f64),
+        ("retime_serve_cache_entries", shared.cache.len() as f64),
+    ]);
+    obj(vec![("ok", Json::Bool(true)), ("metrics", Json::Str(text))])
+}

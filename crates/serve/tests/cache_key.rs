@@ -1,0 +1,186 @@
+//! Cache-key determinism (satellite of the serve PR):
+//!
+//! * property: canonicalization — and therefore the cache key — is
+//!   insensitive to statement order, indentation, and comments on
+//!   randomly generated netlists,
+//! * property: distinct overhead values never alias a key,
+//! * the tiny suite × flows × overheads × verify grid produces all
+//!   distinct keys,
+//! * keys are identical whatever `RETIME_THREADS` says, because circuit
+//!   resolution is deterministic.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use retime_liberty::{EdlOverhead, Library};
+use retime_netlist::bench;
+use retime_serve::canon::{cache_key, canonical_bench, KeyConfig};
+use retime_serve::job::{prepare, resolve_circuit, CircuitRef, JobSpec};
+use retime_sta::{DelayModel, TwoPhaseClock};
+use retime_verify::FlowKind;
+
+/// A random valid `.bench` program as a list of tidy statements.
+fn random_statements(gates: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs = 2 + rng.random_range(0..3usize);
+    let mut signals: Vec<String> = (0..inputs).map(|i| format!("in{i}")).collect();
+    let mut lines: Vec<String> = signals.iter().map(|s| format!("INPUT({s})")).collect();
+    let kws = ["AND", "OR", "NAND", "NOR", "XOR"];
+    for g in 0..gates {
+        let a = signals[rng.random_range(0..signals.len())].clone();
+        let b = signals[rng.random_range(0..signals.len())].clone();
+        let kw = kws[rng.random_range(0..kws.len())];
+        let name = format!("g{g}");
+        lines.push(format!("{name} = {kw}({a}, {b})"));
+        signals.push(name);
+    }
+    let last = signals.last().expect("nonempty").clone();
+    lines.push(format!("q0 = DFF({last})"));
+    lines.push(format!("z = OR({last}, q0)"));
+    lines.push("OUTPUT(z)".to_string());
+    lines
+}
+
+/// Shuffles the statements and mangles whitespace/comments without
+/// changing the circuit.
+fn mangle(statements: &[String], seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lines = statements.to_vec();
+    lines.shuffle(&mut rng);
+    let mut out = String::new();
+    for line in lines {
+        if rng.random_bool(0.3) {
+            out.push_str("# noise comment\n");
+        }
+        let spaced = line
+            .replace('=', if rng.random_bool(0.5) { " =  " } else { "=" })
+            .replace(", ", if rng.random_bool(0.5) { " ,   " } else { "," });
+        for _ in 0..rng.random_range(0..3usize) {
+            out.push(' ');
+        }
+        out.push_str(&spaced);
+        if rng.random_bool(0.3) {
+            out.push_str("   # trailing");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn fixed_config() -> KeyConfig {
+    KeyConfig {
+        flow: FlowKind::Grar,
+        overhead: EdlOverhead::MEDIUM,
+        clock: TwoPhaseClock::from_max_delay(10.0),
+        model: DelayModel::PathBased,
+        verify: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shuffled statements + mangled whitespace → same canonical text,
+    /// same cache key.
+    #[test]
+    fn key_is_insensitive_to_statement_order_and_whitespace(
+        gates in 1usize..14,
+        seed in any::<u64>(),
+        mangle_seed in any::<u64>(),
+    ) {
+        let statements = random_statements(gates, seed);
+        let tidy = statements.join("\n") + "\n";
+        let messy = mangle(&statements, mangle_seed);
+        let canon_tidy = canonical_bench(&bench::parse("t", &tidy).expect("tidy parses"));
+        let canon_messy = canonical_bench(&bench::parse("t", &messy).expect("messy parses"));
+        prop_assert_eq!(&canon_tidy, &canon_messy);
+        let lib = Library::fdsoi28();
+        let cfg = fixed_config();
+        prop_assert_eq!(
+            cache_key(&canon_tidy, &lib, &cfg),
+            cache_key(&canon_messy, &lib, &cfg)
+        );
+    }
+
+    /// Different overhead bit patterns never alias on the same circuit.
+    #[test]
+    fn distinct_overheads_never_collide(c1 in 0.05f64..8.0, c2 in 0.05f64..8.0) {
+        // No `prop_assume` in the vendored proptest: nudge an exact
+        // duplicate apart instead of discarding the case.
+        let c2 = if c1.to_bits() == c2.to_bits() { c2 + 0.125 } else { c2 };
+        let canon = canonical_bench(
+            &bench::parse("t", "INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = OR(a, q)\n").expect("parses"),
+        );
+        let lib = Library::fdsoi28();
+        let base = fixed_config();
+        let k1 = cache_key(&canon, &lib, &KeyConfig { overhead: EdlOverhead::new(c1), ..base });
+        let k2 = cache_key(&canon, &lib, &KeyConfig { overhead: EdlOverhead::new(c2), ..base });
+        prop_assert_ne!(k1, k2);
+    }
+}
+
+/// Tiny suite × 3 flows × 3 overheads × verify on/off: 72 configurations,
+/// 72 distinct keys.
+#[test]
+fn tiny_suite_config_grid_has_no_collisions() {
+    let lib = Library::fdsoi28();
+    let mut keys = HashSet::new();
+    let mut n = 0;
+    for circuit in ["s1196", "s1238", "s1423", "s1488"] {
+        let resolved =
+            resolve_circuit(&CircuitRef::Suite(circuit.to_string()), &lib).expect("resolves");
+        for flow in [FlowKind::Base, FlowKind::Grar, FlowKind::Vl] {
+            for overhead in [EdlOverhead::LOW, EdlOverhead::MEDIUM, EdlOverhead::HIGH] {
+                for verify in [false, true] {
+                    let spec = JobSpec {
+                        circuit: CircuitRef::Suite(circuit.to_string()),
+                        flow,
+                        overhead,
+                        model: DelayModel::PathBased,
+                        clock: None,
+                        verify,
+                    };
+                    let prepared = prepare(&spec, &resolved, &lib);
+                    assert!(
+                        keys.insert(prepared.key),
+                        "collision at {circuit}/{flow:?}/{overhead:?}/verify={verify}"
+                    );
+                    n += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(n, 72);
+    assert_eq!(keys.len(), 72);
+}
+
+/// The cache key never depends on the fan-out width: resolving and
+/// keying the same submission under different `RETIME_THREADS` settings
+/// produces identical keys.
+#[test]
+fn keys_are_identical_across_thread_counts() {
+    let lib = Library::fdsoi28();
+    let spec = JobSpec {
+        circuit: CircuitRef::Suite("s1488".to_string()),
+        flow: FlowKind::Grar,
+        overhead: EdlOverhead::MEDIUM,
+        model: DelayModel::PathBased,
+        clock: None,
+        verify: false,
+    };
+    let saved = std::env::var("RETIME_THREADS").ok();
+    let mut keys = Vec::new();
+    for threads in ["1", "4"] {
+        std::env::set_var("RETIME_THREADS", threads);
+        let resolved = resolve_circuit(&spec.circuit, &lib).expect("resolves");
+        keys.push(prepare(&spec, &resolved, &lib).key);
+    }
+    match saved {
+        Some(v) => std::env::set_var("RETIME_THREADS", v),
+        None => std::env::remove_var("RETIME_THREADS"),
+    }
+    assert_eq!(keys[0], keys[1]);
+}

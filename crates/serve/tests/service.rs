@@ -1,0 +1,282 @@
+//! End-to-end service tests over a real loopback socket: the
+//! content-addressed cache contract (repeat submission → zero solver
+//! work, byte-identical payload, matching a direct flow call), exact
+//! backpressure accounting at the queue bound, inline-netlist dedup
+//! across statement order, and drain-then-exit shutdown.
+
+use retime_liberty::EdlOverhead;
+use retime_serve::job::{execute, prepare, resolve_circuit, CircuitRef, JobSpec};
+use retime_serve::json::Json;
+use retime_serve::{Client, Server, ServerConfig};
+use retime_sta::DelayModel;
+use retime_verify::FlowKind;
+
+fn spawn(workers: usize, queue_bound: usize) -> (retime_serve::ServerHandle, String) {
+    let handle = Server::spawn(ServerConfig {
+        workers,
+        queue_bound,
+        ..ServerConfig::default()
+    })
+    .expect("server spawns");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn submit_and_wait(client: &mut Client, circuit: &str, flow: &str) -> Json {
+    let reply = client
+        .submit_suite(circuit, flow, "medium")
+        .expect("submit");
+    assert_eq!(
+        reply.get("ok"),
+        Some(&Json::Bool(true)),
+        "submit rejected: {}",
+        reply.render()
+    );
+    let id = reply.get("id").and_then(Json::as_u64).expect("job id");
+    client.wait_result(id).expect("result")
+}
+
+/// The tentpole contract: a repeat submission is answered from the cache
+/// with `solver_invocations == 0` and a payload byte-identical both to
+/// the first run and to a direct (serverless) flow call.
+#[test]
+fn repeat_submission_is_served_from_cache_bit_identical() {
+    let (handle, addr) = spawn(2, 16);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let first = submit_and_wait(&mut client, "s1488", "grar");
+    assert_eq!(first.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+    let first_solver = first
+        .get("solver_invocations")
+        .and_then(Json::as_u64)
+        .expect("solver counter");
+    assert!(first_solver > 0, "a cold run must invoke the solver");
+    let first_payload = first.get("result").expect("payload").render();
+    let first_sha = first
+        .get("payload_sha256")
+        .and_then(Json::as_str)
+        .expect("payload digest")
+        .to_string();
+
+    // Second submission: already `done` at submit time, zero solver work,
+    // byte-identical payload.
+    let reply = client
+        .submit_suite("s1488", "grar", "medium")
+        .expect("submit");
+    assert_eq!(reply.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(reply.get("cached"), Some(&Json::Bool(true)));
+    let id = reply.get("id").and_then(Json::as_u64).expect("job id");
+    let second = client.wait_result(id).expect("result");
+    assert_eq!(
+        second.get("solver_invocations").and_then(Json::as_u64),
+        Some(0),
+        "cache hit must do zero solver work"
+    );
+    assert_eq!(
+        second.get("result").expect("payload").render(),
+        first_payload
+    );
+    assert_eq!(
+        second.get("payload_sha256").and_then(Json::as_str),
+        Some(first_sha.as_str())
+    );
+
+    // The served payload matches a direct flow call, bit for bit.
+    let spec = JobSpec {
+        circuit: CircuitRef::Suite("s1488".to_string()),
+        flow: FlowKind::Grar,
+        overhead: EdlOverhead::MEDIUM,
+        model: DelayModel::PathBased,
+        clock: None,
+        verify: false,
+    };
+    let lib = retime_liberty::Library::fdsoi28();
+    let circuit = resolve_circuit(&spec.circuit, &lib).expect("resolves");
+    let prepared = prepare(&spec, &circuit, &lib);
+    let direct = execute(&prepared.key_config, &circuit, &lib).expect("direct flow call");
+    assert_eq!(direct.payload, first_payload);
+    assert_eq!(direct.payload_sha256, first_sha);
+
+    // Metrics saw exactly one hit and one miss.
+    let metrics = client.metrics_text().expect("metrics");
+    assert!(
+        metrics.contains("retime_serve_cache_hits_total 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("retime_serve_cache_misses_total 1\n"),
+        "{metrics}"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+/// K+M concurrent submissions against a paused pool with queue bound K
+/// yield exactly M structured `overloaded` rejections, and every
+/// accepted job later completes — nothing dropped, nothing corrupted.
+#[test]
+fn bounded_queue_rejects_exactly_the_overflow() {
+    const K: usize = 3;
+    const M: usize = 4;
+    let (handle, addr) = spawn(1, K);
+    let mut control = Client::connect(&addr).expect("connect");
+    let paused = control.request_line(r#"{"cmd":"pause"}"#).expect("pause");
+    assert_eq!(paused.get("ok"), Some(&Json::Bool(true)));
+
+    // K+M distinct jobs (distinct overhead → distinct cache keys), all
+    // submitted concurrently on their own connections.
+    let replies: Vec<Json> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..K + M)
+            .map(|i| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    let c = format!("{}", 1.0 + i as f64 * 0.01);
+                    client
+                        .request_line(&format!(
+                            r#"{{"cmd":"submit","circuit":"s1488","flow":"base","c":{c}}}"#
+                        ))
+                        .expect("submit reply")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    let accepted: Vec<u64> = replies
+        .iter()
+        .filter(|r| r.get("ok") == Some(&Json::Bool(true)))
+        .map(|r| r.get("id").and_then(Json::as_u64).expect("job id"))
+        .collect();
+    let rejected: Vec<&Json> = replies
+        .iter()
+        .filter(|r| r.get("ok") == Some(&Json::Bool(false)))
+        .collect();
+    assert_eq!(accepted.len(), K, "exactly K accepted: {replies:?}");
+    assert_eq!(rejected.len(), M, "exactly M rejected: {replies:?}");
+    for r in &rejected {
+        assert_eq!(r.get("error").and_then(Json::as_str), Some("overloaded"));
+        let backoff = r
+            .get("retry_after_ms")
+            .and_then(Json::as_u64)
+            .expect("structured rejection carries retry_after_ms");
+        assert!(backoff > 0);
+    }
+
+    // Release the pool: every accepted job completes.
+    control.request_line(r#"{"cmd":"resume"}"#).expect("resume");
+    for id in accepted {
+        let result = control.wait_result(id).expect("result");
+        assert_eq!(
+            result.get("status").and_then(Json::as_str),
+            Some("done"),
+            "job {id} failed: {}",
+            result.render()
+        );
+    }
+
+    let metrics = control.metrics_text().expect("metrics");
+    assert!(
+        metrics.contains(&format!("retime_serve_rejected_overload_total {M}\n")),
+        "{metrics}"
+    );
+
+    control.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+/// Two inline submissions of the same circuit with shuffled statements
+/// and different whitespace land on the same cache entry.
+#[test]
+fn inline_netlists_dedupe_across_statement_order() {
+    let (handle, addr) = spawn(1, 8);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let tidy = "INPUT(a)\\nINPUT(b)\\nOUTPUT(z)\\ng = AND(a, b)\\nq = DFF(g)\\nz = OR(g, q)\\n";
+    let messy =
+        "INPUT(b)\\n  q =  DFF( g )\\nz = OR(g, q)\\nINPUT(a)\\ng = AND(a, b)\\nOUTPUT(z)\\n";
+
+    let first = client
+        .request_line(&format!(
+            r#"{{"cmd":"submit","netlist":"{tidy}","name":"t"}}"#
+        ))
+        .expect("submit");
+    assert_eq!(
+        first.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        first.render()
+    );
+    let id = first.get("id").and_then(Json::as_u64).expect("job id");
+    let done = client.wait_result(id).expect("result");
+    assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+    let sha = done
+        .get("payload_sha256")
+        .and_then(Json::as_str)
+        .expect("digest")
+        .to_string();
+
+    let second = client
+        .request_line(&format!(
+            r#"{{"cmd":"submit","netlist":"{messy}","name":"t"}}"#
+        ))
+        .expect("submit");
+    assert_eq!(
+        second.get("cached"),
+        Some(&Json::Bool(true)),
+        "{}",
+        second.render()
+    );
+    let id2 = second.get("id").and_then(Json::as_u64).expect("job id");
+    let hit = client.wait_result(id2).expect("result");
+    assert_eq!(
+        hit.get("payload_sha256").and_then(Json::as_str),
+        Some(sha.as_str())
+    );
+    assert_eq!(
+        hit.get("solver_invocations").and_then(Json::as_u64),
+        Some(0)
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+/// `shutdown` drains: a job queued behind a paused pool still completes,
+/// new submissions are refused, and every server thread joins.
+#[test]
+fn shutdown_drains_queued_jobs_then_exits() {
+    let (handle, addr) = spawn(1, 8);
+    let mut client = Client::connect(&addr).expect("connect");
+    client.request_line(r#"{"cmd":"pause"}"#).expect("pause");
+    let reply = client
+        .submit_suite("s1488", "base", "medium")
+        .expect("submit");
+    assert_eq!(reply.get("status").and_then(Json::as_str), Some("queued"));
+    let id = reply.get("id").and_then(Json::as_u64).expect("job id");
+
+    let mut other = Client::connect(&addr).expect("connect");
+    let draining = other.shutdown().expect("shutdown");
+    assert_eq!(draining.get("draining"), Some(&Json::Bool(true)));
+
+    // Drain overrides pause: the queued job finishes.
+    let result = client.wait_result(id).expect("result");
+    assert_eq!(result.get("status").and_then(Json::as_str), Some("done"));
+
+    // No new work is accepted while draining.
+    let refused = client
+        .submit_suite("s1488", "grar", "medium")
+        .expect("submit");
+    assert_eq!(refused.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        refused.get("error").and_then(Json::as_str),
+        Some("shutting_down")
+    );
+
+    handle.wait();
+}

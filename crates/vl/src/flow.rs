@@ -267,6 +267,7 @@ pub fn vl_retime(
             let mut problem = RetimingProblem::build(cloud, regions);
             problem.set_movement_penalty(retime_retime::COMMERCIAL_MOVEMENT_PENALTY);
             ctx.data.sol = Some(problem.solve(cfg.engine)?);
+            ctx.timings.count("solver_invocations", 1);
             Ok(())
         })
         .stage(Stage::Commit, |ctx| {

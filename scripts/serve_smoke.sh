@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Smoke-test the retime-serve daemon end to end:
+#   1. start it on a kernel-chosen loopback port,
+#   2. submit the same tiny-suite G-RAR job twice,
+#   3. assert the second submission is a cache hit with zero solver work
+#      and a bit-identical result payload,
+#   4. scrape the metrics hit counter,
+#   5. shut the daemon down gracefully and check it exits.
+# Binaries default to the release profile; override with SERVE=/CLIENT=.
+set -euo pipefail
+
+SERVE=${SERVE:-target/release/retime-serve}
+CLIENT=${CLIENT:-target/release/retime-client}
+BANNER=$(mktemp)
+
+"$SERVE" --addr 127.0.0.1:0 --queue-bound 16 >"$BANNER" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$BANNER"' EXIT
+
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$BANNER" && break
+  sleep 0.1
+done
+ADDR=$(sed -n 's/^retime-serve listening on //p' "$BANNER")
+[ -n "$ADDR" ] || { echo "FAIL: daemon never printed its address"; exit 1; }
+echo "daemon at $ADDR"
+
+first=$("$CLIENT" --addr "$ADDR" submit --circuit s1196 --flow grar --c medium --wait)
+echo "$first"
+second=$("$CLIENT" --addr "$ADDR" submit --circuit s1196 --flow grar --c medium --wait)
+echo "$second"
+
+echo "$second" | grep -q '"cached":true' \
+  || { echo "FAIL: second submission was not a cache hit"; exit 1; }
+echo "$second" | grep -q '"solver_invocations":0' \
+  || { echo "FAIL: cache hit reported solver work"; exit 1; }
+
+# Bit-identical payloads: same digest, same area row.
+sha() { sed -n 's/.*"payload_sha256":"\([0-9a-f]*\)".*/\1/p' <<<"$1"; }
+row() { sed -n 's/.*"result"://p' <<<"$1"; }
+[ -n "$(sha "$first")" ] && [ "$(sha "$first")" = "$(sha "$second")" ] \
+  || { echo "FAIL: payload digests differ"; exit 1; }
+[ "$(row "$first")" = "$(row "$second")" ] \
+  || { echo "FAIL: result rows differ"; exit 1; }
+row "$first" | grep -q '"total_area":' \
+  || { echo "FAIL: result row carries no area"; exit 1; }
+
+"$CLIENT" --addr "$ADDR" metrics | grep -q '^retime_serve_cache_hits_total 1$' \
+  || { echo "FAIL: metrics did not count the cache hit"; exit 1; }
+
+"$CLIENT" --addr "$ADDR" shutdown | grep -q '"draining":true' \
+  || { echo "FAIL: shutdown was not acknowledged"; exit 1; }
+wait "$SERVER_PID"
+trap 'rm -f "$BANNER"' EXIT
+echo "PASS: cache-hit round trip, metrics, and graceful shutdown"
