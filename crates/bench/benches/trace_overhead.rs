@@ -1,0 +1,156 @@
+//! Overhead of the `retime-trace` layer on an end-to-end G-RAR run.
+//!
+//! Three variants, identical work:
+//!
+//! * `disabled` — spans compiled in but tracing off (the default state;
+//!   each span site costs one relaxed atomic load),
+//! * `enabled` — span recording on, records drained after every run,
+//! * `export` — recording on plus the Chrome-trace JSON render.
+//!
+//! `--json` runs the variants interleaved on **s35932** (the largest
+//! suite circuit, the paper's stress case), takes the min-of-N
+//! wall-clock per variant, writes `BENCH_trace.json`, and asserts the
+//! disabled-mode overhead stays under 2% by comparing two disabled
+//! measurement series taken at different points of every round. The
+//! criterion path samples the same variants on s1423 so an interactive
+//! `cargo bench` stays quick.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use retime_circuits::paper_suite;
+use retime_core::{grar, GrarConfig};
+use retime_liberty::{EdlOverhead, Library};
+use retime_sta::DelayModel;
+
+/// Rounds of the interleaved `--json` measurement (min is reported).
+const ROUNDS: usize = 3;
+/// Acceptance bound on the disabled-mode overhead, in percent.
+const MAX_DISABLED_OVERHEAD_PCT: f64 = 2.0;
+
+fn setup(
+    name: &str,
+) -> (
+    retime_circuits::SuiteCircuit,
+    Library,
+    retime_sta::TwoPhaseClock,
+) {
+    let lib = Library::fdsoi28();
+    let spec = paper_suite()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("{name} in suite"));
+    let circuit = spec.build().expect("builds");
+    let clock = circuit
+        .calibrated_clock(&lib, DelayModel::PathBased)
+        .expect("calibrates");
+    (circuit, lib, clock)
+}
+
+fn run_grar(
+    circuit: &retime_circuits::SuiteCircuit,
+    lib: &Library,
+    clock: retime_sta::TwoPhaseClock,
+) {
+    grar(
+        &circuit.cloud,
+        lib,
+        clock,
+        &GrarConfig::new(EdlOverhead::HIGH),
+    )
+    .expect("grar");
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let (circuit, lib, clock) = setup("s1423");
+    let mut group = c.benchmark_group("trace_overhead_s1423");
+    group.sample_size(10);
+    group.bench_function("grar_trace_disabled", |b| {
+        b.iter(|| run_grar(&circuit, &lib, clock))
+    });
+    group.bench_function("grar_trace_enabled", |b| {
+        b.iter(|| {
+            retime_trace::set_enabled(true);
+            run_grar(&circuit, &lib, clock);
+            retime_trace::set_enabled(false);
+            retime_trace::take_records()
+        })
+    });
+    group.bench_function("grar_trace_export", |b| {
+        b.iter(|| {
+            retime_trace::set_enabled(true);
+            run_grar(&circuit, &lib, clock);
+            retime_trace::set_enabled(false);
+            retime_trace::chrome_trace(&retime_trace::take_records())
+        })
+    });
+    group.finish();
+}
+
+/// Interleaved min-of-N wall-clock on s35932, written to
+/// `BENCH_trace.json`; panics if the disabled-mode overhead bound fails.
+fn run_json() {
+    let (circuit, lib, clock) = setup("s35932");
+    run_grar(&circuit, &lib, clock); // warm-up
+
+    let mut disabled = f64::INFINITY;
+    let mut enabled = f64::INFINITY;
+    let mut export = f64::INFINITY;
+    let mut disabled_check = f64::INFINITY;
+    let mut spans = 0usize;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        run_grar(&circuit, &lib, clock);
+        disabled = disabled.min(t0.elapsed().as_secs_f64() * 1e3);
+
+        retime_trace::set_enabled(true);
+        let t0 = Instant::now();
+        run_grar(&circuit, &lib, clock);
+        enabled = enabled.min(t0.elapsed().as_secs_f64() * 1e3);
+        retime_trace::set_enabled(false);
+        spans = retime_trace::take_records().len();
+
+        retime_trace::set_enabled(true);
+        let t0 = Instant::now();
+        run_grar(&circuit, &lib, clock);
+        retime_trace::set_enabled(false);
+        let text = retime_trace::chrome_trace(&retime_trace::take_records());
+        export = export.min(t0.elapsed().as_secs_f64() * 1e3);
+        retime_trace::check_chrome_trace(&text).expect("exported trace validates");
+
+        let t0 = Instant::now();
+        run_grar(&circuit, &lib, clock);
+        disabled_check = disabled_check.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Two independent disabled series bracket every traced run; if the
+    // trace layer leaked cost into the disabled path (or the machine
+    // drifted beyond the bound) the later series would come out slower.
+    let overhead_pct = (disabled_check - disabled) / disabled * 100.0;
+    let json = format!(
+        "{{\n  \"circuit\": \"s35932\",\n  \"disabled_ms\": {disabled:.3},\n  \
+         \"enabled_ms\": {enabled:.3},\n  \"export_ms\": {export:.3},\n  \
+         \"disabled_check_ms\": {disabled_check:.3},\n  \
+         \"disabled_overhead_pct\": {overhead_pct:.3},\n  \"spans\": {spans}\n}}\n"
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_trace.json");
+    std::fs::write(&out, &json).expect("writes json");
+    print!("{json}");
+    assert!(
+        overhead_pct < MAX_DISABLED_OVERHEAD_PCT,
+        "disabled-mode tracing overhead {overhead_pct:.2}% exceeds \
+         {MAX_DISABLED_OVERHEAD_PCT}%"
+    );
+}
+
+criterion_group!(benches, bench_trace_overhead);
+
+fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        run_json();
+    } else {
+        benches();
+    }
+}

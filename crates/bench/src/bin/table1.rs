@@ -7,6 +7,7 @@ use retime_sta::DelayModel;
 use retime_verify::FlowKind;
 
 fn main() {
+    let _trace = retime_bench::trace_session();
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
     let model = AreaModel::new(&lib, EdlOverhead::MEDIUM);

@@ -11,6 +11,7 @@ use retime_sta::{DelayModel, TimingAnalysis};
 use retime_verify::FlowKind;
 
 fn main() {
+    let _trace = retime_bench::trace_session();
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
     let per_case = map_cases(&cases, |case| {

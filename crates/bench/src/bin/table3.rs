@@ -6,6 +6,7 @@ use retime_verify::FlowKind;
 use retime_vl::{vl_retime, VlConfig, VlVariant};
 
 fn main() {
+    let _trace = retime_bench::trace_session();
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
     let per_case = map_cases(&cases, |case| {

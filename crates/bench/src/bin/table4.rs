@@ -4,6 +4,7 @@ use retime_bench::{f2, load_suite, map_cases, mean, print_table, table4_row};
 use retime_liberty::Library;
 
 fn main() {
+    let _trace = retime_bench::trace_session();
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
     let per_case = map_cases(&cases, |case| table4_row(case, &lib));

@@ -4,6 +4,7 @@ use retime_bench::{f2, load_suite, map_cases, mean, pct_impr, print_table, run_a
 use retime_liberty::{EdlOverhead, Library};
 
 fn main() {
+    let _trace = retime_bench::trace_session();
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
     let per_case = map_cases(&cases, |case| {

@@ -5,6 +5,7 @@ use retime_bench::{load_suite, map_cases, print_table, run_approaches};
 use retime_liberty::{EdlOverhead, Library};
 
 fn main() {
+    let _trace = retime_bench::trace_session();
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
     let per_case = map_cases(&cases, |case| {

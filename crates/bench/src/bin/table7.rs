@@ -6,6 +6,7 @@ use retime_core::Stage;
 use retime_liberty::{EdlOverhead, Library};
 
 fn main() {
+    let _trace = retime_bench::trace_session();
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
     let rows = map_cases(&cases, |case| {

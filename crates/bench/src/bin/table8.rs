@@ -6,6 +6,7 @@ use retime_liberty::{EdlOverhead, Library};
 use retime_sim::{error_rate, ErrorRateConfig};
 
 fn main() {
+    let _trace = retime_bench::trace_session();
     let lib = Library::fdsoi28();
     let cases = load_suite(&lib);
     let cfg = ErrorRateConfig {

@@ -19,6 +19,14 @@
 //! verification wall-clock shows up as the `verify` phase of each
 //! outcome's instrumentation.
 //!
+//! With `RETIME_TRACE=1`, every table binary records hierarchical
+//! `retime-trace` spans and prints a self-time profile (top span names
+//! by exclusive wall-clock) to stderr on exit; `RETIME_TRACE_OUT=path`
+//! additionally writes the Chrome-trace JSON — load it in
+//! <https://ui.perfetto.dev>. Tracing is observation-only: the stdout
+//! table rows are bit-identical with it on or off (asserted by
+//! `tests/trace_integration.rs`).
+//!
 //! Criterion benches (`benches/`) cover algorithm-level scaling:
 //! network-flow engines, STA passes, cut-set construction, and
 //! end-to-end G-RAR, plus the ablation studies called out in
@@ -152,6 +160,16 @@ pub struct Approaches {
 /// result (one switch shared by all table binaries).
 pub fn verify_enabled() -> bool {
     retime_verify::enabled()
+}
+
+/// Starts the shared trace session every table binary opens first thing
+/// in `main` — `RETIME_TRACE=1` turns span recording on,
+/// `RETIME_TRACE_OUT=path` additionally writes the Chrome-trace JSON
+/// (load it in <https://ui.perfetto.dev>). The returned guard must stay
+/// alive for the whole run; dropping it prints the self-time profile to
+/// stderr, so the table rows on stdout stay byte-identical either way.
+pub fn trace_session() -> retime_trace::TraceSession {
+    retime_trace::TraceSession::from_env()
 }
 
 /// One certification request against the independent checker of

@@ -1,0 +1,165 @@
+//! Tracing integration tests.
+//!
+//! The enabled flag of `retime-trace` is process-global, so every test
+//! that toggles it lives in this one file, serialized by a gate mutex
+//! (each integration-test *file* is its own binary; tests in other files
+//! never see the flag flipped).
+//!
+//! * **Golden structure.** A fixed, single-threaded G-RAR run on the
+//!   paper's Fig. 4 instance is exported and compared against a golden
+//!   snapshot of the structure-stable fields only — span names, nesting
+//!   depth, and counter attributes. Timestamps, durations, ids, and
+//!   thread ids are normalized away. Regenerate after an intentional
+//!   change with
+//!   `UPDATE_GOLDEN=1 cargo test -p retime-bench --test trace_integration`.
+//! * **Chrome-trace validity.** The same export must pass
+//!   [`retime_trace::check_chrome_trace`] (parse + nesting check).
+//! * **Bit-identity.** The `table1` / `table4` row logic must produce
+//!   byte-identical rows with tracing enabled and disabled — tracing is
+//!   observation-only.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use retime_bench::{build_case, map_cases, table1_row, table4_row, BenchCase};
+use retime_circuits::{paper_suite, Fig4};
+use retime_core::{grar, GrarConfig};
+use retime_liberty::{EdlOverhead, Library};
+use retime_retime::AreaModel;
+use retime_sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
+use retime_trace::{SpanRecord, Value};
+
+/// Serializes every test that records spans or toggles the global flag.
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with tracing enabled and returns its value plus the spans it
+/// recorded, leaving tracing disabled and the sink drained.
+fn with_tracing<T>(f: impl FnOnce() -> T) -> (T, Vec<SpanRecord>) {
+    let _ = retime_trace::take_records();
+    retime_trace::set_enabled(true);
+    let out = f();
+    retime_trace::set_enabled(false);
+    (out, retime_trace::take_records())
+}
+
+/// A clock loose enough for G-RAR to be feasible on Fig. 4 under the
+/// library delays (the suite's calibration scheme).
+fn feasible_clock(cloud: &retime_netlist::CombCloud, lib: &Library) -> TwoPhaseClock {
+    let sta = TimingAnalysis::new(
+        cloud,
+        lib,
+        TwoPhaseClock::from_max_delay(1.0),
+        DelayModel::PathBased,
+    )
+    .expect("probe sta builds");
+    let crit = cloud
+        .sinks()
+        .iter()
+        .map(|&t| sta.df(t))
+        .fold(0.0f64, f64::max);
+    let latch = lib.latch();
+    TwoPhaseClock::from_max_delay((crit + latch.d_to_q + latch.clk_to_q) / 0.7)
+}
+
+/// Renders the structure-stable view of a record list: depth-indented
+/// span names with their attributes, no timestamps / ids / thread ids.
+fn structure(records: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&"  ".repeat(r.depth as usize));
+        out.push_str(r.name);
+        for (k, v) in &r.attrs {
+            match v {
+                Value::U64(n) => out.push_str(&format!(" {k}={n}")),
+                Value::F64(x) => out.push_str(&format!(" {k}={x}")),
+                Value::Str(s) => out.push_str(&format!(" {k}={s}")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, expected,
+        "{name} drifted from its golden snapshot; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn fig4_grar_trace_matches_golden_structure() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let fig = Fig4::new();
+    let lib = Library::fdsoi28();
+    let clock = feasible_clock(&fig.cloud, &lib);
+    // threads(1) keeps the run on this thread: one tid, one deterministic
+    // record order, deterministic counter values.
+    let (_, records) = with_tracing(|| {
+        grar(
+            &fig.cloud,
+            &lib,
+            clock,
+            &GrarConfig::new(EdlOverhead::MEDIUM).with_threads(1),
+        )
+        .expect("grar on fig4")
+    });
+    assert!(!records.is_empty(), "the traced run recorded no spans");
+
+    // The export of the same records must be a valid Chrome trace.
+    let text = retime_trace::chrome_trace(&records);
+    let check = retime_trace::check_chrome_trace(&text).expect("export validates");
+    assert_eq!(check.events, records.len());
+
+    check_golden("fig4_trace.txt", &structure(&records));
+}
+
+#[test]
+fn table_rows_are_bit_identical_with_tracing_on_and_off() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let lib = Library::fdsoi28();
+    let cases: Vec<BenchCase> = paper_suite()
+        .into_iter()
+        .take(2)
+        .map(|spec| build_case(&spec, &lib))
+        .collect();
+    let model = AreaModel::new(&lib, EdlOverhead::MEDIUM);
+
+    let table1 = |cases: &[BenchCase]| map_cases(cases, |case| table1_row(case, &lib, &model));
+    let table4 = |cases: &[BenchCase]| -> Vec<Vec<String>> {
+        map_cases(cases, |case| table4_row(case, &lib))
+            .into_iter()
+            .map(|(row, _, _)| row)
+            .collect()
+    };
+
+    let t1_off = table1(&cases);
+    let t4_off = table4(&cases);
+    let ((t1_on, t4_on), records) = with_tracing(|| (table1(&cases), table4(&cases)));
+
+    assert_eq!(t1_off, t1_on, "table1 rows changed under tracing");
+    assert_eq!(t4_off, t4_on, "table4 rows changed under tracing");
+    assert!(
+        !records.is_empty(),
+        "the traced table runs recorded no spans"
+    );
+}

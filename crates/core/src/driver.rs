@@ -107,6 +107,7 @@ pub fn grar(
     cfg: &GrarConfig,
 ) -> Result<GrarReport, RetimeError> {
     let started = Instant::now();
+    let _flow_span = retime_trace::span("grar");
     let mut ctx = FlowContext::new(GrarState::default());
 
     Pipeline::<FlowContext<GrarState<'_>>, RetimeError>::new()

@@ -21,6 +21,16 @@
 //! The [`ilp`] module also provides an exhaustive solver of the raw
 //! Eq. (10) ILP for small instances, used as an exactness oracle.
 //!
+//! # Invariants
+//!
+//! * **Determinism.** The classification fan-out uses the flow engine's
+//!   index-ordered [`retime_engine::parallel_map`], so results are
+//!   bit-identical across thread counts ([`GrarConfig::with_threads`],
+//!   `RETIME_THREADS`).
+//! * **Tracing is observation-only.** [`grar`] runs under a `grar` root
+//!   span with one child span per pipeline stage (counters become span
+//!   attributes); the flow never branches on the tracing state.
+//!
 //! # Example
 //!
 //! ```

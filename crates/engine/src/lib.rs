@@ -19,9 +19,22 @@
 //!   no external dependencies) with deterministic, index-ordered results;
 //!   the worker count honors the `RETIME_THREADS` environment variable.
 //!
-//! The crate is dependency-free (std only) so every layer of the
-//! workspace — including `retime-sta`, which sits below the flow crates —
-//! can use the fan-out primitives.
+//! The crate depends only on std and `retime-trace`, so every layer of
+//! the workspace — including `retime-sta`, which sits below the flow
+//! crates — can use the fan-out primitives.
+//!
+//! # Invariants
+//!
+//! * **Determinism.** [`parallel_map`] returns results in input order
+//!   regardless of scheduling, so parallel and sequential runs are
+//!   bit-identical; `RETIME_THREADS=1` forces the sequential reference
+//!   path, `0`/unset picks the machine's parallelism.
+//! * **Tracing is observation-only.** When `retime-trace` is enabled,
+//!   [`Pipeline::run`] wraps each stage in a span (counters become span
+//!   attributes); with tracing disabled the cost is one relaxed atomic
+//!   load per stage, and results never depend on the tracing state.
+
+#![warn(missing_docs)]
 
 pub mod parallel;
 pub mod pipeline;

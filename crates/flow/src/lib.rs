@@ -26,6 +26,17 @@
 //! All quantities are `i64`; callers scale fractional breadths (the
 //! `β = 1/k` fanout-sharing coefficients) to integers first.
 //!
+//! # Invariants
+//!
+//! * **Determinism.** Every solver is single-threaded and iterates its
+//!   arc tables in insertion order; the same instance always yields the
+//!   same flows, potentials, and pivot/augmentation sequence.
+//! * **Tracing is observation-only.** Under `retime-trace` the solvers
+//!   emit spans (`network_simplex`/`pivot_batch` with pivot counts,
+//!   `ssp`/`ssp_phase` with shipped amounts, `reference_ssp` with
+//!   augmentation counts); the solve itself never branches on the
+//!   tracing state.
+//!
 //! # Example
 //!
 //! ```
@@ -43,6 +54,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod closure;
 pub mod error;

@@ -176,6 +176,8 @@ impl MinCostFlow {
             }
         }
 
+        let solve_span = retime_trace::span("ssp");
+
         // Initial potentials via Bellman-Ford from the super source
         // (costs may be negative).
         let mut pot = bellman_ford_from(&g, s)?;
@@ -186,8 +188,13 @@ impl MinCostFlow {
         // Retiming duals have tiny arc costs (weights in {−1, 0, 1}), so
         // only a handful of phases occur regardless of circuit size.
         let mut shipped = 0i64;
+        let mut phases = 0u64;
         let mut dist = vec![i64::MAX; g.n];
         while shipped < required {
+            // Each phase (Dijkstra + blocking flow) traces as one span
+            // carrying the amount it shipped.
+            let _phase = retime_trace::span("ssp_phase");
+            phases += 1;
             // Dijkstra on reduced costs.
             dist.iter_mut().for_each(|d| *d = i64::MAX);
             let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
@@ -240,8 +247,12 @@ impl MinCostFlow {
             if pushed == 0 {
                 return Err(FlowError::Infeasible);
             }
+            retime_trace::counter("pushed", pushed as u64);
             shipped += pushed;
         }
+        retime_trace::counter("phases", phases);
+        retime_trace::counter("shipped", shipped as u64);
+        drop(solve_span);
 
         // Flows on user arcs: reverse-edge capacity equals the flow.
         let mut flows = Vec::with_capacity(self.user_arcs);
@@ -304,8 +315,11 @@ impl MinCostFlow {
             }
         }
 
+        let solve_span = retime_trace::span("reference_ssp");
         let mut shipped = 0i64;
+        let mut augmentations = 0u64;
         while shipped < required {
+            augmentations += 1;
             // Queue-based Bellman-Ford with parent-edge tracking; costs
             // in the residual graph may be negative, so no Dijkstra.
             let mut dist = vec![i64::MAX; g.n];
@@ -360,6 +374,9 @@ impl MinCostFlow {
             }
             shipped += push;
         }
+        retime_trace::counter("augmentations", augmentations);
+        retime_trace::counter("shipped", shipped as u64);
+        drop(solve_span);
 
         let mut flows = Vec::with_capacity(self.user_arcs);
         let mut cost = 0i64;

@@ -1,7 +1,7 @@
 //! A spanning-tree network simplex engine for [`MinCostFlow`] problems.
 //!
 //! This is the algorithm class the paper hands its Eq. (14) formulation to
-//! ("solved with the network simplex method [25] in polynomial time").
+//! ("solved with the network simplex method \[25\] in polynomial time").
 //! The implementation is the textbook primal network simplex with:
 //!
 //! * a big-M artificial initial basis (one artificial arc per node),
@@ -18,6 +18,9 @@
 
 use crate::error::FlowError;
 use crate::mincost::{FlowSolution, MinCostFlow};
+
+/// Pivots per `pivot_batch` trace span.
+const PIVOT_BATCH: usize = 256;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ArcState {
@@ -98,32 +101,48 @@ impl MinCostFlow {
         let mut pot = vec![0i64; nn];
         rebuild_tree(&arcs, nn, root, &mut parent, &mut depth, &mut pot);
 
+        let solve_span = retime_trace::span("network_simplex");
         let max_pivots = 200 * (arcs.len() + nn) + 10_000;
         let mut pivots = 0usize;
-        loop {
-            pivots += 1;
-            if pivots > max_pivots {
-                return Err(FlowError::IterationLimit);
-            }
-            // Pricing: most violating non-tree arc.
-            let mut entering: Option<(usize, i64)> = None;
-            for (i, a) in arcs.iter().enumerate() {
-                let rc = a.cost + pot[a.from] - pot[a.to];
-                let viol = match a.state {
-                    ArcState::Lower if rc < 0 => -rc,
-                    ArcState::Upper if rc > 0 => rc,
-                    _ => 0,
+        let mut optimal = false;
+        while !optimal {
+            // Pivots trace in batches so a long solve shows progress as
+            // nested spans instead of one opaque block.
+            let _batch = retime_trace::span("pivot_batch");
+            let batch_start = pivots;
+            loop {
+                pivots += 1;
+                if pivots > max_pivots {
+                    retime_trace::counter("pivots", (pivots - batch_start) as u64);
+                    return Err(FlowError::IterationLimit);
+                }
+                // Pricing: most violating non-tree arc.
+                let mut entering: Option<(usize, i64)> = None;
+                for (i, a) in arcs.iter().enumerate() {
+                    let rc = a.cost + pot[a.from] - pot[a.to];
+                    let viol = match a.state {
+                        ArcState::Lower if rc < 0 => -rc,
+                        ArcState::Upper if rc > 0 => rc,
+                        _ => 0,
+                    };
+                    if viol > 0 && entering.is_none_or(|(_, best)| viol > best) {
+                        entering = Some((i, viol));
+                    }
+                }
+                let Some((e_idx, _)) = entering else {
+                    optimal = true;
+                    break;
                 };
-                if viol > 0 && entering.is_none_or(|(_, best)| viol > best) {
-                    entering = Some((i, viol));
+                pivot(&mut arcs, e_idx, &parent, &depth);
+                rebuild_tree(&arcs, nn, root, &mut parent, &mut depth, &mut pot);
+                if pivots - batch_start >= PIVOT_BATCH {
+                    break;
                 }
             }
-            let Some((e_idx, _)) = entering else {
-                break; // optimal
-            };
-            pivot(&mut arcs, e_idx, &parent, &depth);
-            rebuild_tree(&arcs, nn, root, &mut parent, &mut depth, &mut pot);
+            retime_trace::counter("pivots", (pivots - batch_start) as u64);
         }
+        retime_trace::counter("pivots_total", pivots as u64);
+        drop(solve_span);
 
         // Infeasibility: artificial arc still carrying flow.
         for a in &arcs[first_artificial..] {

@@ -133,7 +133,7 @@ pub struct LatchCell {
 }
 
 /// Error-detecting latch circuit styles (paper Fig. 2, after Bowman et
-/// al. [1]).
+/// al. \[1\]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdlStyle {
     /// Time-borrowing latch with a shadow master-slave flip-flop: the MSFF

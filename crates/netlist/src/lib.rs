@@ -5,7 +5,7 @@
 //!
 //! * [`Netlist`] — a flip-flop based gate-level netlist (the form in which
 //!   benchmark circuits such as ISCAS89 are distributed),
-//! * parsers and writers for the ISCAS89 [`bench`] format and a structural
+//! * parsers and writers for the ISCAS89 [`mod@bench`] format and a structural
 //!   subset of [`blif`],
 //! * [`CombCloud`] — the combinational retiming view obtained by
 //!   cutting the circuit at its flip-flops (Section III of the paper):

@@ -340,7 +340,7 @@ impl Netlist {
     /// `q_m = LATCHM(d); q = LATCHS(q_m)` so downstream logic is untouched.
     ///
     /// This matches the paper's flow in which flops are split and only the
-    /// slave latches are subsequently retimed (Section I, [15]).
+    /// slave latches are subsequently retimed (Section I, \[15\]).
     ///
     /// # Errors
     /// Returns [`NetlistError::WrongSequentialStyle`] if the netlist already

@@ -134,6 +134,7 @@ pub fn base_retime_with(
         outcome: Option<RetimeOutcome>,
     }
 
+    let _flow_span = retime_trace::span("base_retime");
     let mut ctx = FlowContext::new(BaseState::default());
     Pipeline::<FlowContext<BaseState<'_>>, RetimeError>::new()
         .stage(Stage::Sta, |ctx| {

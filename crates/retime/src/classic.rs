@@ -9,7 +9,7 @@
 //! correction) with a binary search over achievable periods.
 //!
 //! Caveat from the literature that motivates the paper's fixed masters:
-//! classic retiming changes the circuit's initial state ([15] in the
+//! classic retiming changes the circuit's initial state (\[15\] in the
 //! paper); the applied netlists here reset all relocated flip-flops to
 //! zero, so sequential equivalence holds only from a consistent reset.
 

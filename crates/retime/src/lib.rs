@@ -10,7 +10,7 @@
 //! * [`RetimingProblem`] — the retiming graph of Section IV-A with host
 //!   node, fanout-sharing breadths `β = 1/k` realized through mirror nodes
 //!   (the `m_{G3}`/`m_{I2}` pseudo nodes of Fig. 5), and bound edges per
-//!   [24]. Solvable three ways: successive-shortest-path min-cost flow,
+//!   \[24\]. Solvable three ways: successive-shortest-path min-cost flow,
 //!   network simplex (the paper's engine class), or max-weight closure
 //!   (an independent exactness oracle),
 //! * [`AreaModel`] and [`SeqBreakdown`] — sequential/total area accounting
@@ -18,8 +18,13 @@
 //! * [`base_retime`] — conventional min-area retiming that ignores
 //!   resiliency, followed by arrival-based EDL assignment (the paper's
 //!   *Base-Retiming* column),
-//! * [`legalize`] — the "size-only incremental compile" substitute that
+//! * [`legalize()`] — the "size-only incremental compile" substitute that
 //!   repairs residual timing violations by bounded gate upsizing.
+//!
+//! All solvers and passes are deterministic; under `retime-trace`,
+//! [`base_retime`] runs under a `base_retime` root span with one child
+//! span per pipeline stage (tracing is observation-only and never
+//! changes results).
 //!
 //! # Example
 //!

@@ -7,12 +7,18 @@
 //! Prints the bound address on stdout (one line, flushed) so scripts can
 //! bind port 0 and discover the kernel-chosen port, then serves until a
 //! client sends `shutdown`.
+//!
+//! With `RETIME_TRACE=1` (or `RETIME_TRACE_OUT=trace.json`) the daemon
+//! records per-job spans — queue-wait vs execute, linked by job id — and
+//! writes the Chrome-trace file plus a self-time profile on shutdown,
+//! alongside the Prometheus `metrics` the protocol already exposes.
 
 use std::io::Write;
 
 use retime_serve::{Server, ServerConfig};
 
 fn main() {
+    let trace = retime_trace::TraceSession::from_env();
     let mut config = ServerConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,6 +51,7 @@ fn main() {
     println!("retime-serve listening on {}", handle.addr());
     std::io::stdout().flush().ok();
     handle.wait();
+    trace.finish();
 }
 
 fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {

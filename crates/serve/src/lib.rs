@@ -22,7 +22,12 @@
 //!    never an unbounded backlog.
 //! 3. **Observability** ([`metrics`]): cache hits/misses, queue depth,
 //!    per-flow per-stage wall-clock (the service view of Table VII), and
-//!    rejection counts export in Prometheus text format.
+//!    rejection counts export in Prometheus text format. Alongside the
+//!    metrics, the daemon records `retime-trace` spans when
+//!    `RETIME_TRACE`/`RETIME_TRACE_OUT` is set: one `job` root span per
+//!    executed job (job id, circuit, and flow attached as attributes)
+//!    with the queue-wait vs execute split as child spans, exported as
+//!    Chrome-trace JSON on shutdown.
 //!
 //! Protocol (one JSON object per line, both directions):
 //!
@@ -44,7 +49,6 @@ pub mod canon;
 pub mod client;
 pub mod hash;
 pub mod job;
-pub mod json;
 pub mod metrics;
 pub mod queue;
 pub mod server;
@@ -54,7 +58,11 @@ pub use canon::{cache_key, canonical_bench, KeyConfig};
 pub use client::Client;
 pub use hash::{sha256, sha256_hex};
 pub use job::{execute, prepare, render_payload, resolve_circuit, CircuitRef, JobOutput, JobSpec};
-pub use json::Json;
 pub use metrics::Metrics;
 pub use queue::{JobQueue, PushError};
+/// The deterministic JSON renderer/parser now lives in [`retime_trace`]
+/// (the Chrome-trace exporter shares it); re-exported so serve call
+/// sites keep their `crate::json::…` paths.
+pub use retime_trace::json;
+pub use retime_trace::json::Json;
 pub use server::{Server, ServerConfig, ServerHandle};

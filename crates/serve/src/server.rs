@@ -65,6 +65,9 @@ struct QueuedWork {
     circuit: Arc<ResolvedCircuit>,
     key: String,
     flow: &'static str,
+    /// Trace timestamp of the submit (0 when tracing is disabled); lets
+    /// the worker emit the queue-wait vs execute split under the job span.
+    enqueued_us: u64,
 }
 
 enum JobState {
@@ -239,8 +242,27 @@ fn worker_loop(shared: &Shared) {
                 work.circuit.name, work.flow
             );
         }
+        let job_span = retime_trace::span("job");
+        if retime_trace::enabled() {
+            retime_trace::attr_str("job_id", &id.to_string());
+            retime_trace::attr_str("circuit", &work.circuit.name);
+            retime_trace::attr_str("flow", work.flow);
+            if work.enqueued_us != 0 {
+                let picked_up = retime_trace::now_us();
+                retime_trace::event_us(
+                    "queue_wait",
+                    work.enqueued_us,
+                    picked_up.saturating_sub(work.enqueued_us),
+                );
+            }
+        }
         let label = format!("flow=\"{}\"", work.flow);
-        let state = match execute(&work.cfg, &work.circuit, &shared.lib) {
+        let executed = {
+            let _exec = retime_trace::span("execute");
+            execute(&work.cfg, &work.circuit, &shared.lib)
+        };
+        drop(job_span);
+        let state = match executed {
             Ok(output) => {
                 shared.cache.store(&work.key, &output);
                 shared.metrics.observe_job(work.flow, &output.phases);
@@ -421,6 +443,7 @@ fn handle_submit(shared: &Shared, v: &Json) -> Json {
                 circuit,
                 key: prepared.key.clone(),
                 flow,
+                enqueued_us: retime_trace::now_us(),
             })),
         },
     );

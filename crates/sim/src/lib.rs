@@ -5,7 +5,7 @@
 //!   master/slave latch netlists (slaves are transparent at the cycle
 //!   level, so a *valid* retiming preserves the cycle function exactly —
 //!   the invariant [`equivalent`] checks with random vectors),
-//! * [`error_rate`] — the random-input timed simulation behind the
+//! * [`error_rate()`] — the random-input timed simulation behind the
 //!   paper's Table VIII: per cycle, propagate last-transition times
 //!   through the cloud (re-launching across slave latches) and count the
 //!   cycles in which any error-detecting master sees its data transition

@@ -183,6 +183,7 @@ impl<'a> IncrementalTiming<'a> {
     /// Recomputes both arrival views from scratch (a full pass). Called
     /// on construction; exposed for tests and forced resynchronization.
     pub fn rebuild(&mut self) {
+        let _span = retime_trace::span("sta_full_pass");
         for &s in self.cloud.sources() {
             let p = source_arrival(&self.delays, &self.clock, None, s);
             let c = source_arrival(&self.delays, &self.clock, Some(&self.cut), s);
@@ -263,10 +264,13 @@ impl<'a> IncrementalTiming<'a> {
     /// construction. Repeated queries with no intervening edit are memo
     /// hits and cost nothing.
     pub fn cut_timing(&mut self) -> CutTiming {
+        let _span = retime_trace::span("cut_timing");
         if let Some(memo) = &self.memo {
             self.stats.cache_hits += 1;
+            retime_trace::counter("cache_hit", 1);
             return memo.clone();
         }
+        retime_trace::counter("cache_miss", 1);
         self.repair(View::Pure);
         self.repair(View::WithCut);
         // Mirror `TimingAnalysis::cut_timing` field by field (same
@@ -321,6 +325,7 @@ impl<'a> IncrementalTiming<'a> {
     /// Repairs one view: re-evaluates dirty nodes in topological order,
     /// following fanouts only while the recomputed arrival changed.
     fn repair(&mut self, view: View) {
+        let reevaluated_before = self.stats.nodes_reevaluated;
         let (dirty, seeds, arr) = match view {
             View::Pure => (&mut self.dirty_pure, &mut self.seeds_pure, &mut self.pure),
             View::WithCut => (&mut self.dirty_cut, &mut self.seeds_cut, &mut self.with_cut),
@@ -328,6 +333,11 @@ impl<'a> IncrementalTiming<'a> {
         if seeds.is_empty() {
             return;
         }
+        let _span = retime_trace::span(match view {
+            View::Pure => "sta_repair_pure",
+            View::WithCut => "sta_repair_cut",
+        });
+        retime_trace::counter("seeds", seeds.len() as u64);
         let cut = match view {
             View::Pure => None,
             View::WithCut => Some(&self.cut),
@@ -362,6 +372,10 @@ impl<'a> IncrementalTiming<'a> {
                 }
             }
         }
+        retime_trace::counter(
+            "reevaluated",
+            self.stats.nodes_reevaluated - reevaluated_before,
+        );
     }
 }
 

@@ -9,13 +9,25 @@
 //!   `D^b(v, t)` over a [`retime_netlist::CombCloud`],
 //! * both delay models compared in the paper's Table II:
 //!   [`DelayModel::GateBased`] (sum of worst-case cell delays, as in the
-//!   DAC'17 predecessor [16]) and [`DelayModel::PathBased`] (pin-to-pin
+//!   DAC'17 predecessor \[16\]) and [`DelayModel::PathBased`] (pin-to-pin
 //!   rise/fall arcs restricted to *valid* transition combinations),
 //! * the repositioned-slave arrival-time model `A(u, v, t)` of Eq. (5),
 //! * cut-feasibility checks for the time-borrowing constraints (6)/(7),
 //! * arrival analysis of a concrete [`retime_netlist::Cut`] (used to decide
 //!   which masters must be error-detecting) and near-critical-endpoint
 //!   reporting (Table I).
+//!
+//! # Invariants
+//!
+//! * **Determinism.** Arrival folds follow the stored fanin order, and
+//!   [`IncrementalTiming`] repairs are bit-identical to a from-scratch
+//!   pass (differentially tested in `tests/property.rs`), so results
+//!   never depend on edit history or thread count.
+//! * **Tracing is observation-only.** Under `retime-trace`,
+//!   [`IncrementalTiming`] emits `cut_timing` spans (cache hit/miss
+//!   counters), `sta_repair_pure`/`sta_repair_cut` spans (seed and
+//!   re-evaluation counts), and `sta_full_pass` spans for rebuilds; the
+//!   timing math never branches on the tracing state.
 //!
 //! # Example
 //!

@@ -104,7 +104,7 @@ mod tests {
 /// The two delay models compared in the paper's Table II.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DelayModel {
-    /// The DAC'17 predecessor's model [16]: every gate contributes its
+    /// The DAC'17 predecessor's model \[16\]: every gate contributes its
     /// worst-case cell delay; rise/fall are not distinguished. Conservative
     /// — nodes that could be in the free retiming region `V_r` may land in
     /// `V_m`/`V_n`, and non-critical endpoints may be charged EDL overhead.

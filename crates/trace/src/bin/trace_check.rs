@@ -1,0 +1,33 @@
+//! `trace-check` — validates an exported Chrome trace file: the JSON
+//! parses, every event is a well-formed `"X"` complete event, and the
+//! spans on each thread nest properly. Exit code 0 on success, 1 on any
+//! failure (CI's trace smoke step depends on this).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace-check <trace.json>");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("trace-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match retime_trace::check_chrome_trace(&src) {
+        Ok(check) => {
+            println!(
+                "trace-check: ok — {} events across {} thread(s), max depth {}",
+                check.events, check.threads, check.max_depth
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace-check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Chrome trace-event export and the independent nesting checker.
+//!
+//! The export format is the JSON Object Format of the Trace Event
+//! specification: a `traceEvents` array of `"X"` (complete) events with
+//! `name`/`ts`/`dur`/`pid`/`tid`, which `chrome://tracing` and Perfetto
+//! load directly. Span attributes become the event's `args`, alongside
+//! the deterministic `span_id`/`parent_id` pair.
+
+use crate::json::{obj, parse, Json};
+use crate::span::{SpanRecord, Value};
+
+/// Renders closed spans as Chrome trace-event JSON. Deterministic: the
+/// same records render byte-identically (insertion-ordered objects,
+/// shortest-roundtrip numbers).
+pub fn chrome_trace(records: &[SpanRecord]) -> String {
+    let events: Vec<Json> = records
+        .iter()
+        .map(|r| {
+            let mut args = vec![
+                ("span_id", Json::Str(format!("{:016x}", r.id))),
+                ("parent_id", Json::Str(format!("{:016x}", r.parent))),
+            ];
+            for (k, v) in &r.attrs {
+                let j = match v {
+                    Value::U64(n) => Json::Num(*n as f64),
+                    Value::F64(x) => Json::Num(*x),
+                    Value::Str(s) => Json::Str(s.clone()),
+                };
+                args.push((k, j));
+            }
+            obj(vec![
+                ("name", Json::Str(r.name.to_string())),
+                ("ph", Json::Str("X".to_string())),
+                ("ts", Json::Num(r.start_us as f64)),
+                ("dur", Json::Num(r.dur_us as f64)),
+                ("pid", Json::Num(1.0)),
+                ("tid", Json::Num(f64::from(r.tid))),
+                ("args", obj(args)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ms".to_string())),
+    ])
+    .render()
+}
+
+/// What [`check_chrome_trace`] established about a valid trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total `"X"` events.
+    pub events: usize,
+    /// Distinct thread lanes.
+    pub threads: usize,
+    /// Deepest nesting observed (0 = all roots).
+    pub max_depth: usize,
+}
+
+/// Validates an exported Chrome trace: the text parses as JSON, carries
+/// a `traceEvents` array of well-formed `"X"` events, and the events on
+/// each thread nest properly (every event lies entirely within the
+/// enclosing one). The CI smoke step runs this through the
+/// `trace-check` binary.
+///
+/// # Errors
+/// Returns a one-line description of the first problem found.
+pub fn check_chrome_trace(src: &str) -> Result<TraceCheck, String> {
+    let root = parse(src)?;
+    let events = match root.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        _ => return Err("missing `traceEvents` array".into()),
+    };
+
+    // (tid, ts, dur) per event, validated field-by-field.
+    let mut lanes: std::collections::BTreeMap<u64, Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let field = |key: &str| {
+            ev.get(key)
+                .ok_or_else(|| format!("event {i}: missing `{key}`"))
+        };
+        let name = field("name")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: `name` is not a string"))?;
+        if name.is_empty() {
+            return Err(format!("event {i}: empty `name`"));
+        }
+        let ph = field("ph")?.as_str().unwrap_or_default();
+        if ph != "X" {
+            return Err(format!("event {i} ({name}): `ph` is {ph:?}, want \"X\""));
+        }
+        let ts = field("ts")?
+            .as_u64()
+            .ok_or_else(|| format!("event {i} ({name}): `ts` is not a non-negative integer"))?;
+        let dur = field("dur")?
+            .as_u64()
+            .ok_or_else(|| format!("event {i} ({name}): `dur` is not a non-negative integer"))?;
+        field("pid")?;
+        let tid = field("tid")?
+            .as_u64()
+            .ok_or_else(|| format!("event {i} ({name}): `tid` is not a non-negative integer"))?;
+        lanes.entry(tid).or_default().push((ts, dur));
+    }
+
+    // Nesting: per thread lane, sorted by (start asc, dur desc), every
+    // event must lie entirely within the innermost still-open one.
+    let mut max_depth = 0usize;
+    for (tid, lane) in &mut lanes {
+        lane.sort_by(|&(ts_a, dur_a), &(ts_b, dur_b)| ts_a.cmp(&ts_b).then(dur_b.cmp(&dur_a)));
+        let mut stack: Vec<(u64, u64)> = Vec::new(); // (start, end)
+        for &(ts, dur) in lane.iter() {
+            let end = ts + dur;
+            while let Some(&(_, open_end)) = stack.last() {
+                if ts >= open_end {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(open_ts, open_end)) = stack.last() {
+                if end > open_end || ts < open_ts {
+                    return Err(format!(
+                        "tid {tid}: event [{ts}, {end}) overlaps enclosing span \
+                         [{open_ts}, {open_end}) without nesting"
+                    ));
+                }
+            }
+            stack.push((ts, end));
+            max_depth = max_depth.max(stack.len() - 1);
+        }
+    }
+
+    Ok(TraceCheck {
+        events: events.len(),
+        threads: lanes.len(),
+        max_depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        id: u64,
+        parent: u64,
+        name: &'static str,
+        tid: u32,
+        depth: u32,
+        start_us: u64,
+        dur_us: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            tid,
+            depth,
+            start_us,
+            dur_us,
+            seq: id,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn export_roundtrips_through_the_checker() {
+        let mut outer = rec(1, 0, "solve", 1, 0, 0, 100);
+        outer.attrs.push(("pivots", Value::U64(12)));
+        outer.attrs.push(("share", Value::F64(0.25)));
+        let records = vec![
+            outer,
+            rec(2, 1, "pivot_batch", 1, 1, 10, 40),
+            rec(3, 1, "pivot_batch", 1, 1, 50, 50),
+            rec(4, 0, "worker", 2, 0, 5, 20),
+        ];
+        let text = chrome_trace(&records);
+        let check = check_chrome_trace(&text).unwrap();
+        assert_eq!(check.events, 4);
+        assert_eq!(check.threads, 2);
+        assert_eq!(check.max_depth, 1);
+        // Attributes land in args.
+        assert!(text.contains(r#""pivots":12"#));
+        assert!(text.contains(r#""share":0.25"#));
+        // Deterministic rendering.
+        assert_eq!(text, chrome_trace(&records));
+    }
+
+    #[test]
+    fn checker_rejects_improper_nesting() {
+        // Two events on one thread overlapping without containment.
+        let records = vec![rec(1, 0, "a", 1, 0, 0, 60), rec(2, 0, "b", 1, 0, 30, 60)];
+        let text = chrome_trace(&records);
+        let err = check_chrome_trace(&text).unwrap_err();
+        assert!(err.contains("without nesting"), "got: {err}");
+    }
+
+    #[test]
+    fn checker_rejects_malformed_documents() {
+        assert!(check_chrome_trace("not json").is_err());
+        assert!(check_chrome_trace("{}").is_err());
+        assert!(check_chrome_trace(r#"{"traceEvents":[{"ph":"X"}]}"#).is_err());
+        let bad_ph = r#"{"traceEvents":[{"name":"a","ph":"B","ts":0,"dur":1,"pid":1,"tid":1}]}"#;
+        assert!(check_chrome_trace(bad_ph).is_err());
+    }
+
+    #[test]
+    fn identical_bounds_nest_either_way() {
+        // A child exactly filling its parent is legal.
+        let records = vec![rec(1, 0, "a", 1, 0, 0, 50), rec(2, 1, "b", 1, 1, 0, 50)];
+        let check = check_chrome_trace(&chrome_trace(&records)).unwrap();
+        assert_eq!(check.max_depth, 1);
+    }
+}

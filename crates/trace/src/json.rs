@@ -1,12 +1,14 @@
 //! Minimal JSON value, parser, and writer (std only — the container the
-//! service builds in has no registry access, so serde is out of reach).
+//! workspace builds in has no registry access, so serde is out of
+//! reach). Home of the renderer both the Chrome-trace exporter and the
+//! `retime-serve` protocol use (serve re-exports this module).
 //!
-//! Two properties matter for the service:
+//! Two properties matter:
 //!
 //! * **Deterministic rendering** — objects keep insertion order and
 //!   numbers print through Rust's shortest-roundtrip `f64` formatting,
 //!   so rendering the same value twice yields byte-identical text (the
-//!   cache's bit-identical-payload contract rests on this).
+//!   serve cache's bit-identical-payload contract rests on this).
 //! * **Raw splicing** — [`Json::Raw`] embeds an already-rendered
 //!   fragment verbatim, letting responses carry a cached payload without
 //!   a parse/re-render round trip that could perturb formatting.

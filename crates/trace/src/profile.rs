@@ -1,0 +1,128 @@
+//! The plain-text self-time profile: top-N span names by *exclusive*
+//! time (inclusive wall-clock minus time spent in child spans) — the
+//! table every binary prints to stderr under `RETIME_TRACE=1`.
+
+use std::collections::BTreeMap;
+
+use crate::span::SpanRecord;
+
+/// One aggregated profile row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileLine {
+    /// Span name.
+    pub name: &'static str,
+    /// Spans closed under this name.
+    pub count: u64,
+    /// Total inclusive time, µs.
+    pub incl_us: u64,
+    /// Total exclusive time (inclusive minus children), µs.
+    pub excl_us: u64,
+}
+
+/// Aggregates closed spans into per-name self-time totals, sorted by
+/// exclusive time descending (name ascending on ties, so the table is
+/// deterministic for equal-time rows).
+pub fn self_time(records: &[SpanRecord]) -> Vec<ProfileLine> {
+    // Children's inclusive time, charged against the parent id.
+    let mut child_us: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in records {
+        if r.parent != 0 {
+            *child_us.entry(r.parent).or_insert(0) += r.dur_us;
+        }
+    }
+    let mut by_name: BTreeMap<&'static str, ProfileLine> = BTreeMap::new();
+    for r in records {
+        let excl = r
+            .dur_us
+            .saturating_sub(child_us.get(&r.id).copied().unwrap_or(0));
+        let line = by_name.entry(r.name).or_insert(ProfileLine {
+            name: r.name,
+            count: 0,
+            incl_us: 0,
+            excl_us: 0,
+        });
+        line.count += 1;
+        line.incl_us += r.dur_us;
+        line.excl_us += excl;
+    }
+    let mut lines: Vec<ProfileLine> = by_name.into_values().collect();
+    lines.sort_by(|a, b| b.excl_us.cmp(&a.excl_us).then(a.name.cmp(b.name)));
+    lines
+}
+
+/// Renders the top-`top` self-time rows as a fixed-width table.
+pub fn render_profile(records: &[SpanRecord], top: usize) -> String {
+    let lines = self_time(records);
+    let total_excl: u64 = lines.iter().map(|l| l.excl_us).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:>8} {:>12} {:>12} {:>7}\n",
+        "span", "count", "incl(ms)", "excl(ms)", "excl%"
+    ));
+    for line in lines.iter().take(top) {
+        let pct = if total_excl > 0 {
+            100.0 * line.excl_us as f64 / total_excl as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>12.3} {:>12.3} {:>6.1}%\n",
+            line.name,
+            line.count,
+            line.incl_us as f64 / 1e3,
+            line.excl_us as f64 / 1e3,
+            pct
+        ));
+    }
+    if lines.len() > top {
+        out.push_str(&format!("… {} more span names\n", lines.len() - top));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: u64, name: &'static str, dur_us: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            tid: 1,
+            depth: u32::from(parent != 0),
+            start_us: 0,
+            dur_us,
+            seq: id,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn exclusive_time_subtracts_children() {
+        let records = vec![
+            rec(1, 0, "solve", 100),
+            rec(2, 1, "pivot_batch", 30),
+            rec(3, 1, "pivot_batch", 50),
+        ];
+        let lines = self_time(&records);
+        let solve = lines.iter().find(|l| l.name == "solve").unwrap();
+        assert_eq!(solve.incl_us, 100);
+        assert_eq!(solve.excl_us, 20);
+        let batches = lines.iter().find(|l| l.name == "pivot_batch").unwrap();
+        assert_eq!(batches.count, 2);
+        assert_eq!(batches.incl_us, 80);
+        assert_eq!(batches.excl_us, 80);
+        // Sorted by exclusive time descending.
+        assert_eq!(lines[0].name, "pivot_batch");
+    }
+
+    #[test]
+    fn render_caps_at_top_n() {
+        let records = vec![rec(1, 0, "a", 3), rec(2, 0, "b", 2), rec(3, 0, "c", 1)];
+        let table = render_profile(&records, 2);
+        assert!(table.contains("a"));
+        assert!(table.contains("… 1 more span names"));
+        assert!(table.starts_with("span"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Environment wiring: `RETIME_TRACE` / `RETIME_TRACE_OUT` and the
+//! [`TraceSession`] every table binary (and the serve daemon) opens at
+//! startup.
+
+use std::path::PathBuf;
+
+use crate::export::chrome_trace;
+use crate::profile::render_profile;
+use crate::span::{set_enabled, take_records};
+
+/// Span names the profile table shows by default.
+const PROFILE_TOP: usize = 20;
+
+/// Parses a raw `RETIME_TRACE` value: `Ok(true)` for `1`/`true`/`on`,
+/// `Ok(false)` for `0`/`false`/`off`/empty, `Err(warning)` otherwise —
+/// the same one-line warning shape `RETIME_SUITE` and `RETIME_THREADS`
+/// use, so the three knobs fail the same way.
+///
+/// # Errors
+/// Returns the warning line to print when the value is unrecognized.
+pub fn parse_trace_flag(raw: &str) -> Result<bool, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" => Ok(true),
+        "" | "0" | "false" | "off" => Ok(false),
+        _ => Err(format!(
+            "warning: unrecognized RETIME_TRACE value {raw:?}; \
+             want 1/true/on or 0/false/off — tracing stays off"
+        )),
+    }
+}
+
+/// What the environment asked for.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceConfig {
+    /// Tracing on (`RETIME_TRACE` truthy, or `RETIME_TRACE_OUT` set).
+    pub enabled: bool,
+    /// Chrome-trace output path (`RETIME_TRACE_OUT`).
+    pub out: Option<PathBuf>,
+}
+
+impl TraceConfig {
+    /// Reads `RETIME_TRACE` / `RETIME_TRACE_OUT`. An output path implies
+    /// enabled; an unrecognized `RETIME_TRACE` warns on stderr and is
+    /// treated as off.
+    pub fn from_env() -> TraceConfig {
+        let mut enabled = match std::env::var("RETIME_TRACE") {
+            Ok(raw) => parse_trace_flag(&raw).unwrap_or_else(|warning| {
+                eprintln!("{warning}");
+                false
+            }),
+            Err(_) => false,
+        };
+        let out = std::env::var_os("RETIME_TRACE_OUT")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        if out.is_some() {
+            enabled = true;
+        }
+        TraceConfig { enabled, out }
+    }
+}
+
+/// RAII wrapper a binary opens at startup: enables tracing per the
+/// environment, and on drop (or [`TraceSession::finish`]) drains the
+/// recorded spans, writes the Chrome trace to `RETIME_TRACE_OUT` when
+/// set, and prints the self-time profile to **stderr** — stdout rows
+/// stay byte-identical with tracing on or off.
+#[must_use = "dropping the session immediately finalizes the trace"]
+pub struct TraceSession {
+    config: TraceConfig,
+    finished: bool,
+}
+
+impl TraceSession {
+    /// Opens a session from `RETIME_TRACE` / `RETIME_TRACE_OUT`. When
+    /// neither asks for tracing this is inert (tracing stays disabled
+    /// and drop does nothing).
+    pub fn from_env() -> TraceSession {
+        TraceSession::with_config(TraceConfig::from_env())
+    }
+
+    /// Opens a session with an explicit configuration.
+    pub fn with_config(config: TraceConfig) -> TraceSession {
+        if config.enabled {
+            set_enabled(true);
+        }
+        TraceSession {
+            config,
+            finished: false,
+        }
+    }
+
+    /// Whether this session turned tracing on.
+    pub fn active(&self) -> bool {
+        self.config.enabled
+    }
+
+    fn finalize(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if !self.config.enabled {
+            return;
+        }
+        set_enabled(false);
+        let records = take_records();
+        if let Some(path) = &self.config.out {
+            let text = chrome_trace(&records);
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("warning: cannot write trace to {}: {e}", path.display());
+            } else {
+                eprintln!(
+                    "trace: wrote {} spans to {} (load in https://ui.perfetto.dev)",
+                    records.len(),
+                    path.display()
+                );
+            }
+        }
+        eprintln!(
+            "trace: self-time profile ({} spans)\n{}",
+            records.len(),
+            render_profile(&records, PROFILE_TOP)
+        );
+    }
+
+    /// Finalizes explicitly (identical to dropping the session).
+    pub fn finish(mut self) {
+        self.finalize();
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        self.finalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_flag_parses_truthy_and_falsy() {
+        for raw in ["1", "true", "on", " ON "] {
+            assert_eq!(parse_trace_flag(raw), Ok(true), "raw: {raw}");
+        }
+        for raw in ["", "0", "false", "off"] {
+            assert_eq!(parse_trace_flag(raw), Ok(false), "raw: {raw}");
+        }
+    }
+
+    #[test]
+    fn trace_flag_warns_on_garbage() {
+        for raw in ["yes please", "2", "maybe"] {
+            let warning = parse_trace_flag(raw).unwrap_err();
+            assert!(
+                warning.starts_with("warning: unrecognized RETIME_TRACE value"),
+                "unexpected warning shape: {warning}"
+            );
+            assert!(warning.contains(&format!("{raw:?}")));
+        }
+    }
+
+    #[test]
+    fn inert_session_is_a_no_op() {
+        let session = TraceSession::with_config(TraceConfig::default());
+        assert!(!session.active());
+        session.finish();
+    }
+}

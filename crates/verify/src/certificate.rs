@@ -143,6 +143,7 @@ pub fn verify_certificate(
         // and its retiming labels against the Eq. (10) ILP, and (G-RAR)
         // re-solve with the reference engine for optimality.
         .stage(Stage::Verify, |ctx| {
+            let _span = retime_trace::span("verify_labels");
             let sta = TimingAnalysis::new(cloud, setup.lib, setup.clock, setup.model)
                 .map_err(internal)?;
             let regions = Regions::compute(&sta).map_err(internal)?;
@@ -220,6 +221,7 @@ pub fn verify_certificate(
         // arrival-based rule, and every reclaimed target must really
         // land outside the window.
         .stage(Stage::Verify, |ctx| {
+            let _span = retime_trace::span("verify_timing");
             let fresh_sta =
                 TimingAnalysis::with_delays(cloud, outcome.final_delays.clone(), setup.clock);
             let fresh = fresh_sta.cut_timing(&outcome.cut);
@@ -280,6 +282,7 @@ pub fn verify_certificate(
         // Area: recount the sequential breakdown and the combinational
         // bill against the library.
         .stage(Stage::Verify, |ctx| {
+            let _span = retime_trace::span("verify_area");
             let area_model = AreaModel::new(setup.lib, setup.overhead);
             let seq = area_model.sequential(cloud, &outcome.cut, &outcome.ed_sinks);
             let counts: [(&'static str, usize, usize); 3] = [
@@ -320,6 +323,7 @@ pub fn verify_certificate(
         // Functional equivalence: the retimed netlist must compute the
         // same cycle-level outputs as the original under random stimulus.
         .stage(Stage::Verify, |ctx| {
+            let _span = retime_trace::span("verify_equivalence");
             if opts.cycles == 0 {
                 return Ok(());
             }

@@ -28,6 +28,9 @@
 //! The benchmark harness runs the checker on every flow of every table
 //! when `RETIME_VERIFY=1` (see [`enabled`]), publishing its wall-clock
 //! and counters through the shared `Stage::Verify` instrumentation.
+//! Under `retime-trace`, each check stage additionally runs in its own
+//! span (`verify_labels`, `verify_timing`, `verify_area`,
+//! `verify_equivalence`) — tracing is observation-only.
 //!
 //! [`RetimeOutcome`]: retime_retime::RetimeOutcome
 //! [`RetimingSolution`]: retime_retime::RetimingSolution

@@ -2,7 +2,7 @@
 //! `Sta → Seed → Classify → Solve → Commit → Swap` pipeline on the shared
 //! [`retime_engine`] flow-engine layer. The classification of non-ED-typed
 //! masters fans out across worker threads
-//! ([`classify_many`](retime_core::classify_many)).
+//! ([`classify_many`]).
 
 use std::time::Instant;
 
@@ -142,6 +142,7 @@ pub fn vl_retime(
 ) -> Result<VlReport, RetimeError> {
     let started = Instant::now();
     let pi = clock.period();
+    let _flow_span = retime_trace::span("vl_retime");
     let mut ctx = FlowContext::new(VlState::default());
 
     Pipeline::<FlowContext<VlState<'_>>, RetimeError>::new()

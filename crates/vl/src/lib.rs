@@ -36,6 +36,11 @@
 //!
 //! The movable-master extension of Section VI-E is modelled as a greedy
 //! forward master-merging pre-pass ([`movable::forward_merge_pass`]).
+//!
+//! Like every flow, [`vl_retime`] is deterministic across thread counts
+//! (`RETIME_THREADS`, [`VlConfig::with_threads`]) and runs under a
+//! `vl_retime` root span when `retime-trace` is enabled — tracing is
+//! observation-only.
 
 pub mod flow;
 pub mod movable;

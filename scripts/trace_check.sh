@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Smoke-test the tracing layer end to end:
+#   1. run table4 on the tiny suite twice — untraced, then with
+#      RETIME_TRACE_OUT pointing at a scratch file,
+#   2. validate the exported Chrome trace (JSON parse + span nesting)
+#      with the trace-check binary,
+#   3. assert the stdout table rows are bit-identical across the two
+#      runs (tracing is observation-only),
+#   4. assert the self-time profile landed on stderr.
+# Binaries default to the release profile; override with TABLE=/CHECK=.
+set -euo pipefail
+
+TABLE=${TABLE:-target/release/table4}
+CHECK=${CHECK:-target/release/trace-check}
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+RETIME_SUITE=tiny "$TABLE" >"$OUT/rows_off.txt"
+RETIME_SUITE=tiny RETIME_TRACE_OUT="$OUT/trace.json" \
+  "$TABLE" >"$OUT/rows_on.txt" 2>"$OUT/stderr.txt"
+
+[ -s "$OUT/trace.json" ] || { echo "FAIL: no trace file was written"; exit 1; }
+"$CHECK" "$OUT/trace.json"
+
+cmp "$OUT/rows_off.txt" "$OUT/rows_on.txt" \
+  || { echo "FAIL: table rows differ under tracing"; exit 1; }
+grep -q "excl(ms)" "$OUT/stderr.txt" \
+  || { echo "FAIL: no self-time profile on stderr"; exit 1; }
+echo "PASS: trace validates, rows bit-identical, profile emitted"

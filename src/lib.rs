@@ -11,6 +11,18 @@
 //! let _ = n.add_gate("inv", Gate::Not, &[a]);
 //! ```
 //!
+//! # Workspace-wide invariants
+//!
+//! * **Determinism.** Every flow produces bit-identical results across
+//!   runs and thread counts; `RETIME_THREADS` (`1` = sequential
+//!   reference, `0`/unset = machine parallelism) changes wall-clock
+//!   only, never output.
+//! * **Observability is observation-only.** `RETIME_TRACE=1` /
+//!   `RETIME_TRACE_OUT=trace.json` turn on the hierarchical span
+//!   tracing of [`trace`] (Chrome-trace/Perfetto export plus a
+//!   self-time profile on stderr); results never depend on the tracing
+//!   state, and with tracing off each span site costs one atomic load.
+//!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! the paper-vs-measured record of every reproduced table.
 
@@ -23,5 +35,6 @@ pub use retime_netlist as netlist;
 pub use retime_retime as retime;
 pub use retime_sim as sim;
 pub use retime_sta as sta;
+pub use retime_trace as trace;
 pub use retime_verify as verify;
 pub use retime_vl as vl;
