@@ -1,0 +1,167 @@
+//! Cold-solve cost of the CSR network-simplex core across pivot rules.
+//!
+//! Every measurement is a *cold* solve: a fresh [`MinCostFlow`] is taken
+//! from [`RetimingProblem::flow_instance`] each round, so the timing
+//! includes the CSR arena freeze — the number a user pays on a first
+//! solve, not a cache-warm re-probe.
+//!
+//! `--json` compares the three pivot rules on three suite circuits of
+//! increasing size (s1423, s13207, s35932), measures the s35932
+//! cold-solve wall clock of the new engine against the kept-verbatim
+//! pre-refactor simplex (Dantzig pricing, full tree rebuild per pivot),
+//! writes `BENCH_solver.json`, and asserts the refactor is actually
+//! faster (speedup > 1). Every objective is cross-checked across rules
+//! and against the primal-dual SSP on the way. The criterion path
+//! samples the same rules on s1423 so an interactive `cargo bench`
+//! stays quick.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use retime_circuits::paper_suite;
+use retime_flow::{MinCostFlow, PivotRuleKind};
+use retime_liberty::Library;
+use retime_retime::{Regions, RetimingProblem};
+use retime_sta::{DelayModel, TimingAnalysis};
+
+/// Rounds per measurement in `--json` mode (min is reported).
+const ROUNDS: usize = 3;
+
+/// The concrete pivot rules, with the names used in the JSON keys.
+const RULES: [(&str, PivotRuleKind); 3] = [
+    ("first", PivotRuleKind::FirstEligible),
+    ("block", PivotRuleKind::BlockSearch),
+    ("candidates", PivotRuleKind::CandidateList),
+];
+
+/// Builds the Eq. 14 min-area retiming problem for a suite circuit.
+fn build_problem(name: &str) -> RetimingProblem {
+    let lib = Library::fdsoi28();
+    let spec = paper_suite()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("{name} in suite"));
+    let circuit = spec.build().expect("builds");
+    let clock = circuit
+        .calibrated_clock(&lib, DelayModel::PathBased)
+        .expect("calibrates");
+    let sta = TimingAnalysis::new(&circuit.cloud, &lib, clock, DelayModel::PathBased).expect("sta");
+    let regions = Regions::compute(&sta).expect("regions");
+    RetimingProblem::build(&circuit.cloud, &regions)
+}
+
+/// Minimum wall clock of `f` over `rounds` runs, in milliseconds.
+fn time_min_ms<R>(rounds: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// One cold simplex solve: fresh instance (empty `OnceLock`, so the CSR
+/// freeze is inside the timed region), one pivot rule.
+fn cold_solve(problem: &RetimingProblem, rule: PivotRuleKind) -> i64 {
+    let flow: MinCostFlow = problem.flow_instance();
+    flow.solve_network_simplex_with(rule).expect("solves").cost
+}
+
+fn bench_pivot_rules(c: &mut Criterion) {
+    let problem = build_problem("s1423");
+    let mut group = c.benchmark_group("simplex_cold_solve_s1423");
+    group.sample_size(10);
+    for (name, rule) in RULES {
+        group.bench_function(name, |b| b.iter(|| cold_solve(&problem, rule)));
+    }
+    group.bench_function("prerefactor", |b| {
+        b.iter(|| {
+            problem
+                .flow_instance()
+                .solve_network_simplex_prerefactor()
+                .expect("solves")
+                .cost
+        })
+    });
+    group.finish();
+}
+
+/// Cold-solve comparison written to `BENCH_solver.json`; panics if any
+/// rule disagrees on the objective or the refactor fails to beat the
+/// pre-refactor baseline on s35932.
+fn run_json() {
+    let mut circuit_entries = Vec::new();
+    let mut s35932_auto = f64::NAN;
+    for circuit in ["s1423", "s13207", "s35932"] {
+        let problem = build_problem(circuit);
+        let probe = problem.flow_instance();
+        let (nodes, arcs) = (probe.node_count(), probe.arc_count());
+        let expected = probe.solve().expect("SSP solves").cost;
+
+        let mut fields = String::new();
+        for (name, rule) in RULES {
+            let cost = cold_solve(&problem, rule);
+            assert_eq!(cost, expected, "{circuit}: {name} disagrees with SSP");
+            let ms = time_min_ms(ROUNDS, || cold_solve(&problem, rule));
+            fields.push_str(&format!("\"{name}_ms\": {ms:.3}, "));
+        }
+        // The production entry point (auto selection / `RETIME_PIVOT`).
+        let auto_ms = time_min_ms(ROUNDS, || {
+            problem
+                .flow_instance()
+                .solve_network_simplex()
+                .expect("solves")
+                .cost
+        });
+        if circuit == "s35932" {
+            s35932_auto = auto_ms;
+        }
+        circuit_entries.push(format!(
+            "    {{\"circuit\": \"{circuit}\", \"nodes\": {nodes}, \"arcs\": {arcs}, \
+             {fields}\"auto_ms\": {auto_ms:.3}, \"cost\": {expected}}}"
+        ));
+        eprintln!("{circuit}: measured ({nodes} nodes, {arcs} arcs)");
+    }
+
+    // Pre-refactor baseline on the stress case, same cold protocol.
+    let problem = build_problem("s35932");
+    let expected = problem.flow_instance().solve().expect("SSP solves").cost;
+    let prerefactor_ms = time_min_ms(ROUNDS, || {
+        let sol = problem
+            .flow_instance()
+            .solve_network_simplex_prerefactor()
+            .expect("solves");
+        assert_eq!(sol.cost, expected, "prerefactor disagrees with SSP");
+        sol.cost
+    });
+    let speedup = prerefactor_ms / s35932_auto;
+
+    let json = format!(
+        "{{\n  \"rounds\": {ROUNDS},\n  \"circuits\": [\n{}\n  ],\n  \
+         \"s35932_cold_ms\": {s35932_auto:.3},\n  \
+         \"s35932_prerefactor_ms\": {prerefactor_ms:.3},\n  \
+         \"s35932_speedup\": {speedup:.3}\n}}\n",
+        circuit_entries.join(",\n")
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_solver.json");
+    std::fs::write(&out, &json).expect("writes json");
+    print!("{json}");
+    assert!(
+        speedup > 1.0,
+        "CSR simplex ({s35932_auto:.3} ms) is not faster than the \
+         pre-refactor engine ({prerefactor_ms:.3} ms) on s35932"
+    );
+}
+
+criterion_group!(benches, bench_pivot_rules);
+
+fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        run_json();
+    } else {
+        benches();
+    }
+}

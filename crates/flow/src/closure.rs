@@ -9,6 +9,11 @@
 //! closure problem (a node can be moved through only if every fanin was),
 //! so this solver is an independent exact oracle for the network-flow
 //! path.
+//!
+//! The reduction is solved by [`MaxFlow`], which shares the flat CSR
+//! index machinery ([`crate::csr::CsrIndex`]) with the min-cost
+//! engines: the cut network is frozen once on first solve and reused
+//! across repeated min-cut queries.
 
 use crate::error::FlowError;
 use crate::maxflow::{MaxFlow, INF_CAP};

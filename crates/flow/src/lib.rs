@@ -15,13 +15,23 @@
 //!   them on randomized instances. A third engine,
 //!   [`MinCostFlow::solve_reference`], is a deliberately-slow plain
 //!   successive-shortest-paths solver (one Bellman–Ford per
-//!   augmentation) sharing no search machinery with the fast paths — the
-//!   differential reference `retime-verify` audits the others against.
+//!   augmentation) sharing no search machinery — not even the CSR
+//!   arena — with the fast paths; it is the differential reference
+//!   `retime-verify` audits the others against.
 //! * [`MaxFlow`] — Dinic's algorithm.
 //! * [`Closure`] — maximum-weight closure via min-cut. Because the
 //!   retiming variables are binary (`r(v) ∈ {−1, 0}`), the retiming ILP is
 //!   *also* a closure instance; this independent exact solver is the
 //!   oracle used to validate the flow-based path end to end.
+//!
+//! The fast engines all run on one flat [`csr`] arc arena:
+//! [`MinCostFlow`] freezes a [`CsrGraph`] (arc arrays + first-out index)
+//! on first solve and reuses it until mutated, the simplex reads its arc
+//! table straight out of that arena, and [`MaxFlow`] (hence [`Closure`])
+//! shares the same [`CsrIndex`] adjacency. Simplex pricing is pluggable:
+//! see [`pivot`] for the [`PivotRule`] portfolio (first-eligible, block
+//! search, candidate list), the size-based `Auto` selection, and the
+//! `RETIME_PIVOT` override.
 //!
 //! All quantities are `i64`; callers scale fractional breadths (the
 //! `β = 1/k` fanout-sharing coefficients) to integers first.
@@ -29,13 +39,16 @@
 //! # Invariants
 //!
 //! * **Determinism.** Every solver is single-threaded and iterates its
-//!   arc tables in insertion order; the same instance always yields the
-//!   same flows, potentials, and pivot/augmentation sequence.
+//!   arc tables in insertion order (the CSR index preserves it); the
+//!   same instance always yields the same flows, potentials, and
+//!   pivot/augmentation sequence. Pivot-rule selection is deterministic
+//!   per instance (`Auto` resolves by arc count), and every rule reaches
+//!   the same optimal objective.
 //! * **Tracing is observation-only.** Under `retime-trace` the solvers
-//!   emit spans (`network_simplex`/`pivot_batch` with pivot counts,
-//!   `ssp`/`ssp_phase` with shipped amounts, `reference_ssp` with
-//!   augmentation counts); the solve itself never branches on the
-//!   tracing state.
+//!   emit spans (`network_simplex`/`pivot_batch` with the active `rule`
+//!   plus `pivot_count`/`degenerate_pivots` counters, `ssp`/`ssp_phase`
+//!   with shipped amounts, `reference_ssp` with augmentation counts);
+//!   the solve itself never branches on the tracing state.
 //!
 //! # Example
 //!
@@ -58,12 +71,17 @@
 #![warn(missing_docs)]
 
 pub mod closure;
+pub mod csr;
 pub mod error;
 pub mod maxflow;
 pub mod mincost;
+pub mod pivot;
 pub mod simplex;
 
 pub use closure::Closure;
+pub use csr::{CsrGraph, CsrIndex};
 pub use error::FlowError;
 pub use maxflow::MaxFlow;
 pub use mincost::{ArcId, FlowSolution, MinCostFlow};
+pub use pivot::{BlockSearch, CandidateList, FirstEligible, PivotRule, PivotRuleKind};
+pub use simplex::Pricing;

@@ -1,5 +1,8 @@
 //! Dinic's maximum-flow algorithm.
 
+use std::sync::OnceLock;
+
+use crate::csr::CsrIndex;
 use crate::error::FlowError;
 
 /// Practically-infinite capacity.
@@ -9,12 +12,17 @@ pub const INF_CAP: i64 = i64::MAX / 4;
 ///
 /// Used as the engine behind [`crate::Closure`] and available directly for
 /// cut-style analyses.
+///
+/// Edges live in a flat paired array (`e ^ 1` is the residual reverse of
+/// `e`); adjacency is a lazily-built [`CsrIndex`] shared with the rest of
+/// the crate's solvers, invalidated by [`MaxFlow::add_edge`] and reused
+/// across repeated solves and cut queries.
 #[derive(Debug, Clone)]
 pub struct MaxFlow {
     n: usize,
-    head: Vec<usize>,
+    head: Vec<u32>,
     cap: Vec<i64>,
-    adj: Vec<Vec<usize>>,
+    index: OnceLock<CsrIndex>,
 }
 
 impl MaxFlow {
@@ -24,7 +32,7 @@ impl MaxFlow {
             n,
             head: Vec::new(),
             cap: Vec::new(),
-            adj: vec![Vec::new(); n],
+            index: OnceLock::new(),
         }
     }
 
@@ -42,13 +50,22 @@ impl MaxFlow {
         assert!(from < self.n && to < self.n, "edge endpoint out of range");
         assert!(cap >= 0, "capacity must be non-negative");
         let id = self.head.len();
-        self.adj[from].push(id);
-        self.head.push(to);
+        self.head.push(to as u32);
         self.cap.push(cap);
-        self.adj[to].push(id + 1);
-        self.head.push(from);
+        self.head.push(from as u32);
         self.cap.push(0);
+        self.index = OnceLock::new();
         id
+    }
+
+    /// The CSR adjacency index, built on first use. Directed-edge ids at
+    /// each node come back ascending — the old `Vec<Vec>` insertion
+    /// order — so solves are bit-identical to the pre-CSR engine.
+    fn index(&self) -> &CsrIndex {
+        self.index.get_or_init(|| {
+            let tails: Vec<u32> = (0..self.head.len()).map(|e| self.head[e ^ 1]).collect();
+            CsrIndex::build(self.n, &tails)
+        })
     }
 
     /// Computes the maximum flow from `s` to `t`, mutating internal
@@ -68,17 +85,28 @@ impl MaxFlow {
         if s == t {
             return Ok(0);
         }
+        self.index();
+        let MaxFlow {
+            n,
+            head,
+            cap,
+            index,
+            ..
+        } = self;
+        let n = *n;
+        let index = index.get().expect("index built above");
         let mut total = 0i64;
         loop {
             // BFS level graph.
-            let mut level = vec![usize::MAX; self.n];
+            let mut level = vec![usize::MAX; n];
             let mut queue = std::collections::VecDeque::new();
             level[s] = 0;
             queue.push_back(s);
             while let Some(u) = queue.pop_front() {
-                for &e in &self.adj[u] {
-                    let v = self.head[e];
-                    if self.cap[e] > 0 && level[v] == usize::MAX {
+                for &e in index.out(u) {
+                    let e = e as usize;
+                    let v = head[e] as usize;
+                    if cap[e] > 0 && level[v] == usize::MAX {
                         level[v] = level[u] + 1;
                         queue.push_back(v);
                     }
@@ -88,9 +116,9 @@ impl MaxFlow {
                 break;
             }
             // DFS blocking flow with iteration pointers.
-            let mut iter = vec![0usize; self.n];
+            let mut iter = vec![0usize; n];
             loop {
-                let pushed = self.dfs(s, t, INF_CAP, &level, &mut iter);
+                let pushed = dinic_dfs(head, cap, index, s, t, INF_CAP, &level, &mut iter);
                 if pushed == 0 {
                     break;
                 }
@@ -98,26 +126,6 @@ impl MaxFlow {
             }
         }
         Ok(total)
-    }
-
-    fn dfs(&mut self, u: usize, t: usize, limit: i64, level: &[usize], iter: &mut [usize]) -> i64 {
-        if u == t {
-            return limit;
-        }
-        while iter[u] < self.adj[u].len() {
-            let e = self.adj[u][iter[u]];
-            let v = self.head[e];
-            if self.cap[e] > 0 && level[v] == level[u] + 1 {
-                let d = self.dfs(v, t, limit.min(self.cap[e]), level, iter);
-                if d > 0 {
-                    self.cap[e] -= d;
-                    self.cap[e ^ 1] += d;
-                    return d;
-                }
-            }
-            iter[u] += 1;
-        }
-        0
     }
 
     /// Flow routed on an edge returned by [`MaxFlow::add_edge`]
@@ -129,12 +137,14 @@ impl MaxFlow {
     /// Nodes reachable from `s` in the residual graph (the source side of
     /// a minimum cut, valid after [`MaxFlow::solve`]).
     pub fn min_cut_side(&self, s: usize) -> Vec<bool> {
+        let index = self.index();
         let mut seen = vec![false; self.n];
         let mut stack = vec![s];
         seen[s] = true;
         while let Some(u) = stack.pop() {
-            for &e in &self.adj[u] {
-                let v = self.head[e];
+            for &e in index.out(u) {
+                let e = e as usize;
+                let v = self.head[e] as usize;
                 if self.cap[e] > 0 && !seen[v] {
                     seen[v] = true;
                     stack.push(v);
@@ -143,6 +153,37 @@ impl MaxFlow {
         }
         seen
     }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dinic_dfs(
+    head: &[u32],
+    cap: &mut [i64],
+    index: &CsrIndex,
+    u: usize,
+    t: usize,
+    limit: i64,
+    level: &[usize],
+    iter: &mut [usize],
+) -> i64 {
+    if u == t {
+        return limit;
+    }
+    let out = index.out(u);
+    while iter[u] < out.len() {
+        let e = out[iter[u]] as usize;
+        let v = head[e] as usize;
+        if cap[e] > 0 && level[v] == level[u] + 1 {
+            let d = dinic_dfs(head, cap, index, v, t, limit.min(cap[e]), level, iter);
+            if d > 0 {
+                cap[e] -= d;
+                cap[e ^ 1] += d;
+                return d;
+            }
+        }
+        iter[u] += 1;
+    }
+    0
 }
 
 #[cfg(test)]
@@ -204,5 +245,14 @@ mod tests {
         let mut g = MaxFlow::new(2);
         g.add_edge(0, 1, 5);
         assert_eq!(g.solve(0, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn adding_edges_after_solve_invalidates_the_index() {
+        let mut g = MaxFlow::new(3);
+        g.add_edge(0, 1, 2);
+        assert_eq!(g.solve(0, 2).unwrap(), 0);
+        g.add_edge(1, 2, 2);
+        assert_eq!(g.solve(0, 2).unwrap(), 2);
     }
 }

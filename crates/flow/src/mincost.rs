@@ -2,7 +2,9 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
+use crate::csr::CsrGraph;
 use crate::error::FlowError;
 
 /// Identifier of an arc added with [`MinCostFlow::add_arc`].
@@ -21,17 +23,25 @@ pub const INF_CAP: i64 = i64::MAX / 4;
 /// host edges for the `V_m` region bounds); negative *cycles* are not
 /// supported and cannot arise from difference-constraint duals of a
 /// feasible system.
+///
+/// Arcs live in a flat paired array (arc `2i` is user arc `i`, `2i + 1`
+/// its residual reverse). The first solve freezes a [`CsrGraph`] over
+/// the instance — user arcs plus the super-source/sink demand arcs —
+/// and every subsequent solve reuses it, so repeated probes of the same
+/// instance (binary period search, multi-engine cross-checks) pay for
+/// adjacency construction exactly once. Mutators invalidate the frozen
+/// arena.
 #[derive(Debug, Clone)]
 pub struct MinCostFlow {
     n: usize,
     // Paired edge representation: edge 2i is the i-th arc, 2i+1 its
     // residual reverse.
-    head: Vec<usize>,
+    head: Vec<u32>,
     cap: Vec<i64>,
     cost: Vec<i64>,
-    adj: Vec<Vec<usize>>,
     demand: Vec<i64>,
     user_arcs: usize,
+    frozen: OnceLock<CsrGraph>,
 }
 
 /// An optimal flow with its dual certificate.
@@ -56,9 +66,9 @@ impl MinCostFlow {
             head: Vec::new(),
             cap: Vec::new(),
             cost: Vec::new(),
-            adj: vec![Vec::new(); n],
             demand: vec![0; n],
             user_arcs: 0,
+            frozen: OnceLock::new(),
         }
     }
 
@@ -83,6 +93,7 @@ impl MinCostFlow {
         let id = ArcId(self.user_arcs);
         self.push_edge(from, to, cap, cost);
         self.user_arcs += 1;
+        self.frozen = OnceLock::new();
         id
     }
 
@@ -98,6 +109,7 @@ impl MinCostFlow {
     pub fn set_demand(&mut self, v: usize, demand: i64) {
         assert!(v < self.n, "node out of range");
         self.demand[v] = demand;
+        self.frozen = OnceLock::new();
     }
 
     /// Adds to the demand of a node.
@@ -107,6 +119,7 @@ impl MinCostFlow {
     pub fn add_demand(&mut self, v: usize, delta: i64) {
         assert!(v < self.n, "node out of range");
         self.demand[v] += delta;
+        self.frozen = OnceLock::new();
     }
 
     /// The current demand of a node.
@@ -121,7 +134,12 @@ impl MinCostFlow {
     pub(crate) fn raw_arc(&self, id: usize) -> (usize, usize, i64, i64) {
         assert!(id < self.user_arcs, "arc id out of range");
         let e = 2 * id;
-        (self.head[e + 1], self.head[e], self.cap[e], self.cost[e])
+        (
+            self.head[e + 1] as usize,
+            self.head[e] as usize,
+            self.cap[e],
+            self.cost[e],
+        )
     }
 
     /// The `(from, to, capacity, cost)` of a user arc — the public
@@ -136,14 +154,52 @@ impl MinCostFlow {
     }
 
     fn push_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) {
-        self.adj[from].push(self.head.len());
-        self.head.push(to);
+        self.head.push(to as u32);
         self.cap.push(cap);
         self.cost.push(cost);
-        self.adj[to].push(self.head.len());
-        self.head.push(from);
+        self.head.push(from as u32);
         self.cap.push(0);
         self.cost.push(-cost);
+    }
+
+    /// The frozen CSR arena over the instance plus its super-source /
+    /// super-sink demand arcs (nodes `n` and `n + 1`): built on first
+    /// use, reused by every subsequent solve until a mutator invalidates
+    /// it. Arc ids below `2 · arc_count()` are the user arc pairs in
+    /// insertion order; demand-arc pairs follow in node order — exactly
+    /// the layout the pre-CSR solvers produced, so results are
+    /// bit-identical.
+    pub(crate) fn frozen(&self) -> &CsrGraph {
+        self.frozen.get_or_init(|| {
+            let s = self.n;
+            let t = self.n + 1;
+            let mut tail: Vec<u32> = Vec::with_capacity(self.head.len() + 2 * self.n);
+            let mut head = self.head.clone();
+            let mut cap = self.cap.clone();
+            let mut cost = self.cost.clone();
+            for e in 0..self.head.len() {
+                tail.push(self.head[e ^ 1]);
+            }
+            let mut push_pair = |from: usize, to: usize, c: i64| {
+                tail.push(from as u32);
+                head.push(to as u32);
+                cap.push(c);
+                cost.push(0);
+                tail.push(to as u32);
+                head.push(from as u32);
+                cap.push(0);
+                cost.push(0);
+            };
+            for v in 0..self.n {
+                let b = self.demand[v];
+                if b < 0 {
+                    push_pair(s, v, -b);
+                } else if b > 0 {
+                    push_pair(v, t, b);
+                }
+            }
+            CsrGraph::new(self.n + 2, tail, head, cap, cost)
+        })
     }
 
     /// Solves by successive shortest paths with Johnson potentials.
@@ -156,31 +212,19 @@ impl MinCostFlow {
         if total != 0 {
             return Err(FlowError::UnbalancedDemands { total });
         }
-        // Working copy with super source / sink appended.
         let s = self.n;
         let t = self.n + 1;
-        let mut g = self.clone();
-        g.n += 2;
-        g.adj.push(Vec::new());
-        g.adj.push(Vec::new());
-        g.demand.push(0);
-        g.demand.push(0);
-        let mut required = 0i64;
-        for v in 0..self.n {
-            let b = self.demand[v];
-            if b < 0 {
-                g.push_edge(s, v, -b, 0);
-            } else if b > 0 {
-                g.push_edge(v, t, b, 0);
-                required += b;
-            }
-        }
+        let g = self.frozen();
+        let required: i64 = self.demand.iter().filter(|&&b| b > 0).sum();
+        // Per-solve residual state: one flat copy of the frozen caps.
+        let mut caps = g.caps().to_vec();
+        let nn = g.node_count();
 
         let solve_span = retime_trace::span("ssp");
 
         // Initial potentials via Bellman-Ford from the super source
         // (costs may be negative).
-        let mut pot = bellman_ford_from(&g, s)?;
+        let mut pot = bellman_ford_from(g, &caps, s)?;
 
         // Primal-dual (SSP with blocking flow): each phase runs one
         // Dijkstra on reduced costs, then saturates the *entire*
@@ -189,7 +233,7 @@ impl MinCostFlow {
         // only a handful of phases occur regardless of circuit size.
         let mut shipped = 0i64;
         let mut phases = 0u64;
-        let mut dist = vec![i64::MAX; g.n];
+        let mut dist = vec![i64::MAX; nn];
         while shipped < required {
             // Each phase (Dijkstra + blocking flow) traces as one span
             // carrying the amount it shipped.
@@ -204,11 +248,12 @@ impl MinCostFlow {
                 if d > dist[u] {
                     continue;
                 }
-                for &e in &g.adj[u] {
-                    if g.cap[e] == 0 {
+                for &e in g.out(u) {
+                    let e = e as usize;
+                    if caps[e] == 0 {
                         continue;
                     }
-                    let v = g.head[e];
+                    let v = g.head(e);
                     // Nodes unreachable from the super source in the
                     // initial residual graph stay unreachable (reverse
                     // arcs only appear along augmented, hence reachable,
@@ -216,7 +261,7 @@ impl MinCostFlow {
                     if pot[u] == i64::MAX || pot[v] == i64::MAX {
                         continue;
                     }
-                    let rc = g.cost[e] + pot[u] - pot[v];
+                    let rc = g.cost(e) + pot[u] - pot[v];
                     debug_assert!(rc >= 0, "negative reduced cost {rc}");
                     let nd = d.saturating_add(rc);
                     if nd < dist[v] {
@@ -233,7 +278,7 @@ impl MinCostFlow {
             // which preserves non-negative reduced costs on every residual
             // arc across rounds.
             let dt = dist[t];
-            for v in 0..g.n {
+            for v in 0..nn {
                 if pot[v] != i64::MAX && dist[v] != i64::MAX {
                     pot[v] += dist[v].min(dt);
                 } else if pot[v] != i64::MAX {
@@ -242,7 +287,7 @@ impl MinCostFlow {
             }
             // Blocking flow over the admissible subgraph (residual arcs
             // with zero reduced cost under the updated potentials).
-            let pushed = blocking_flow(&mut g, s, t, required - shipped, &pot);
+            let pushed = blocking_flow(g, &mut caps, s, t, required - shipped, &pot);
             debug_assert!(pushed > 0, "Dijkstra reached t, so flow must move");
             if pushed == 0 {
                 return Err(FlowError::Infeasible);
@@ -258,7 +303,7 @@ impl MinCostFlow {
         let mut flows = Vec::with_capacity(self.user_arcs);
         let mut cost = 0i64;
         for a in 0..self.user_arcs {
-            let f = g.cap[2 * a + 1];
+            let f = caps[2 * a + 1];
             flows.push(f);
             cost += f * self.cost[2 * a];
         }
@@ -266,7 +311,7 @@ impl MinCostFlow {
         // virtual everywhere-source (Bellman-Ford to a fixpoint). The
         // optimal residual graph has no negative cycles, so this
         // terminates and certifies optimality.
-        let potentials = residual_potentials(&g, self.n);
+        let potentials = residual_potentials(g, &caps, self.n);
         Ok(FlowSolution {
             cost,
             flows,
@@ -281,9 +326,11 @@ impl MinCostFlow {
     ///
     /// Deliberately the simplest correct min-cost-flow algorithm in the
     /// crate: it shares no search machinery with [`MinCostFlow::solve`]
-    /// or the network simplex, so it serves as the differential
-    /// reference those engines are cross-checked against (see
-    /// `retime-verify`). Quadratic-ish and slow — not a production path.
+    /// or the network simplex — it does not even touch the frozen CSR
+    /// arena, building its own throwaway adjacency lists instead — so it
+    /// serves as the differential reference those engines are
+    /// cross-checked against (see `retime-verify`). Quadratic-ish and
+    /// slow — not a production path.
     ///
     /// # Errors
     /// [`FlowError::UnbalancedDemands`] if demands do not sum to zero,
@@ -294,23 +341,42 @@ impl MinCostFlow {
         if total != 0 {
             return Err(FlowError::UnbalancedDemands { total });
         }
-        // Working copy with super source / sink appended, exactly as in
-        // `solve` — the two engines share only the instance encoding.
+        // Private working copy with super source / sink appended — the
+        // same instance encoding the fast engines freeze, rebuilt here
+        // from scratch on plain nested adjacency lists.
         let s = self.n;
         let t = self.n + 1;
-        let mut g = self.clone();
-        g.n += 2;
-        g.adj.push(Vec::new());
-        g.adj.push(Vec::new());
-        g.demand.push(0);
-        g.demand.push(0);
+        let nn = self.n + 2;
+        let mut head: Vec<usize> = Vec::with_capacity(self.head.len() + 2 * self.n);
+        let mut cap: Vec<i64> = Vec::with_capacity(self.cap.len() + 2 * self.n);
+        let mut cost: Vec<i64> = Vec::with_capacity(self.cost.len() + 2 * self.n);
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nn];
+        let mut push_pair = |from: usize, to: usize, c: i64, w: i64| {
+            adj[from].push(head.len());
+            head.push(to);
+            cap.push(c);
+            cost.push(w);
+            adj[to].push(head.len());
+            head.push(from);
+            cap.push(0);
+            cost.push(-w);
+        };
+        for a in 0..self.user_arcs {
+            let e = 2 * a;
+            push_pair(
+                self.head[e + 1] as usize,
+                self.head[e] as usize,
+                self.cap[e],
+                self.cost[e],
+            );
+        }
         let mut required = 0i64;
         for v in 0..self.n {
             let b = self.demand[v];
             if b < 0 {
-                g.push_edge(s, v, -b, 0);
+                push_pair(s, v, -b, 0);
             } else if b > 0 {
-                g.push_edge(v, t, b, 0);
+                push_pair(v, t, b, 0);
                 required += b;
             }
         }
@@ -322,27 +388,27 @@ impl MinCostFlow {
             augmentations += 1;
             // Queue-based Bellman-Ford with parent-edge tracking; costs
             // in the residual graph may be negative, so no Dijkstra.
-            let mut dist = vec![i64::MAX; g.n];
-            let mut parent = vec![usize::MAX; g.n];
-            let mut in_queue = vec![false; g.n];
-            let mut relaxations = vec![0usize; g.n];
+            let mut dist = vec![i64::MAX; nn];
+            let mut parent = vec![usize::MAX; nn];
+            let mut in_queue = vec![false; nn];
+            let mut relaxations = vec![0usize; nn];
             let mut queue = std::collections::VecDeque::new();
             dist[s] = 0;
             queue.push_back(s);
             in_queue[s] = true;
             while let Some(u) = queue.pop_front() {
                 in_queue[u] = false;
-                for &e in &g.adj[u] {
-                    if g.cap[e] == 0 {
+                for &e in &adj[u] {
+                    if cap[e] == 0 {
                         continue;
                     }
-                    let v = g.head[e];
-                    let nd = dist[u] + g.cost[e];
+                    let v = head[e];
+                    let nd = dist[u] + cost[e];
                     if nd < dist[v] {
                         dist[v] = nd;
                         parent[v] = e;
                         relaxations[v] += 1;
-                        if relaxations[v] > g.n {
+                        if relaxations[v] > nn {
                             return Err(FlowError::NegativeCycle);
                         }
                         if !in_queue[v] {
@@ -362,15 +428,15 @@ impl MinCostFlow {
             let mut v = t;
             while v != s {
                 let e = parent[v];
-                push = push.min(g.cap[e]);
-                v = g.head[e ^ 1];
+                push = push.min(cap[e]);
+                v = head[e ^ 1];
             }
             let mut v = t;
             while v != s {
                 let e = parent[v];
-                g.cap[e] -= push;
-                g.cap[e ^ 1] += push;
-                v = g.head[e ^ 1];
+                cap[e] -= push;
+                cap[e ^ 1] += push;
+                v = head[e ^ 1];
             }
             shipped += push;
         }
@@ -379,15 +445,17 @@ impl MinCostFlow {
         drop(solve_span);
 
         let mut flows = Vec::with_capacity(self.user_arcs);
-        let mut cost = 0i64;
+        let mut total_cost = 0i64;
         for a in 0..self.user_arcs {
-            let f = g.cap[2 * a + 1];
+            let f = cap[2 * a + 1];
             flows.push(f);
-            cost += f * self.cost[2 * a];
+            total_cost += f * self.cost[2 * a];
         }
-        let potentials = residual_potentials(&g, self.n);
+        // Duals from the residual graph, using the reference engine's own
+        // adjacency (see `reference_residual_potentials`).
+        let potentials = reference_residual_potentials(&adj, &head, &cap, &cost, self.n);
         Ok(FlowSolution {
-            cost,
+            cost: total_cost,
             flows,
             potentials,
         })
@@ -397,20 +465,29 @@ impl MinCostFlow {
 /// Dinic-style blocking flow restricted to admissible arcs (residual
 /// capacity > 0 and zero reduced cost under `pot`). Returns the amount
 /// pushed, at most `limit`.
-fn blocking_flow(g: &mut MinCostFlow, s: usize, t: usize, limit: i64, pot: &[i64]) -> i64 {
+fn blocking_flow(
+    g: &CsrGraph,
+    caps: &mut [i64],
+    s: usize,
+    t: usize,
+    limit: i64,
+    pot: &[i64],
+) -> i64 {
     // BFS levels over admissible arcs.
-    let mut level = vec![usize::MAX; g.n];
+    let nn = g.node_count();
+    let mut level = vec![usize::MAX; nn];
     let mut queue = std::collections::VecDeque::new();
     level[s] = 0;
     queue.push_back(s);
     while let Some(u) = queue.pop_front() {
-        for &e in &g.adj[u] {
-            let v = g.head[e];
-            if g.cap[e] > 0
+        for &e in g.out(u) {
+            let e = e as usize;
+            let v = g.head(e);
+            if caps[e] > 0
                 && level[v] == usize::MAX
                 && pot[u] != i64::MAX
                 && pot[v] != i64::MAX
-                && g.cost[e] + pot[u] - pot[v] == 0
+                && g.cost(e) + pot[u] - pot[v] == 0
             {
                 level[v] = level[u] + 1;
                 queue.push_back(v);
@@ -420,10 +497,10 @@ fn blocking_flow(g: &mut MinCostFlow, s: usize, t: usize, limit: i64, pot: &[i64
     if level[t] == usize::MAX {
         return 0;
     }
-    let mut iter = vec![0usize; g.n];
+    let mut iter = vec![0usize; nn];
     let mut total = 0i64;
     while total < limit {
-        let pushed = blocking_dfs(g, s, t, limit - total, &level, &mut iter, pot);
+        let pushed = blocking_dfs(g, caps, s, t, limit - total, &level, &mut iter, pot);
         if pushed == 0 {
             break;
         }
@@ -432,8 +509,10 @@ fn blocking_flow(g: &mut MinCostFlow, s: usize, t: usize, limit: i64, pot: &[i64
     total
 }
 
+#[allow(clippy::too_many_arguments)]
 fn blocking_dfs(
-    g: &mut MinCostFlow,
+    g: &CsrGraph,
+    caps: &mut [i64],
     u: usize,
     t: usize,
     limit: i64,
@@ -444,18 +523,19 @@ fn blocking_dfs(
     if u == t {
         return limit;
     }
-    while iter[u] < g.adj[u].len() {
-        let e = g.adj[u][iter[u]];
-        let v = g.head[e];
-        if g.cap[e] > 0
+    let out = g.out(u);
+    while iter[u] < out.len() {
+        let e = out[iter[u]] as usize;
+        let v = g.head(e);
+        if caps[e] > 0
             && level[v] == level[u] + 1
             && pot[v] != i64::MAX
-            && g.cost[e] + pot[u] - pot[v] == 0
+            && g.cost(e) + pot[u] - pot[v] == 0
         {
-            let d = blocking_dfs(g, v, t, limit.min(g.cap[e]), level, iter, pot);
+            let d = blocking_dfs(g, caps, v, t, limit.min(caps[e]), level, iter, pot);
             if d > 0 {
-                g.cap[e] -= d;
-                g.cap[e ^ 1] += d;
+                caps[e] -= d;
+                caps[e ^ 1] += d;
                 return d;
             }
         }
@@ -469,28 +549,30 @@ fn blocking_dfs(
 ///
 /// # Errors
 /// Returns [`FlowError::NegativeCycle`] when relaxation fails to converge.
-fn bellman_ford_from(g: &MinCostFlow, src: usize) -> Result<Vec<i64>, FlowError> {
-    let mut dist = vec![i64::MAX; g.n];
+fn bellman_ford_from(g: &CsrGraph, caps: &[i64], src: usize) -> Result<Vec<i64>, FlowError> {
+    let nn = g.node_count();
+    let mut dist = vec![i64::MAX; nn];
     dist[src] = 0;
     // SPFA-style queue-based relaxation with a negative-cycle guard: a
     // node relaxed more than n times lies on (or behind) a negative cycle.
-    let mut in_queue = vec![false; g.n];
-    let mut relaxations = vec![0usize; g.n];
+    let mut in_queue = vec![false; nn];
+    let mut relaxations = vec![0usize; nn];
     let mut queue = std::collections::VecDeque::new();
     queue.push_back(src);
     in_queue[src] = true;
     while let Some(u) = queue.pop_front() {
         in_queue[u] = false;
-        for &e in &g.adj[u] {
-            if g.cap[e] == 0 {
+        for &e in g.out(u) {
+            let e = e as usize;
+            if caps[e] == 0 {
                 continue;
             }
-            let v = g.head[e];
-            let nd = dist[u] + g.cost[e];
+            let v = g.head(e);
+            let nd = dist[u] + g.cost(e);
             if nd < dist[v] {
                 dist[v] = nd;
                 relaxations[v] += 1;
-                if relaxations[v] > g.n {
+                if relaxations[v] > nn {
                     return Err(FlowError::NegativeCycle);
                 }
                 if !in_queue[v] {
@@ -506,28 +588,75 @@ fn bellman_ford_from(g: &MinCostFlow, src: usize) -> Result<Vec<i64>, FlowError>
 /// Shortest distances from a virtual source connected to every node with
 /// zero cost, over the residual graph — valid dual potentials for the
 /// original problem.
-fn residual_potentials(g: &MinCostFlow, n_orig: usize) -> Vec<i64> {
-    let mut dist = vec![0i64; g.n];
-    let mut in_queue = vec![true; g.n];
-    let mut relaxations = vec![0usize; g.n];
-    let mut queue: std::collections::VecDeque<usize> = (0..g.n).collect();
+fn residual_potentials(g: &CsrGraph, caps: &[i64], n_orig: usize) -> Vec<i64> {
+    let nn = g.node_count();
+    let mut dist = vec![0i64; nn];
+    let mut in_queue = vec![true; nn];
+    let mut relaxations = vec![0usize; nn];
+    let mut queue: std::collections::VecDeque<usize> = (0..nn).collect();
     while let Some(u) = queue.pop_front() {
         in_queue[u] = false;
-        for &e in &g.adj[u] {
-            if g.cap[e] == 0 {
+        for &e in g.out(u) {
+            let e = e as usize;
+            if caps[e] == 0 {
                 continue;
             }
-            let v = g.head[e];
-            let nd = dist[u] + g.cost[e];
+            let v = g.head(e);
+            let nd = dist[u] + g.cost(e);
             if nd < dist[v] {
                 dist[v] = nd;
                 relaxations[v] += 1;
                 debug_assert!(
-                    relaxations[v] <= g.n,
+                    relaxations[v] <= nn,
                     "optimal residual graph must be free of negative cycles"
                 );
-                if relaxations[v] > g.n {
+                if relaxations[v] > nn {
                     // Defensive: abandon refinement rather than loop.
+                    dist.truncate(n_orig);
+                    return dist;
+                }
+                if !in_queue[v] {
+                    in_queue[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist.truncate(n_orig);
+    dist
+}
+
+/// [`residual_potentials`] for the reference engine's private adjacency
+/// lists — kept separate so the reference path shares no CSR machinery
+/// with the engines it checks.
+fn reference_residual_potentials(
+    adj: &[Vec<usize>],
+    head: &[usize],
+    cap: &[i64],
+    cost: &[i64],
+    n_orig: usize,
+) -> Vec<i64> {
+    let nn = adj.len();
+    let mut dist = vec![0i64; nn];
+    let mut in_queue = vec![true; nn];
+    let mut relaxations = vec![0usize; nn];
+    let mut queue: std::collections::VecDeque<usize> = (0..nn).collect();
+    while let Some(u) = queue.pop_front() {
+        in_queue[u] = false;
+        for &e in &adj[u] {
+            if cap[e] == 0 {
+                continue;
+            }
+            let v = head[e];
+            let nd = dist[u] + cost[e];
+            if nd < dist[v] {
+                dist[v] = nd;
+                relaxations[v] += 1;
+                debug_assert!(
+                    relaxations[v] <= nn,
+                    "optimal residual graph must be free of negative cycles"
+                );
+                if relaxations[v] > nn {
                     dist.truncate(n_orig);
                     return dist;
                 }
@@ -684,6 +813,32 @@ mod tests {
     fn self_loop_rejected() {
         let mut p = MinCostFlow::new(2);
         p.add_arc(1, 1, 1, 1);
+    }
+
+    #[test]
+    fn repeated_solves_reuse_the_frozen_arena() {
+        // Two solves of the untouched instance hit the same CsrGraph
+        // (pointer-equal), and a mutation invalidates it.
+        let mut p = MinCostFlow::new(3);
+        p.add_arc(0, 1, 10, 1);
+        p.add_arc(1, 2, 10, 1);
+        p.set_demand(0, -5);
+        p.set_demand(2, 5);
+        let first = p.solve().unwrap();
+        let g1 = p.frozen() as *const _;
+        let caps1 = p.frozen().caps().to_vec();
+        let second = p.solve().unwrap();
+        let g2 = p.frozen() as *const _;
+        assert_eq!(first, second, "repeat solve must be bit-identical");
+        assert_eq!(g1, g2, "untouched instance reuses the frozen CSR");
+        p.set_demand(0, -4);
+        p.set_demand(2, 4);
+        assert_ne!(
+            p.frozen().caps(),
+            &caps1[..],
+            "mutators must invalidate the frozen CSR"
+        );
+        assert_eq!(p.solve().unwrap().cost, 8);
     }
 
     #[test]

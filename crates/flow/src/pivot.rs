@@ -1,0 +1,368 @@
+//! Pivot-rule portfolio for the network simplex engine.
+//!
+//! Pricing — choosing which violating non-basic arc enters the basis —
+//! dominates network-simplex runtime, and the best strategy depends on
+//! problem size. This module packages three classic rules behind the
+//! [`PivotRule`] trait:
+//!
+//! * [`FirstEligible`] — a rolling scan that takes the first violating
+//!   arc (Bland-flavored; minimal pricing work per pivot, more pivots).
+//! * [`BlockSearch`] — scans `≈ √m`-sized blocks starting after the last
+//!   entering arc and takes the block's most violating arc.
+//! * [`CandidateList`] — partial pricing: a major iteration harvests a
+//!   list of violating arcs, minor iterations re-price only that list.
+//!
+//! [`PivotRuleKind`] names the rules for configuration. `Auto` (the
+//! default) resolves deterministically by arc count; the `RETIME_PIVOT`
+//! environment variable overrides it (`auto` | `first` | `block` |
+//! `candidates`), warning once on stderr for unrecognized values — the
+//! same failure shape as `RETIME_SUITE` / `RETIME_THREADS`.
+//!
+//! Every rule is deterministic and every rule reaches the same optimal
+//! objective (the differential suite asserts this); only the pivot
+//! *path* differs.
+
+use crate::simplex::Pricing;
+
+/// Selects the entering arc for each network-simplex pivot.
+///
+/// Implementations see only the [`Pricing`] view (per-arc reduced-cost
+/// violations) and may keep internal cursors — selection must be
+/// deterministic for a fixed call sequence.
+pub trait PivotRule {
+    /// Short stable name, recorded on trace spans (e.g. `"block"`).
+    fn name(&self) -> &'static str;
+
+    /// Picks the next entering arc, or `None` when no arc is eligible
+    /// (the current basis is optimal).
+    fn select(&mut self, pricing: &Pricing<'_>) -> Option<usize>;
+}
+
+/// Which pivot rule a simplex solve uses. `Auto` picks by problem size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PivotRuleKind {
+    /// Resolve by arc count: small instances price fully fast enough
+    /// ([`FirstEligible`]), mid-sized ones block-scan, large ones use
+    /// the candidate list. The thresholds are fixed, so selection is
+    /// deterministic per instance.
+    #[default]
+    Auto,
+    /// Always [`FirstEligible`].
+    FirstEligible,
+    /// Always [`BlockSearch`].
+    BlockSearch,
+    /// Always [`CandidateList`].
+    CandidateList,
+}
+
+impl PivotRuleKind {
+    /// Parses a raw `RETIME_PIVOT` value. `Err` carries the one-line
+    /// warning to print — the same shape `RETIME_SUITE` and
+    /// `RETIME_THREADS` use, so all three knobs fail the same way.
+    ///
+    /// # Errors
+    /// Returns the warning line when the value is unrecognized.
+    pub fn parse(raw: &str) -> Result<PivotRuleKind, String> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "auto" => Ok(PivotRuleKind::Auto),
+            "first" | "first-eligible" => Ok(PivotRuleKind::FirstEligible),
+            "block" | "block-search" => Ok(PivotRuleKind::BlockSearch),
+            "candidates" | "candidate-list" => Ok(PivotRuleKind::CandidateList),
+            _ => Err(format!(
+                "warning: unrecognized RETIME_PIVOT value {raw:?}; \
+                 accepted values are \"auto\", \"first\", \"block\", or \
+                 \"candidates\" — using automatic selection"
+            )),
+        }
+    }
+
+    /// The `RETIME_PIVOT` selection, warning once on stderr for an
+    /// unrecognized value (falls back to automatic selection).
+    pub fn from_env() -> PivotRuleKind {
+        match std::env::var("RETIME_PIVOT") {
+            Ok(raw) => PivotRuleKind::parse(&raw).unwrap_or_else(|warning| {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| eprintln!("{warning}"));
+                PivotRuleKind::Auto
+            }),
+            Err(_) => PivotRuleKind::Auto,
+        }
+    }
+
+    /// Resolves `Auto` to a concrete rule for an instance with
+    /// `arc_count` priced arcs (user + artificial). Fixed thresholds
+    /// keep the choice deterministic: full scans are cheap below a few
+    /// hundred arcs, block search carries the mid range, candidate-list
+    /// partial pricing wins once scans get long.
+    #[must_use]
+    pub fn resolve(self, arc_count: usize) -> PivotRuleKind {
+        match self {
+            PivotRuleKind::Auto => {
+                if arc_count < 256 {
+                    PivotRuleKind::FirstEligible
+                } else if arc_count < 16_384 {
+                    PivotRuleKind::BlockSearch
+                } else {
+                    PivotRuleKind::CandidateList
+                }
+            }
+            concrete => concrete,
+        }
+    }
+
+    /// Builds the rule instance for `arc_count` priced arcs.
+    ///
+    /// # Panics
+    /// Never — `Auto` resolves first.
+    #[must_use]
+    pub fn instantiate(self, arc_count: usize) -> Box<dyn PivotRule> {
+        match self.resolve(arc_count) {
+            PivotRuleKind::FirstEligible => Box::new(FirstEligible::new()),
+            PivotRuleKind::BlockSearch => Box::new(BlockSearch::new(arc_count)),
+            PivotRuleKind::CandidateList => Box::new(CandidateList::new(arc_count)),
+            PivotRuleKind::Auto => unreachable!("resolve() never returns Auto"),
+        }
+    }
+}
+
+/// Rolling first-eligible pricing: scan from one past the previous
+/// entering arc, wrap around, take the first violating arc.
+#[derive(Debug, Default)]
+pub struct FirstEligible {
+    next: usize,
+}
+
+impl FirstEligible {
+    /// Creates the rule with its cursor at arc 0.
+    #[must_use]
+    pub fn new() -> FirstEligible {
+        FirstEligible { next: 0 }
+    }
+}
+
+impl PivotRule for FirstEligible {
+    fn name(&self) -> &'static str {
+        "first"
+    }
+
+    fn select(&mut self, pricing: &Pricing<'_>) -> Option<usize> {
+        let m = pricing.arc_count();
+        if m == 0 {
+            return None;
+        }
+        let mut i = self.next % m;
+        for _ in 0..m {
+            if pricing.violation(i) > 0 {
+                self.next = i + 1;
+                return Some(i);
+            }
+            i += 1;
+            if i == m {
+                i = 0;
+            }
+        }
+        None
+    }
+}
+
+/// Block pricing: scan fixed-size blocks (wrapping) from the cursor and
+/// return the most violating arc of the first block containing one.
+#[derive(Debug)]
+pub struct BlockSearch {
+    block: usize,
+    next: usize,
+}
+
+impl BlockSearch {
+    /// Creates the rule with a `max(16, √m)` block size.
+    #[must_use]
+    pub fn new(arc_count: usize) -> BlockSearch {
+        BlockSearch {
+            block: (arc_count as f64).sqrt().ceil().max(16.0) as usize,
+            next: 0,
+        }
+    }
+}
+
+impl PivotRule for BlockSearch {
+    fn name(&self) -> &'static str {
+        "block"
+    }
+
+    fn select(&mut self, pricing: &Pricing<'_>) -> Option<usize> {
+        let m = pricing.arc_count();
+        if m == 0 {
+            return None;
+        }
+        let mut best: Option<(usize, i64)> = None;
+        let mut in_block = 0usize;
+        let mut i = self.next % m;
+        for _ in 0..m {
+            let viol = pricing.violation(i);
+            if viol > 0 && best.is_none_or(|(_, b)| viol > b) {
+                best = Some((i, viol));
+            }
+            i += 1;
+            if i == m {
+                i = 0;
+            }
+            in_block += 1;
+            if in_block == self.block {
+                in_block = 0;
+                if best.is_some() {
+                    break;
+                }
+            }
+        }
+        self.next = i;
+        best.map(|(arc, _)| arc)
+    }
+}
+
+/// Candidate-list (partial) pricing: a major iteration harvests up to
+/// `list_cap` violating arcs from a wrapping scan; the following minor
+/// iterations re-price only the list, dropping arcs that went quiet.
+#[derive(Debug)]
+pub struct CandidateList {
+    list: Vec<u32>,
+    list_cap: usize,
+    minor_limit: usize,
+    minor: usize,
+    next: usize,
+}
+
+impl CandidateList {
+    /// Creates the rule: list of `max(16, √m / 2)` candidates, refreshed
+    /// after `max(4, list_cap / 8)` minor iterations.
+    #[must_use]
+    pub fn new(arc_count: usize) -> CandidateList {
+        let list_cap = ((arc_count as f64).sqrt() / 2.0).ceil().max(16.0) as usize;
+        CandidateList {
+            list: Vec::with_capacity(list_cap),
+            list_cap,
+            minor_limit: (list_cap / 8).max(4),
+            minor: 0,
+            next: 0,
+        }
+    }
+
+    fn best_of_list(&self, pricing: &Pricing<'_>) -> Option<usize> {
+        let mut best: Option<(usize, i64)> = None;
+        for &a in &self.list {
+            let viol = pricing.violation(a as usize);
+            if viol > 0 && best.is_none_or(|(_, b)| viol > b) {
+                best = Some((a as usize, viol));
+            }
+        }
+        best.map(|(arc, _)| arc)
+    }
+}
+
+impl PivotRule for CandidateList {
+    fn name(&self) -> &'static str {
+        "candidates"
+    }
+
+    fn select(&mut self, pricing: &Pricing<'_>) -> Option<usize> {
+        let m = pricing.arc_count();
+        if m == 0 {
+            return None;
+        }
+        // Minor iteration: re-price the surviving candidates only.
+        if self.minor < self.minor_limit {
+            self.list.retain(|&a| pricing.violation(a as usize) > 0);
+            if let Some(arc) = self.best_of_list(pricing) {
+                self.minor += 1;
+                return Some(arc);
+            }
+        }
+        // Major iteration: rebuild the list from a wrapping scan.
+        self.minor = 1;
+        self.list.clear();
+        let mut i = self.next % m;
+        for _ in 0..m {
+            if pricing.violation(i) > 0 {
+                self.list.push(i as u32);
+                if self.list.len() == self.list_cap {
+                    i += 1;
+                    if i == m {
+                        i = 0;
+                    }
+                    break;
+                }
+            }
+            i += 1;
+            if i == m {
+                i = 0;
+            }
+        }
+        self.next = i;
+        self.best_of_list(pricing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_canonical_names_and_aliases() {
+        assert_eq!(PivotRuleKind::parse("auto"), Ok(PivotRuleKind::Auto));
+        assert_eq!(
+            PivotRuleKind::parse("first"),
+            Ok(PivotRuleKind::FirstEligible)
+        );
+        assert_eq!(
+            PivotRuleKind::parse(" First-Eligible "),
+            Ok(PivotRuleKind::FirstEligible)
+        );
+        assert_eq!(
+            PivotRuleKind::parse("block"),
+            Ok(PivotRuleKind::BlockSearch)
+        );
+        assert_eq!(
+            PivotRuleKind::parse("block-search"),
+            Ok(PivotRuleKind::BlockSearch)
+        );
+        assert_eq!(
+            PivotRuleKind::parse("candidates"),
+            Ok(PivotRuleKind::CandidateList)
+        );
+        assert_eq!(
+            PivotRuleKind::parse("candidate-list"),
+            Ok(PivotRuleKind::CandidateList)
+        );
+    }
+
+    #[test]
+    fn parse_warning_matches_the_env_knob_convention() {
+        // Same one-line warning shape as RETIME_SUITE / RETIME_THREADS:
+        // names the variable, echoes the raw value, states the fallback.
+        let warning = PivotRuleKind::parse("dantzig").unwrap_err();
+        assert!(
+            warning.starts_with("warning: unrecognized RETIME_PIVOT value \"dantzig\""),
+            "{warning}"
+        );
+        assert!(warning.contains("using automatic selection"), "{warning}");
+    }
+
+    #[test]
+    fn auto_resolves_by_size_and_concrete_kinds_stick() {
+        assert_eq!(
+            PivotRuleKind::Auto.resolve(10),
+            PivotRuleKind::FirstEligible
+        );
+        assert_eq!(
+            PivotRuleKind::Auto.resolve(1_000),
+            PivotRuleKind::BlockSearch
+        );
+        assert_eq!(
+            PivotRuleKind::Auto.resolve(100_000),
+            PivotRuleKind::CandidateList
+        );
+        assert_eq!(
+            PivotRuleKind::BlockSearch.resolve(10),
+            PivotRuleKind::BlockSearch
+        );
+    }
+}

@@ -2,25 +2,39 @@
 //!
 //! This is the algorithm class the paper hands its Eq. (14) formulation to
 //! ("solved with the network simplex method \[25\] in polynomial time").
-//! The implementation is the textbook primal network simplex with:
+//! The implementation is the primal network simplex with:
 //!
 //! * a big-M artificial initial basis (one artificial arc per node),
-//! * Dantzig pricing (most negative reduced cost),
+//! * pluggable pricing behind the [`PivotRule`](crate::pivot::PivotRule)
+//!   trait — first-eligible, block search, or candidate list, selected
+//!   per instance by [`PivotRuleKind`] (`Auto` resolves by arc count,
+//!   `RETIME_PIVOT` overrides),
 //! * the *strongly feasible basis* leaving-arc rule (last blocking arc
 //!   encountered traversing the cycle from the apex in the direction of
 //!   the entering arc), which prevents degenerate cycling,
-//! * full potential/parent recomputation per pivot (O(n)) — simple,
-//!   robust, and fast enough for circuit-sized instances.
+//! * an index-based spanning-tree store (parent / predecessor-arc / depth /
+//!   child-link arrays plus reusable scratch buffers): each pivot
+//!   re-hangs only the subtree cut off by the leaving arc and shifts its
+//!   potentials by a constant — no per-pivot allocation, no full-tree
+//!   recomputation.
+//!
+//! The arc table is read straight out of the instance's frozen
+//! [`CsrGraph`](crate::csr::CsrGraph), so repeated solves (e.g. the
+//! probes of a binary period search) never rebuild adjacency.
 //!
 //! [`MinCostFlow::solve`] (successive shortest paths) is the default
-//! engine; both produce identical objective values, which the test suite
-//! asserts on randomized instances.
+//! engine; all pivot rules produce identical objective values, which the
+//! test suite and `tests/differential.rs` assert on randomized instances.
 
 use crate::error::FlowError;
 use crate::mincost::{FlowSolution, MinCostFlow};
+use crate::pivot::PivotRuleKind;
 
 /// Pivots per `pivot_batch` trace span.
 const PIVOT_BATCH: usize = 256;
+
+/// Sentinel for "no node / no arc" in the index-based tree arrays.
+const NONE: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ArcState {
@@ -29,42 +43,212 @@ enum ArcState {
     Upper,
 }
 
-#[derive(Debug, Clone)]
-struct SArc {
-    from: usize,
-    to: usize,
-    cap: i64,
-    cost: i64,
-    flow: i64,
-    state: ArcState,
+/// Struct-of-arrays arc table: user arcs first, artificial arcs after.
+#[derive(Debug)]
+struct Arcs {
+    from: Vec<u32>,
+    to: Vec<u32>,
+    cap: Vec<i64>,
+    cost: Vec<i64>,
+    flow: Vec<i64>,
+    state: Vec<ArcState>,
+}
+
+impl Arcs {
+    fn with_capacity(m: usize) -> Arcs {
+        Arcs {
+            from: Vec::with_capacity(m),
+            to: Vec::with_capacity(m),
+            cap: Vec::with_capacity(m),
+            cost: Vec::with_capacity(m),
+            flow: Vec::with_capacity(m),
+            state: Vec::with_capacity(m),
+        }
+    }
+
+    fn push(&mut self, from: usize, to: usize, cap: i64, cost: i64, flow: i64, state: ArcState) {
+        self.from.push(from as u32);
+        self.to.push(to as u32);
+        self.cap.push(cap);
+        self.cost.push(cost);
+        self.flow.push(flow);
+        self.state.push(state);
+    }
+
+    fn len(&self) -> usize {
+        self.from.len()
+    }
+}
+
+/// Read-only pricing view a [`PivotRule`](crate::pivot::PivotRule) sees:
+/// per-arc reduced-cost violations against the current basis potentials.
+pub struct Pricing<'a> {
+    from: &'a [u32],
+    to: &'a [u32],
+    cost: &'a [i64],
+    state: &'a [ArcState],
+    pot: &'a [i64],
+}
+
+impl Pricing<'_> {
+    /// Number of priced arcs (user + artificial).
+    #[must_use]
+    pub fn arc_count(&self) -> usize {
+        self.cost.len()
+    }
+
+    /// How strongly `arc` wants to enter the basis: the magnitude of its
+    /// reduced-cost violation, or `0` if it is not eligible (in the
+    /// basis, or priced consistently with its bound).
+    #[must_use]
+    pub fn violation(&self, arc: usize) -> i64 {
+        let rc =
+            self.cost[arc] + self.pot[self.from[arc] as usize] - self.pot[self.to[arc] as usize];
+        match self.state[arc] {
+            ArcState::Lower if rc < 0 => -rc,
+            ArcState::Upper if rc > 0 => rc,
+            _ => 0,
+        }
+    }
+}
+
+/// Index-based spanning-tree bookkeeping: flat `u32` arrays for the
+/// basis structure plus reusable scratch buffers, so a pivot allocates
+/// nothing.
+#[derive(Debug)]
+struct SpanningTree {
+    /// Parent node (`NONE` at the root).
+    parent: Vec<u32>,
+    /// Arc id connecting a node to its parent (`NONE` at the root).
+    pred: Vec<u32>,
+    /// Distance from the root.
+    depth: Vec<u32>,
+    /// Basis potentials (zero reduced cost on every tree arc).
+    pot: Vec<i64>,
+    /// Child-list threading: O(1) detach/attach, linear subtree walks.
+    first_child: Vec<u32>,
+    next_sib: Vec<u32>,
+    prev_sib: Vec<u32>,
+    // Scratch buffers reused across pivots.
+    left: Vec<u32>,
+    right: Vec<u32>,
+    cycle: Vec<(u32, bool)>,
+    path: Vec<u32>,
+    pbuf: Vec<u32>,
+    stack: Vec<u32>,
+}
+
+impl SpanningTree {
+    fn new(nn: usize) -> SpanningTree {
+        SpanningTree {
+            parent: vec![NONE; nn],
+            pred: vec![NONE; nn],
+            depth: vec![0; nn],
+            pot: vec![0; nn],
+            first_child: vec![NONE; nn],
+            next_sib: vec![NONE; nn],
+            prev_sib: vec![NONE; nn],
+            left: Vec::new(),
+            right: Vec::new(),
+            cycle: Vec::new(),
+            path: Vec::new(),
+            pbuf: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Initializes the artificial star basis: every node hangs off the
+    /// root through its artificial arc, potentials make those arcs
+    /// reduced-cost zero.
+    fn init_star(&mut self, root: usize, arcs: &Arcs, first_artificial: usize) {
+        self.parent[root] = NONE;
+        self.pred[root] = NONE;
+        self.depth[root] = 0;
+        self.pot[root] = 0;
+        for v in 0..root {
+            let ai = first_artificial + v;
+            self.attach(v as u32, root as u32);
+            self.pred[v] = ai as u32;
+            self.depth[v] = 1;
+            self.pot[v] = if arcs.from[ai] as usize == root {
+                arcs.cost[ai]
+            } else {
+                -arcs.cost[ai]
+            };
+        }
+    }
+
+    /// Unlinks `v` from its parent's child list.
+    fn detach(&mut self, v: u32) {
+        let p = self.parent[v as usize];
+        let prev = self.prev_sib[v as usize];
+        let next = self.next_sib[v as usize];
+        if prev == NONE {
+            self.first_child[p as usize] = next;
+        } else {
+            self.next_sib[prev as usize] = next;
+        }
+        if next != NONE {
+            self.prev_sib[next as usize] = prev;
+        }
+        self.prev_sib[v as usize] = NONE;
+        self.next_sib[v as usize] = NONE;
+    }
+
+    /// Links `v` as the first child of `p`.
+    fn attach(&mut self, v: u32, p: u32) {
+        let old = self.first_child[p as usize];
+        self.next_sib[v as usize] = old;
+        self.prev_sib[v as usize] = NONE;
+        if old != NONE {
+            self.prev_sib[old as usize] = v;
+        }
+        self.first_child[p as usize] = v;
+        self.parent[v as usize] = p;
+    }
 }
 
 impl MinCostFlow {
-    /// Solves the problem with the network simplex method.
+    /// Solves the problem with the network simplex method, choosing the
+    /// pivot rule from `RETIME_PIVOT` (automatic size-based selection
+    /// when unset).
     ///
     /// # Errors
     /// [`FlowError::UnbalancedDemands`], [`FlowError::Infeasible`], or
     /// [`FlowError::IterationLimit`] if the pivot budget is exceeded.
     pub fn solve_network_simplex(&self) -> Result<FlowSolution, FlowError> {
+        self.solve_network_simplex_with(PivotRuleKind::from_env())
+    }
+
+    /// Solves the problem with the network simplex method under an
+    /// explicit pivot rule. Every rule reaches the same optimal
+    /// objective; only the pivot path (and runtime) differs.
+    ///
+    /// # Errors
+    /// [`FlowError::UnbalancedDemands`], [`FlowError::Infeasible`], or
+    /// [`FlowError::IterationLimit`] if the pivot budget is exceeded.
+    pub fn solve_network_simplex_with(
+        &self,
+        kind: PivotRuleKind,
+    ) -> Result<FlowSolution, FlowError> {
         let n = self.node_count();
         let total: i64 = (0..n).map(|v| self.demand(v)).sum();
         if total != 0 {
             return Err(FlowError::UnbalancedDemands { total });
         }
+        // User arcs come straight out of the frozen CSR arena (arc `2a`
+        // is user arc `a`); repeated solves skip all graph construction.
+        let g = self.frozen();
+        let user = self.arc_count();
         let root = n;
-        let mut arcs: Vec<SArc> = Vec::with_capacity(self.arc_count() + n);
+        let nn = n + 1;
+        let mut arcs = Arcs::with_capacity(user + n);
         let mut max_cost = 1i64;
-        for a in 0..self.arc_count() {
-            let (from, to, cap, cost) = self.arc(a);
+        for a in 0..user {
+            let e = 2 * a;
+            let cost = g.cost(e);
             max_cost = max_cost.max(cost.abs());
-            arcs.push(SArc {
-                from,
-                to,
-                cap,
-                cost,
-                flow: 0,
-                state: ArcState::Lower,
-            });
+            arcs.push(g.tail(e), g.head(e), g.cap(e), cost, 0, ArcState::Lower);
         }
         let big_m = max_cost.saturating_mul((n as i64) + 2).saturating_add(1);
         // Artificial arcs: node with positive demand receives from the
@@ -74,49 +258,345 @@ impl MinCostFlow {
         for v in 0..n {
             let b = self.demand(v);
             if b > 0 {
-                arcs.push(SArc {
-                    from: root,
-                    to: v,
-                    cap: i64::MAX / 4,
-                    cost: big_m,
-                    flow: b,
-                    state: ArcState::Tree,
-                });
+                arcs.push(root, v, i64::MAX / 4, big_m, b, ArcState::Tree);
             } else {
-                arcs.push(SArc {
-                    from: v,
-                    to: root,
-                    cap: i64::MAX / 4,
-                    cost: big_m,
-                    flow: -b,
-                    state: ArcState::Tree,
-                });
+                arcs.push(v, root, i64::MAX / 4, big_m, -b, ArcState::Tree);
             }
         }
+        let mut tree = SpanningTree::new(nn);
+        tree.init_star(root, &arcs, first_artificial);
 
-        // Tree bookkeeping, rebuilt from scratch after each pivot.
-        let nn = n + 1;
-        let mut parent: Vec<Option<(usize, usize)>> = vec![None; nn];
-        let mut depth = vec![0usize; nn];
-        let mut pot = vec![0i64; nn];
-        rebuild_tree(&arcs, nn, root, &mut parent, &mut depth, &mut pot);
-
+        let mut rule = kind.instantiate(arcs.len());
+        let rule_name = rule.name();
         let solve_span = retime_trace::span("network_simplex");
+        retime_trace::attr_str("rule", rule_name);
         let max_pivots = 200 * (arcs.len() + nn) + 10_000;
         let mut pivots = 0usize;
+        let mut degenerate_total = 0u64;
         let mut optimal = false;
         while !optimal {
             // Pivots trace in batches so a long solve shows progress as
             // nested spans instead of one opaque block.
             let _batch = retime_trace::span("pivot_batch");
+            retime_trace::attr_str("rule", rule_name);
             let batch_start = pivots;
+            let mut batch_degenerate = 0u64;
+            loop {
+                let entering = rule.select(&Pricing {
+                    from: &arcs.from,
+                    to: &arcs.to,
+                    cost: &arcs.cost,
+                    state: &arcs.state,
+                    pot: &tree.pot,
+                });
+                let Some(e_idx) = entering else {
+                    optimal = true;
+                    break;
+                };
+                pivots += 1;
+                if pivots > max_pivots {
+                    retime_trace::counter("pivot_count", (pivots - batch_start) as u64);
+                    retime_trace::counter("degenerate_pivots", batch_degenerate);
+                    return Err(FlowError::IterationLimit);
+                }
+                if pivot(&mut arcs, &mut tree, e_idx) {
+                    batch_degenerate += 1;
+                }
+                if pivots - batch_start >= PIVOT_BATCH {
+                    break;
+                }
+            }
+            retime_trace::counter("pivot_count", (pivots - batch_start) as u64);
+            retime_trace::counter("degenerate_pivots", batch_degenerate);
+            degenerate_total += batch_degenerate;
+        }
+        retime_trace::counter("pivots_total", pivots as u64);
+        retime_trace::counter("degenerate_total", degenerate_total);
+        drop(solve_span);
+
+        // Infeasibility: artificial arc still carrying flow.
+        if arcs.flow[first_artificial..].iter().any(|&f| f > 0) {
+            return Err(FlowError::Infeasible);
+        }
+        let mut flows = Vec::with_capacity(user);
+        let mut cost = 0i64;
+        for a in 0..first_artificial {
+            flows.push(arcs.flow[a]);
+            cost += arcs.flow[a] * arcs.cost[a];
+        }
+        let mut potentials = tree.pot;
+        potentials.truncate(n);
+        Ok(FlowSolution {
+            cost,
+            flows,
+            potentials,
+        })
+    }
+}
+
+/// Room an arc has in the push direction: forward arcs can absorb
+/// `cap − flow` (the entering arc at its upper bound is traversed in
+/// reverse, so its room is `flow`), backward arcs can release `flow`.
+fn room(arcs: &Arcs, ai: usize, fwd: bool, e_idx: usize) -> i64 {
+    if fwd {
+        if ai == e_idx && arcs.state[ai] == ArcState::Upper {
+            arcs.flow[ai]
+        } else {
+            arcs.cap[ai] - arcs.flow[ai]
+        }
+    } else {
+        arcs.flow[ai]
+    }
+}
+
+/// One pivot: push flow around the cycle closed by the entering arc,
+/// swap arc states (strongly-feasible leaving rule: last blocking arc in
+/// cycle order), then re-hang the subtree cut off by the leaving arc and
+/// shift its potentials by a constant. Returns whether the pivot was
+/// degenerate (pushed zero flow).
+fn pivot(arcs: &mut Arcs, tree: &mut SpanningTree, e_idx: usize) -> bool {
+    // Direction of flow increase along the entering arc.
+    let eu = arcs.from[e_idx] as usize;
+    let ev = arcs.to[e_idx] as usize;
+    let (push_from, push_to) = match arcs.state[e_idx] {
+        ArcState::Lower => (eu, ev),
+        ArcState::Upper => (ev, eu),
+        ArcState::Tree => unreachable!("entering arc cannot be in the tree"),
+    };
+    // Collect the two tree paths to the apex (LCA).
+    tree.left.clear(); // arcs from push_from up to apex
+    tree.right.clear(); // arcs from push_to up to apex
+    let (mut a, mut b) = (push_from, push_to);
+    while tree.depth[a] > tree.depth[b] {
+        tree.left.push(tree.pred[a]);
+        a = tree.parent[a] as usize;
+    }
+    while tree.depth[b] > tree.depth[a] {
+        tree.right.push(tree.pred[b]);
+        b = tree.parent[b] as usize;
+    }
+    while a != b {
+        tree.left.push(tree.pred[a]);
+        tree.right.push(tree.pred[b]);
+        a = tree.parent[a] as usize;
+        b = tree.parent[b] as usize;
+    }
+    // The cycle, traversed in the push direction starting at the apex:
+    // apex -> (left reversed, descending to push_from) -> entering arc ->
+    // (right, ascending from push_to back to the apex). For each cycle
+    // arc record whether the push direction increases (forward) or
+    // decreases (backward) its flow; a tree arc points "down" (parent to
+    // child) when it is the predecessor arc of its own head.
+    tree.cycle.clear();
+    for i in (0..tree.left.len()).rev() {
+        let ai = tree.left[i];
+        let fwd = tree.pred[arcs.to[ai as usize] as usize] == ai;
+        tree.cycle.push((ai, fwd));
+    }
+    let left_len = tree.cycle.len();
+    tree.cycle.push((e_idx as u32, true));
+    for i in 0..tree.right.len() {
+        let ai = tree.right[i];
+        let fwd = tree.pred[arcs.to[ai as usize] as usize] != ai;
+        tree.cycle.push((ai, fwd));
+    }
+
+    // Bottleneck over the cycle, then the leaving arc: the *last*
+    // blocking arc in cycle order keeps the basis strongly feasible.
+    let mut delta = i64::MAX;
+    for &(ai, fwd) in &tree.cycle {
+        delta = delta.min(room(arcs, ai as usize, fwd, e_idx));
+    }
+    let mut leaving_pos = 0usize;
+    for (i, &(ai, fwd)) in tree.cycle.iter().enumerate() {
+        if room(arcs, ai as usize, fwd, e_idx) == delta {
+            leaving_pos = i;
+        }
+    }
+    // Apply the push.
+    if delta > 0 {
+        for &(ai, fwd) in &tree.cycle {
+            let ai = ai as usize;
+            let upper_entering = ai == e_idx && arcs.state[ai] == ArcState::Upper;
+            if fwd && !upper_entering {
+                arcs.flow[ai] += delta;
+            } else {
+                arcs.flow[ai] -= delta;
+            }
+        }
+    }
+    let degenerate = delta == 0;
+    let leaving = tree.cycle[leaving_pos].0 as usize;
+    if leaving == e_idx {
+        // Degenerate bound swap: the entering arc flips bounds; the tree
+        // is untouched.
+        arcs.state[e_idx] = if arcs.flow[e_idx] == 0 {
+            ArcState::Lower
+        } else {
+            ArcState::Upper
+        };
+        return degenerate;
+    }
+    arcs.state[leaving] = if arcs.flow[leaving] == 0 {
+        ArcState::Lower
+    } else {
+        ArcState::Upper
+    };
+    arcs.state[e_idx] = ArcState::Tree;
+
+    // Re-hang: cutting the leaving arc strands the subtree rooted at its
+    // child endpoint; the entering arc reconnects that subtree through
+    // whichever of its endpoints lies inside (push_from for a leaving
+    // arc on the left path, push_to on the right). The tree path from
+    // that entry point up to the stranded root reverses, and the whole
+    // subtree's potentials shift by one constant that restores zero
+    // reduced cost on the entering arc.
+    let entry = if leaving_pos < left_len {
+        push_from
+    } else {
+        push_to
+    };
+    let other = if entry == eu { ev } else { eu };
+    let lf = arcs.from[leaving] as usize;
+    let lt = arcs.to[leaving] as usize;
+    let cut_root = if tree.pred[lf] == leaving as u32 {
+        lf
+    } else {
+        lt
+    };
+    let rc = arcs.cost[e_idx] + tree.pot[eu] - tree.pot[ev];
+    let dpot = if entry == ev { rc } else { -rc };
+
+    // Path entry -> cut_root, with each node's old predecessor arc.
+    tree.path.clear();
+    tree.pbuf.clear();
+    let mut x = entry;
+    loop {
+        tree.path.push(x as u32);
+        tree.pbuf.push(tree.pred[x]);
+        if x == cut_root {
+            break;
+        }
+        x = tree.parent[x] as usize;
+    }
+    // Reverse the path: entry becomes a child of the far endpoint via
+    // the entering arc; each former ancestor re-hangs under its former
+    // child, inheriting that child's old predecessor arc.
+    tree.detach(entry as u32);
+    tree.attach(entry as u32, other as u32);
+    tree.pred[entry] = e_idx as u32;
+    for i in 1..tree.path.len() {
+        let node = tree.path[i];
+        tree.detach(node);
+        tree.attach(node, tree.path[i - 1]);
+        tree.pred[node as usize] = tree.pbuf[i - 1];
+    }
+    // One sweep over the re-hung subtree fixes depths and applies the
+    // constant potential shift (parents are always visited first).
+    tree.stack.clear();
+    tree.stack.push(entry as u32);
+    while let Some(x) = tree.stack.pop() {
+        let x = x as usize;
+        tree.depth[x] = tree.depth[tree.parent[x] as usize] + 1;
+        tree.pot[x] += dpot;
+        let mut c = tree.first_child[x];
+        while c != NONE {
+            tree.stack.push(c);
+            c = tree.next_sib[c as usize];
+        }
+    }
+    degenerate
+}
+
+/// The pre-refactor engine, kept verbatim (minus tracing) as the honest
+/// baseline `solver_bench` measures the CSR rewrite against: Dantzig
+/// pricing over an `Vec`-of-structs arc table with a full O(n) tree +
+/// potential rebuild after every pivot.
+mod prerefactor {
+    use crate::error::FlowError;
+    use crate::mincost::{FlowSolution, MinCostFlow};
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum ArcState {
+        Lower,
+        Tree,
+        Upper,
+    }
+
+    #[derive(Debug, Clone)]
+    struct SArc {
+        from: usize,
+        to: usize,
+        cap: i64,
+        cost: i64,
+        flow: i64,
+        state: ArcState,
+    }
+
+    impl MinCostFlow {
+        /// The network simplex as it existed before the CSR/flat-tree
+        /// refactor. Benchmark baseline only — not part of the public
+        /// API surface.
+        #[doc(hidden)]
+        pub fn solve_network_simplex_prerefactor(&self) -> Result<FlowSolution, FlowError> {
+            let n = self.node_count();
+            let total: i64 = (0..n).map(|v| self.demand(v)).sum();
+            if total != 0 {
+                return Err(FlowError::UnbalancedDemands { total });
+            }
+            let root = n;
+            let mut arcs: Vec<SArc> = Vec::with_capacity(self.arc_count() + n);
+            let mut max_cost = 1i64;
+            for a in 0..self.arc_count() {
+                let (from, to, cap, cost) = self.arc_info(crate::mincost::ArcId(a));
+                max_cost = max_cost.max(cost.abs());
+                arcs.push(SArc {
+                    from,
+                    to,
+                    cap,
+                    cost,
+                    flow: 0,
+                    state: ArcState::Lower,
+                });
+            }
+            let big_m = max_cost.saturating_mul((n as i64) + 2).saturating_add(1);
+            let first_artificial = arcs.len();
+            for v in 0..n {
+                let b = self.demand(v);
+                if b > 0 {
+                    arcs.push(SArc {
+                        from: root,
+                        to: v,
+                        cap: i64::MAX / 4,
+                        cost: big_m,
+                        flow: b,
+                        state: ArcState::Tree,
+                    });
+                } else {
+                    arcs.push(SArc {
+                        from: v,
+                        to: root,
+                        cap: i64::MAX / 4,
+                        cost: big_m,
+                        flow: -b,
+                        state: ArcState::Tree,
+                    });
+                }
+            }
+
+            let nn = n + 1;
+            let mut parent: Vec<Option<(usize, usize)>> = vec![None; nn];
+            let mut depth = vec![0usize; nn];
+            let mut pot = vec![0i64; nn];
+            rebuild_tree(&arcs, nn, root, &mut parent, &mut depth, &mut pot);
+
+            let max_pivots = 200 * (arcs.len() + nn) + 10_000;
+            let mut pivots = 0usize;
             loop {
                 pivots += 1;
                 if pivots > max_pivots {
-                    retime_trace::counter("pivots", (pivots - batch_start) as u64);
                     return Err(FlowError::IterationLimit);
                 }
-                // Pricing: most violating non-tree arc.
                 let mut entering: Option<(usize, i64)> = None;
                 for (i, a) in arcs.iter().enumerate() {
                     let rc = a.cost + pot[a.from] - pot[a.to];
@@ -130,267 +610,225 @@ impl MinCostFlow {
                     }
                 }
                 let Some((e_idx, _)) = entering else {
-                    optimal = true;
                     break;
                 };
                 pivot(&mut arcs, e_idx, &parent, &depth);
                 rebuild_tree(&arcs, nn, root, &mut parent, &mut depth, &mut pot);
-                if pivots - batch_start >= PIVOT_BATCH {
-                    break;
+            }
+
+            for a in &arcs[first_artificial..] {
+                if a.flow > 0 {
+                    return Err(FlowError::Infeasible);
                 }
             }
-            retime_trace::counter("pivots", (pivots - batch_start) as u64);
+            let mut flows = Vec::with_capacity(self.arc_count());
+            let mut cost = 0i64;
+            for a in &arcs[..first_artificial] {
+                flows.push(a.flow);
+                cost += a.flow * a.cost;
+            }
+            pot.truncate(n);
+            Ok(FlowSolution {
+                cost,
+                flows,
+                potentials: pot,
+            })
         }
-        retime_trace::counter("pivots_total", pivots as u64);
-        drop(solve_span);
+    }
 
-        // Infeasibility: artificial arc still carrying flow.
-        for a in &arcs[first_artificial..] {
-            if a.flow > 0 {
-                return Err(FlowError::Infeasible);
+    /// Rebuilds parent pointers, depths, and potentials from the tree
+    /// arcs — the per-pivot `Vec<Vec>` rebuild the refactor removed.
+    fn rebuild_tree(
+        arcs: &[SArc],
+        nn: usize,
+        root: usize,
+        parent: &mut [Option<(usize, usize)>],
+        depth: &mut [usize],
+        pot: &mut [i64],
+    ) {
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nn];
+        for (i, a) in arcs.iter().enumerate() {
+            if a.state == ArcState::Tree {
+                adj[a.from].push((a.to, i));
+                adj[a.to].push((a.from, i));
             }
         }
-        let mut flows = Vec::with_capacity(self.arc_count());
-        let mut cost = 0i64;
-        for a in &arcs[..first_artificial] {
-            flows.push(a.flow);
-            cost += a.flow * a.cost;
-        }
-        pot.truncate(n);
-        Ok(FlowSolution {
-            cost,
-            flows,
-            potentials: pot,
-        })
-    }
-
-    /// The endpoints, capacity, and cost of a user arc (internal helper
-    /// for the simplex engine, which keeps its own arc table).
-    fn arc(&self, id: usize) -> (usize, usize, i64, i64) {
-        self.raw_arc(id)
-    }
-}
-
-/// Rebuilds parent pointers, depths, and potentials from the tree arcs.
-fn rebuild_tree(
-    arcs: &[SArc],
-    nn: usize,
-    root: usize,
-    parent: &mut [Option<(usize, usize)>],
-    depth: &mut [usize],
-    pot: &mut [i64],
-) {
-    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nn];
-    for (i, a) in arcs.iter().enumerate() {
-        if a.state == ArcState::Tree {
-            adj[a.from].push((a.to, i));
-            adj[a.to].push((a.from, i));
-        }
-    }
-    parent.iter_mut().for_each(|p| *p = None);
-    let mut seen = vec![false; nn];
-    let mut stack = vec![root];
-    seen[root] = true;
-    depth[root] = 0;
-    pot[root] = 0;
-    while let Some(u) = stack.pop() {
-        for &(v, ai) in &adj[u] {
-            if seen[v] {
-                continue;
+        parent.iter_mut().for_each(|p| *p = None);
+        let mut seen = vec![false; nn];
+        let mut stack = vec![root];
+        seen[root] = true;
+        depth[root] = 0;
+        pot[root] = 0;
+        while let Some(u) = stack.pop() {
+            for &(v, ai) in &adj[u] {
+                if seen[v] {
+                    continue;
+                }
+                seen[v] = true;
+                parent[v] = Some((u, ai));
+                depth[v] = depth[u] + 1;
+                let a = &arcs[ai];
+                pot[v] = if a.from == u {
+                    pot[u] + a.cost
+                } else {
+                    pot[u] - a.cost
+                };
+                stack.push(v);
             }
-            seen[v] = true;
-            parent[v] = Some((u, ai));
-            depth[v] = depth[u] + 1;
-            // Tree arcs have zero reduced cost: c + pot[from] - pot[to] = 0.
-            let a = &arcs[ai];
-            pot[v] = if a.from == u {
-                pot[u] + a.cost
+        }
+        debug_assert!(seen.iter().all(|&s| s), "basis must span all nodes");
+    }
+
+    fn pivot(arcs: &mut [SArc], e_idx: usize, parent: &[Option<(usize, usize)>], depth: &[usize]) {
+        let (push_from, push_to) = match arcs[e_idx].state {
+            ArcState::Lower => (arcs[e_idx].from, arcs[e_idx].to),
+            ArcState::Upper => (arcs[e_idx].to, arcs[e_idx].from),
+            ArcState::Tree => unreachable!("entering arc cannot be in the tree"),
+        };
+        let mut left: Vec<usize> = Vec::new();
+        let mut right: Vec<usize> = Vec::new();
+        let (mut a, mut b) = (push_from, push_to);
+        while depth[a] > depth[b] {
+            let (p, ai) = parent[a].expect("non-root has parent");
+            left.push(ai);
+            a = p;
+        }
+        while depth[b] > depth[a] {
+            let (p, ai) = parent[b].expect("non-root has parent");
+            right.push(ai);
+            b = p;
+        }
+        while a != b {
+            let (pa, ai) = parent[a].expect("non-root has parent");
+            let (pb, bi) = parent[b].expect("non-root has parent");
+            left.push(ai);
+            right.push(bi);
+            a = pa;
+            b = pb;
+        }
+        struct CycleArc {
+            idx: usize,
+            forward: bool,
+        }
+        let mut cycle: Vec<CycleArc> = Vec::new();
+        for &ai in left.iter().rev() {
+            cycle.push(CycleArc {
+                idx: ai,
+                forward: arc_points_down(arcs, ai, parent),
+            });
+        }
+        cycle.push(CycleArc {
+            idx: e_idx,
+            forward: true,
+        });
+        for &ai in right.iter() {
+            cycle.push(CycleArc {
+                idx: ai,
+                forward: !arc_points_down(arcs, ai, parent),
+            });
+        }
+        let mut delta = i64::MAX;
+        for ca in &cycle {
+            let arc = &arcs[ca.idx];
+            let room = if ca.forward {
+                if ca.idx == e_idx && arc.state == ArcState::Upper {
+                    arc.flow
+                } else {
+                    arc.cap - arc.flow
+                }
             } else {
-                pot[u] - a.cost
+                arc.flow
             };
-            stack.push(v);
+            delta = delta.min(room);
         }
-    }
-    debug_assert!(seen.iter().all(|&s| s), "basis must span all nodes");
-}
-
-/// One pivot: push flow around the cycle closed by the entering arc and
-/// swap arc states, using the strongly-feasible leaving rule.
-fn pivot(arcs: &mut [SArc], e_idx: usize, parent: &[Option<(usize, usize)>], depth: &[usize]) {
-    // Direction of flow increase along the entering arc.
-    let (push_from, push_to) = match arcs[e_idx].state {
-        ArcState::Lower => (arcs[e_idx].from, arcs[e_idx].to),
-        ArcState::Upper => (arcs[e_idx].to, arcs[e_idx].from),
-        ArcState::Tree => unreachable!("entering arc cannot be in the tree"),
-    };
-    // Collect the two tree paths to the apex (LCA).
-    let mut left: Vec<usize> = Vec::new(); // arcs from push_from up to apex
-    let mut right: Vec<usize> = Vec::new(); // arcs from push_to up to apex
-    let (mut a, mut b) = (push_from, push_to);
-    while depth[a] > depth[b] {
-        let (p, ai) = parent[a].expect("non-root has parent");
-        left.push(ai);
-        a = p;
-    }
-    while depth[b] > depth[a] {
-        let (p, ai) = parent[b].expect("non-root has parent");
-        right.push(ai);
-        b = p;
-    }
-    while a != b {
-        let (pa, ai) = parent[a].expect("non-root has parent");
-        let (pb, bi) = parent[b].expect("non-root has parent");
-        left.push(ai);
-        right.push(bi);
-        a = pa;
-        b = pb;
-    }
-    // The cycle, traversed in the push direction starting at the apex:
-    // apex -> (left reversed, descending to push_from) -> entering arc ->
-    // (right, ascending from push_to back to the apex).
-    // For each cycle arc record whether the push direction increases
-    // (forward) or decreases (backward) its flow.
-    struct CycleArc {
-        idx: usize,
-        forward: bool,
-    }
-    let mut cycle: Vec<CycleArc> = Vec::new();
-    // Descending the left path: we walk from apex toward push_from, which
-    // is the reverse of how `left` was collected. Walking downward along a
-    // tree arc means traversing it from parent to child; the push flows
-    // toward push_from... actually the push flows *up* from push_from to
-    // the apex is wrong: flow enters at push_to. Orient the push around
-    // the cycle: apex -> down left path -> push_from -> push_to -> up
-    // right path -> apex.
-    for &ai in left.iter().rev() {
-        // Walking from apex down toward push_from; the child is on the
-        // push_from side. The push direction here runs parent -> child.
-        // Arc stored as from->to; it is 'forward' if its direction agrees
-        // with the push (parent->child), i.e. if the arc's `to` is the
-        // child. The child of a tree arc is the endpoint whose parent
-        // entry references this arc.
-        cycle.push(CycleArc {
-            idx: ai,
-            forward: arc_points_down(arcs, ai, parent),
-        });
-    }
-    cycle.push(CycleArc {
-        idx: e_idx,
-        forward: true,
-    });
-    for &ai in right.iter() {
-        // Walking from push_to up toward the apex; push direction runs
-        // child -> parent, i.e. 'forward' if the arc's `to` is the parent.
-        cycle.push(CycleArc {
-            idx: ai,
-            forward: !arc_points_down(arcs, ai, parent),
-        });
-    }
-    // Wait: the push enters the tree at push_to and must travel up the
-    // right path to the apex, then down the left path to push_from. The
-    // cycle above was assembled in that orientation already: left-path
-    // arcs carry the push downward (apex -> push_from) only if the push
-    // leaves the apex toward push_from — but flow conservation around the
-    // cycle means the push direction through the left path is
-    // apex <- ... <- nothing; both orientations are equivalent as long as
-    // forward/backward flags are consistent with one fixed traversal.
-    //
-    // (The flags above use the traversal apex->push_from->push_to->apex,
-    // with the entering arc traversed from push_from to push_to.)
-
-    // Bottleneck: forward arcs can take cap - flow, backward arcs flow.
-    // The entering arc itself is forward.
-    let mut delta = i64::MAX;
-    for ca in &cycle {
-        let arc = &arcs[ca.idx];
-        let room = if ca.forward {
-            // The entering arc at Upper is traversed in its reverse
-            // direction; `forward` is relative to the push, so for a
-            // stored arc the room is below.
-            if ca.idx == e_idx && arc.state == ArcState::Upper {
-                arc.flow
+        let mut leaving: Option<usize> = None;
+        for ca in &cycle {
+            let arc = &arcs[ca.idx];
+            let room = if ca.forward {
+                if ca.idx == e_idx && arc.state == ArcState::Upper {
+                    arc.flow
+                } else {
+                    arc.cap - arc.flow
+                }
             } else {
-                arc.cap - arc.flow
-            }
-        } else {
-            arc.flow
-        };
-        delta = delta.min(room);
-    }
-    // Leaving arc: last blocking arc in cycle order (strong feasibility).
-    let mut leaving: Option<usize> = None;
-    for ca in &cycle {
-        let arc = &arcs[ca.idx];
-        let room = if ca.forward {
-            if ca.idx == e_idx && arc.state == ArcState::Upper {
                 arc.flow
-            } else {
-                arc.cap - arc.flow
+            };
+            if room == delta {
+                leaving = Some(ca.idx);
             }
-        } else {
-            arc.flow
-        };
-        if room == delta {
-            leaving = Some(ca.idx);
         }
-    }
-    let leaving = leaving.expect("a blocking arc always exists");
-    // Apply the push.
-    for ca in &cycle {
-        let upper_entering = ca.idx == e_idx && arcs[ca.idx].state == ArcState::Upper;
-        let arc = &mut arcs[ca.idx];
-        if ca.forward && !upper_entering {
-            arc.flow += delta;
-        } else {
-            arc.flow -= delta;
+        let leaving = leaving.expect("a blocking arc always exists");
+        for ca in &cycle {
+            let upper_entering = ca.idx == e_idx && arcs[ca.idx].state == ArcState::Upper;
+            let arc = &mut arcs[ca.idx];
+            if ca.forward && !upper_entering {
+                arc.flow += delta;
+            } else {
+                arc.flow -= delta;
+            }
         }
-    }
-    // State updates.
-    if leaving == e_idx {
-        // Degenerate bound swap: the entering arc flips bounds.
-        let arc = &mut arcs[e_idx];
-        arc.state = if arc.flow == 0 {
+        if leaving == e_idx {
+            let arc = &mut arcs[e_idx];
+            arc.state = if arc.flow == 0 {
+                ArcState::Lower
+            } else {
+                ArcState::Upper
+            };
+            return;
+        }
+        let leave_state = if arcs[leaving].flow == 0 {
             ArcState::Lower
         } else {
             ArcState::Upper
         };
-        return;
+        arcs[leaving].state = leave_state;
+        arcs[e_idx].state = ArcState::Tree;
     }
-    let leave_state = if arcs[leaving].flow == 0 {
-        ArcState::Lower
-    } else {
-        ArcState::Upper
-    };
-    arcs[leaving].state = leave_state;
-    arcs[e_idx].state = ArcState::Tree;
-}
 
-/// Whether tree arc `ai` is oriented parent→child (its head is the child).
-fn arc_points_down(arcs: &[SArc], ai: usize, parent: &[Option<(usize, usize)>]) -> bool {
-    let a = &arcs[ai];
-    matches!(parent[a.to], Some((_, pai)) if pai == ai)
+    fn arc_points_down(arcs: &[SArc], ai: usize, parent: &[Option<(usize, usize)>]) -> bool {
+        let a = &arcs[ai];
+        matches!(parent[a.to], Some((_, pai)) if pai == ai)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const ALL_RULES: [PivotRuleKind; 4] = [
+        PivotRuleKind::Auto,
+        PivotRuleKind::FirstEligible,
+        PivotRuleKind::BlockSearch,
+        PivotRuleKind::CandidateList,
+    ];
+
     fn assert_engines_agree(p: &MinCostFlow) {
         let ssp = p.solve().expect("ssp solves");
-        let nsx = p.solve_network_simplex().expect("simplex solves");
-        assert_eq!(ssp.cost, nsx.cost, "engines must agree on the optimum");
-        // Simplex flows must satisfy conservation too.
-        let mut excess = vec![0i64; p.node_count()];
-        for a in 0..p.arc_count() {
-            let (from, to, cap, _) = p.raw_arc(a);
-            let f = nsx.flows[a];
-            assert!(f >= 0 && f <= cap);
-            excess[to] += f;
-            excess[from] -= f;
+        for kind in ALL_RULES {
+            let nsx = p
+                .solve_network_simplex_with(kind)
+                .expect("simplex solves under every pivot rule");
+            assert_eq!(
+                ssp.cost, nsx.cost,
+                "engines must agree on the optimum ({kind:?})"
+            );
+            // Simplex flows must satisfy conservation too.
+            let mut excess = vec![0i64; p.node_count()];
+            for a in 0..p.arc_count() {
+                let (from, to, cap, _) = p.raw_arc(a);
+                let f = nsx.flows[a];
+                assert!(f >= 0 && f <= cap);
+                excess[to] += f;
+                excess[from] -= f;
+            }
+            for (v, &e) in excess.iter().enumerate() {
+                assert_eq!(e, p.demand(v), "conservation at node {v} ({kind:?})");
+            }
         }
-        for (v, &e) in excess.iter().enumerate() {
-            assert_eq!(e, p.demand(v), "conservation at node {v}");
-        }
+        let old = p
+            .solve_network_simplex_prerefactor()
+            .expect("prerefactor baseline solves");
+        assert_eq!(ssp.cost, old.cost, "prerefactor baseline agrees");
     }
 
     #[test]
@@ -434,7 +872,12 @@ mod tests {
         p.add_arc(1, 2, 10, 1);
         p.set_demand(0, -5);
         p.set_demand(2, 5);
-        assert_eq!(p.solve_network_simplex(), Err(FlowError::Infeasible));
+        for kind in ALL_RULES {
+            assert_eq!(
+                p.solve_network_simplex_with(kind),
+                Err(FlowError::Infeasible)
+            );
+        }
     }
 
     #[test]
@@ -483,11 +926,15 @@ mod tests {
             }
             p.set_demand(n - 1, -total);
             let ssp = p.solve();
-            let nsx = p.solve_network_simplex();
-            match (ssp, nsx) {
-                (Ok(a), Ok(b)) => assert_eq!(a.cost, b.cost, "case {case}"),
-                (Err(FlowError::Infeasible), Err(FlowError::Infeasible)) => {}
-                (a, b) => panic!("case {case}: engines disagree: {a:?} vs {b:?}"),
+            for kind in ALL_RULES {
+                let nsx = p.solve_network_simplex_with(kind);
+                match (&ssp, nsx) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.cost, b.cost, "case {case} ({kind:?})");
+                    }
+                    (Err(FlowError::Infeasible), Err(FlowError::Infeasible)) => {}
+                    (a, b) => panic!("case {case} ({kind:?}): engines disagree: {a:?} vs {b:?}"),
+                }
             }
         }
     }

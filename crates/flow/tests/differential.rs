@@ -4,16 +4,20 @@
 //! arc by arc, capacities are the planned flow plus slack, and node
 //! demands are exactly the planned flow's excess. The production
 //! engines — primal-dual SSP ([`MinCostFlow::solve`]) and the network
-//! simplex — are then cross-checked against the deliberately simple
-//! reference solver ([`MinCostFlow::solve_reference`]): all three must
-//! agree on the objective, and every returned solution must satisfy
-//! capacity bounds, flow conservation against the stored demands, the
-//! reported cost, and complementary slackness with its own potentials.
+//! simplex under **every pivot rule** (first-eligible, block search,
+//! candidate list) — are then cross-checked against the deliberately
+//! simple reference solver ([`MinCostFlow::solve_reference`]): all
+//! engines must agree on the objective, and every returned solution
+//! must pass the verifier's full certificate check
+//! ([`retime_verify::check_flow_solution`]: capacity bounds, flow
+//! conservation against the stored demands, cost recomputation, and
+//! complementary slackness with its own potentials).
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use retime_flow::{ArcId, FlowSolution, MinCostFlow};
+use retime_flow::{FlowSolution, MinCostFlow, PivotRuleKind};
+use retime_verify::check_flow_solution;
 
 /// Builds a random feasible instance from scalar parameters.
 ///
@@ -50,60 +54,28 @@ fn random_instance(nodes: usize, arcs: usize, dag_negative: bool, seed: u64) -> 
     p
 }
 
-/// Primal and dual sanity of one engine's answer: capacity bounds,
-/// conservation against the instance demands, cost recomputation, and
-/// complementary slackness between the flows and the potentials.
+/// Full primal/dual certificate of one engine's answer, delegated to
+/// the verifier crate's checker — the same audit `RETIME_VERIFY=1`
+/// applies to table outcomes.
 fn check_solution(p: &MinCostFlow, sol: &FlowSolution, engine: &str) {
-    assert_eq!(
-        sol.flows.len(),
-        p.arc_count(),
-        "{engine}: flow vector length"
-    );
-    assert_eq!(
-        sol.potentials.len(),
-        p.node_count(),
-        "{engine}: potential vector length"
-    );
-    let mut excess = vec![0i64; p.node_count()];
-    let mut cost = 0i64;
-    for (a, &f) in sol.flows.iter().enumerate() {
-        let (from, to, cap, arc_cost) = p.arc_info(ArcId(a));
-        assert!(
-            (0..=cap).contains(&f),
-            "{engine}: arc {a} flow {f} outside [0, {cap}]"
-        );
-        excess[to] += f;
-        excess[from] -= f;
-        cost += f * arc_cost;
-        let dual_gain = sol.potentials[to] - sol.potentials[from];
-        if f < cap {
-            assert!(
-                dual_gain <= arc_cost,
-                "{engine}: arc {a} unsaturated but dual gain {dual_gain} > cost {arc_cost}"
-            );
-        }
-        if f > 0 {
-            assert!(
-                dual_gain >= arc_cost,
-                "{engine}: arc {a} carries flow but dual gain {dual_gain} < cost {arc_cost}"
-            );
-        }
+    if let Err(err) = check_flow_solution(p, sol) {
+        panic!("{engine}: certificate rejected: {err}");
     }
-    for (v, &net) in excess.iter().enumerate() {
-        assert_eq!(
-            net,
-            p.demand(v),
-            "{engine}: conservation violated at node {v}"
-        );
-    }
-    assert_eq!(cost, sol.cost, "{engine}: reported cost mismatch");
 }
+
+/// The concrete pivot rules the simplex portfolio offers.
+const PIVOT_RULES: [PivotRuleKind; 3] = [
+    PivotRuleKind::FirstEligible,
+    PivotRuleKind::BlockSearch,
+    PivotRuleKind::CandidateList,
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// All three engines solve every feasible instance, agree on the
-    /// objective value, and return primally/dually consistent answers.
+    /// Every engine — fast SSP, the simplex under all three pivot rules,
+    /// and the reference — solves every feasible instance, agrees on the
+    /// objective value, and returns a certifiable answer.
     #[test]
     fn engines_agree_on_random_instances(
         nodes in 2usize..12,
@@ -112,17 +84,24 @@ proptest! {
         dag_negative in any::<bool>(),
     ) {
         let p = random_instance(nodes, arcs, dag_negative, seed);
-        let fast = p.solve().expect("primal-dual SSP solves a feasible instance");
-        let simplex = p
-            .solve_network_simplex()
-            .expect("network simplex solves a feasible instance");
         let reference = p
             .solve_reference()
             .expect("reference SSP solves a feasible instance");
-        prop_assert_eq!(fast.cost, reference.cost, "fast SSP vs reference objective");
-        prop_assert_eq!(simplex.cost, reference.cost, "simplex vs reference objective");
-        check_solution(&p, &fast, "fast SSP");
-        check_solution(&p, &simplex, "network simplex");
         check_solution(&p, &reference, "reference SSP");
+        let fast = p.solve().expect("primal-dual SSP solves a feasible instance");
+        prop_assert_eq!(fast.cost, reference.cost, "fast SSP vs reference objective");
+        check_solution(&p, &fast, "fast SSP");
+        for rule in PIVOT_RULES {
+            let simplex = p
+                .solve_network_simplex_with(rule)
+                .expect("network simplex solves a feasible instance");
+            prop_assert_eq!(
+                simplex.cost,
+                reference.cost,
+                "simplex ({:?}) vs reference objective",
+                rule
+            );
+            check_solution(&p, &simplex, &format!("network simplex ({rule:?})"));
+        }
     }
 }

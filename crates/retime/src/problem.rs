@@ -29,7 +29,10 @@ pub enum SolverEngine {
     /// (the default: robust and polynomial).
     MinCostFlow,
     /// Network simplex on the same dual — the algorithm class the paper
-    /// uses via Gurobi.
+    /// uses via Gurobi. Pricing comes from the pivot-rule portfolio in
+    /// `retime_flow::pivot` (size-based automatic selection; the
+    /// `RETIME_PIVOT` environment variable overrides it). Every rule
+    /// reaches the same optimal objective.
     NetworkSimplex,
     /// Max-weight closure via min-cut — exploits the binary structure of
     /// `r(v) ∈ {−1, 0}`; used as an independent exactness oracle.
@@ -304,7 +307,19 @@ impl RetimingProblem {
         })
     }
 
-    fn solve_via_flow(&self, engine: SolverEngine) -> Result<Vec<i64>, RetimeError> {
+    /// The Eq. (14) min-cost-flow dual of this instance: uncapacitated
+    /// arcs for the (modified) retiming edges, bound edges of \[24\]
+    /// against the host, and objective coefficients (movement penalty
+    /// folded in) as node demands.
+    ///
+    /// This is the single encoding every flow engine consumes —
+    /// [`RetimingProblem::solve`] builds it once per call, and external
+    /// tooling (benchmarks, the verifier's re-solve path) can build the
+    /// identical instance to probe engines or audit certificates. The
+    /// returned problem freezes its CSR arena on first solve, so solving
+    /// it repeatedly under several engines or pivot rules reuses one
+    /// adjacency build.
+    pub fn flow_instance(&self) -> MinCostFlow {
         let n = self.kinds.len();
         let mut flow = MinCostFlow::new(n);
         for e in &self.edges {
@@ -330,6 +345,12 @@ impl RetimingProblem {
             flow.set_demand(v, self.coef(v) + adj);
         }
         flow.add_demand(self.host, host_extra);
+        flow
+    }
+
+    fn solve_via_flow(&self, engine: SolverEngine) -> Result<Vec<i64>, RetimeError> {
+        let n = self.kinds.len();
+        let flow = self.flow_instance();
         let sol = match engine {
             SolverEngine::MinCostFlow => flow.solve(),
             SolverEngine::NetworkSimplex => flow.solve_network_simplex(),
@@ -711,6 +732,28 @@ w = BUFF(b)
                 (sol.cut.slave_count(&cloud) as i64) * BREADTH_SCALE,
                 "objective must equal the shared latch count ({engine:?})"
             );
+        }
+    }
+
+    #[test]
+    fn flow_instance_agrees_across_engines_and_pivot_rules() {
+        use retime_flow::PivotRuleKind;
+        // The public flow encoding, solved directly: every engine and
+        // every simplex pivot rule reaches the objective the pipeline's
+        // own solve reports, reusing one frozen CSR across the probes.
+        let (cloud, regions) = setup(RECONVERGE, 100.0);
+        let prob = RetimingProblem::build(&cloud, &regions);
+        let flow = prob.flow_instance();
+        let ssp = flow.solve().unwrap();
+        let reference = flow.solve_reference().unwrap();
+        assert_eq!(ssp.cost, reference.cost);
+        for rule in [
+            PivotRuleKind::FirstEligible,
+            PivotRuleKind::BlockSearch,
+            PivotRuleKind::CandidateList,
+        ] {
+            let nsx = flow.solve_network_simplex_with(rule).unwrap();
+            assert_eq!(ssp.cost, nsx.cost, "{rule:?} objective");
         }
     }
 }

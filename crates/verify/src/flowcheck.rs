@@ -99,11 +99,19 @@ mod tests {
     }
 
     #[test]
-    fn accepts_both_engines() {
+    fn accepts_every_engine_and_pivot_rule() {
+        use retime_flow::PivotRuleKind;
         let p = diamond();
         check_flow_solution(&p, &p.solve().unwrap()).unwrap();
         check_flow_solution(&p, &p.solve_reference().unwrap()).unwrap();
         check_flow_solution(&p, &p.solve_network_simplex().unwrap()).unwrap();
+        for rule in [
+            PivotRuleKind::FirstEligible,
+            PivotRuleKind::BlockSearch,
+            PivotRuleKind::CandidateList,
+        ] {
+            check_flow_solution(&p, &p.solve_network_simplex_with(rule).unwrap()).unwrap();
+        }
     }
 
     #[test]

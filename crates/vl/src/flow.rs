@@ -51,7 +51,10 @@ pub struct VlConfig {
     /// paper reports all results with it on; turning it off reproduces
     /// the "−0.36 % improvement" failure mode it fixes.
     pub post_swap: bool,
-    /// Solver engine for the tool's min-area retiming.
+    /// Solver engine for the tool's min-area retiming. Problems route
+    /// through [`RetimingProblem::flow_instance`], so every engine sees
+    /// one shared CSR arc arena; the network-simplex engine additionally
+    /// honours the `RETIME_PIVOT` pivot-rule override.
     pub engine: SolverEngine,
     /// Worker threads for the classification fan-out: `0` = auto
     /// (`RETIME_THREADS` or the machine's parallelism), `1` = the
