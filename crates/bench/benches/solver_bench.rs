@@ -1,17 +1,25 @@
-//! Cold-solve cost of the CSR network-simplex core across pivot rules.
+//! Cold-solve cost of the CSR network-simplex core across pivot rules,
+//! plus the warm-start payoff of the parametric sweep layer.
 //!
-//! Every measurement is a *cold* solve: a fresh [`MinCostFlow`] is taken
-//! from [`RetimingProblem::flow_instance`] each round, so the timing
-//! includes the CSR arena freeze — the number a user pays on a first
-//! solve, not a cache-warm re-probe.
+//! Cold measurements take a fresh [`MinCostFlow`] from
+//! [`RetimingProblem::flow_instance`] each round, so the timing includes
+//! the CSR arena freeze — the number a user pays on a first solve.
+//! Warm measurements time **only the re-solves**: one
+//! [`retime_retime::RetimingSweep`] is primed outside the timed region
+//! and then driven through the probe schedule, never rebuilding the
+//! instance — the number an overhead sweep or period search pays per
+//! probe after the first.
 //!
 //! `--json` compares the three pivot rules on three suite circuits of
 //! increasing size (s1423, s13207, s35932), measures the s35932
 //! cold-solve wall clock of the new engine against the kept-verbatim
 //! pre-refactor simplex (Dantzig pricing, full tree rebuild per pivot),
-//! writes `BENCH_solver.json`, and asserts the refactor is actually
-//! faster (speedup > 1). Every objective is cross-checked across rules
-//! and against the primal-dual SSP on the way. The criterion path
+//! runs the c-sweep + period-search probe schedule warm vs cold, writes
+//! `BENCH_solver.json`, and asserts both that the refactor is actually
+//! faster (speedup > 1) and that the warm sweep lands under 40% of the
+//! cold-per-probe total on s35932. Every objective is cross-checked
+//! across rules, against the primal-dual SSP, and (for warm probes)
+//! against an independent cold solve on the way. The criterion path
 //! samples the same rules on s1423 so an interactive `cargo bench`
 //! stays quick.
 
@@ -19,10 +27,11 @@ use std::time::Instant;
 
 use criterion::{criterion_group, Criterion};
 use retime_circuits::paper_suite;
-use retime_flow::{MinCostFlow, PivotRuleKind};
+use retime_flow::{MinCostFlow, PivotRuleKind, WarmMode};
 use retime_liberty::Library;
-use retime_retime::{Regions, RetimingProblem};
-use retime_sta::{DelayModel, TimingAnalysis};
+use retime_netlist::CombCloud;
+use retime_retime::{Regions, RetimingProblem, SolverEngine, BREADTH_SCALE};
+use retime_sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
 
 /// Rounds per measurement in `--json` mode (min is reported).
 const ROUNDS: usize = 3;
@@ -34,8 +43,18 @@ const RULES: [(&str, PivotRuleKind); 3] = [
     ("candidates", PivotRuleKind::CandidateList),
 ];
 
+/// A suite circuit's Eq. 14 min-area retiming problem plus everything
+/// the warm-sweep rows need to derive probe states (the cloud for
+/// pseudo targets, the calibrated clock for period re-binds).
+struct ProblemSetup {
+    problem: RetimingProblem,
+    cloud: CombCloud,
+    clock: TwoPhaseClock,
+    lib: Library,
+}
+
 /// Builds the Eq. 14 min-area retiming problem for a suite circuit.
-fn build_problem(name: &str) -> RetimingProblem {
+fn build_setup(name: &str) -> ProblemSetup {
     let lib = Library::fdsoi28();
     let spec = paper_suite()
         .into_iter()
@@ -47,7 +66,13 @@ fn build_problem(name: &str) -> RetimingProblem {
         .expect("calibrates");
     let sta = TimingAnalysis::new(&circuit.cloud, &lib, clock, DelayModel::PathBased).expect("sta");
     let regions = Regions::compute(&sta).expect("regions");
-    RetimingProblem::build(&circuit.cloud, &regions)
+    let problem = RetimingProblem::build(&circuit.cloud, &regions);
+    ProblemSetup {
+        problem,
+        cloud: circuit.cloud,
+        clock,
+        lib,
+    }
 }
 
 /// Minimum wall clock of `f` over `rounds` runs, in milliseconds.
@@ -68,8 +93,111 @@ fn cold_solve(problem: &RetimingProblem, rule: PivotRuleKind) -> i64 {
     flow.solve_network_simplex_with(rule).expect("solves").cost
 }
 
+/// The c-sweep + period-search probe schedule: three period re-binds
+/// (cost-only changes, the shape of a binary period search) followed by
+/// the `c / 2, c, 2c` EDL overhead re-pricings (demand-only changes).
+/// Applies each mutation to `problem` and calls `solve` — six probes.
+fn run_probe_schedule(
+    problem: &mut RetimingProblem,
+    pseudo: usize,
+    periods: &[Regions],
+    mut solve: impl FnMut(&RetimingProblem),
+) {
+    for regions in periods {
+        problem.rebind_regions(regions);
+        solve(problem);
+    }
+    for c_scaled in [BREADTH_SCALE / 2, BREADTH_SCALE, 2 * BREADTH_SCALE] {
+        problem.set_pseudo_overhead(pseudo, c_scaled);
+        solve(problem);
+    }
+}
+
+/// Warm-vs-cold sweep measurement on one circuit. The problem gets a
+/// resiliency pseudo target (so the overhead probes actually move
+/// demands, exactly like G-RAR's `c` sweep) and period regions at
+/// relaxed clocks; then the six-probe schedule is timed twice:
+///
+/// * **cold**: every probe pays a fresh `flow_instance()` build plus a
+///   from-scratch simplex solve — the pre-warm-start per-probe cost;
+/// * **warm**: a [`retime_retime::RetimingSweep`] is primed *outside*
+///   the timed region and each probe only pays the basis repair
+///   (simplex resume for cost probes, SSP delta-route for demand
+///   probes) — never an instance rebuild.
+///
+/// Every warm probe is cross-checked against an independent cold solve
+/// before any timing happens.
+fn sweep_ms(setup: &mut ProblemSetup, circuit: &str) -> (f64, f64) {
+    let gates: Vec<_> = setup.cloud.sinks().iter().take(2).copied().collect();
+    let pseudo = setup.problem.add_pseudo_target(&gates, BREADTH_SCALE);
+    let periods: Vec<Regions> = [1.5, 1.25, 1.1]
+        .iter()
+        .map(|scale| {
+            let sta = TimingAnalysis::new(
+                &setup.cloud,
+                &setup.lib,
+                TwoPhaseClock::from_max_delay(setup.clock.max_path_delay() * scale),
+                DelayModel::PathBased,
+            )
+            .expect("probe sta");
+            Regions::compute(&sta).expect("probe regions")
+        })
+        .collect();
+
+    // Correctness gate: every warm probe must land on the cold optimum.
+    let mut check = setup
+        .problem
+        .parametric_sweep_with(WarmMode::On, PivotRuleKind::Auto);
+    run_probe_schedule(&mut setup.problem, pseudo, &periods, |p| {
+        let warm = check.solve_for(p).expect("warm probe solves");
+        let cold = p
+            .solve(SolverEngine::NetworkSimplex)
+            .expect("cold probe solves");
+        assert_eq!(
+            warm.objective_scaled, cold.objective_scaled,
+            "{circuit}: warm probe diverged from cold"
+        );
+    });
+    drop(check);
+
+    let mut cold_best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        run_probe_schedule(&mut setup.problem, pseudo, &periods, |p| {
+            std::hint::black_box(
+                p.flow_instance()
+                    .solve_network_simplex()
+                    .expect("solves")
+                    .cost,
+            );
+        });
+        cold_best = cold_best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let mut warm_best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let mut sweep = setup
+            .problem
+            .parametric_sweep_with(WarmMode::On, PivotRuleKind::Auto);
+        // Prime the basis outside the timed region: warm rows measure
+        // only the re-solves, never the instance build.
+        sweep.solve_for(&setup.problem).expect("prime solves");
+        let t0 = Instant::now();
+        run_probe_schedule(&mut setup.problem, pseudo, &periods, |p| {
+            std::hint::black_box(sweep.solve_for(p).expect("warm probe solves"));
+        });
+        warm_best = warm_best.min(t0.elapsed().as_secs_f64() * 1e3);
+        let stats = sweep.stats();
+        assert_eq!(
+            stats.cold_solves, 1,
+            "{circuit}: a timed probe fell back to a cold solve"
+        );
+    }
+    (cold_best, warm_best)
+}
+
 fn bench_pivot_rules(c: &mut Criterion) {
-    let problem = build_problem("s1423");
+    let problem = build_setup("s1423").problem;
     let mut group = c.benchmark_group("simplex_cold_solve_s1423");
     group.sample_size(10);
     for (name, rule) in RULES {
@@ -93,17 +221,19 @@ fn bench_pivot_rules(c: &mut Criterion) {
 fn run_json() {
     let mut circuit_entries = Vec::new();
     let mut s35932_auto = f64::NAN;
+    let mut s35932_sweep = (f64::NAN, f64::NAN);
     for circuit in ["s1423", "s13207", "s35932"] {
-        let problem = build_problem(circuit);
+        let mut setup = build_setup(circuit);
+        let problem = &setup.problem;
         let probe = problem.flow_instance();
         let (nodes, arcs) = (probe.node_count(), probe.arc_count());
         let expected = probe.solve().expect("SSP solves").cost;
 
         let mut fields = String::new();
         for (name, rule) in RULES {
-            let cost = cold_solve(&problem, rule);
+            let cost = cold_solve(problem, rule);
             assert_eq!(cost, expected, "{circuit}: {name} disagrees with SSP");
-            let ms = time_min_ms(ROUNDS, || cold_solve(&problem, rule));
+            let ms = time_min_ms(ROUNDS, || cold_solve(problem, rule));
             fields.push_str(&format!("\"{name}_ms\": {ms:.3}, "));
         }
         // The production entry point (auto selection / `RETIME_PIVOT`).
@@ -117,15 +247,25 @@ fn run_json() {
         if circuit == "s35932" {
             s35932_auto = auto_ms;
         }
+        // Warm-start payoff on the c-sweep + period-search schedule
+        // (mutates the problem, so it runs after the cold rows).
+        let (cold_sweep_ms, warm_sweep_ms) = sweep_ms(&mut setup, circuit);
+        let warm_speedup = cold_sweep_ms / warm_sweep_ms;
+        if circuit == "s35932" {
+            s35932_sweep = (cold_sweep_ms, warm_sweep_ms);
+        }
         circuit_entries.push(format!(
             "    {{\"circuit\": \"{circuit}\", \"nodes\": {nodes}, \"arcs\": {arcs}, \
-             {fields}\"auto_ms\": {auto_ms:.3}, \"cost\": {expected}}}"
+             {fields}\"auto_ms\": {auto_ms:.3}, \
+             \"cold_sweep_ms\": {cold_sweep_ms:.3}, \
+             \"warm_sweep_ms\": {warm_sweep_ms:.3}, \
+             \"warm_speedup\": {warm_speedup:.3}, \"cost\": {expected}}}"
         ));
         eprintln!("{circuit}: measured ({nodes} nodes, {arcs} arcs)");
     }
 
     // Pre-refactor baseline on the stress case, same cold protocol.
-    let problem = build_problem("s35932");
+    let problem = build_setup("s35932").problem;
     let expected = problem.flow_instance().solve().expect("SSP solves").cost;
     let prerefactor_ms = time_min_ms(ROUNDS, || {
         let sol = problem
@@ -136,12 +276,17 @@ fn run_json() {
         sol.cost
     });
     let speedup = prerefactor_ms / s35932_auto;
+    let (s35932_cold_sweep, s35932_warm_sweep) = s35932_sweep;
+    let warm_ratio = s35932_warm_sweep / s35932_cold_sweep;
 
     let json = format!(
         "{{\n  \"rounds\": {ROUNDS},\n  \"circuits\": [\n{}\n  ],\n  \
          \"s35932_cold_ms\": {s35932_auto:.3},\n  \
          \"s35932_prerefactor_ms\": {prerefactor_ms:.3},\n  \
-         \"s35932_speedup\": {speedup:.3}\n}}\n",
+         \"s35932_speedup\": {speedup:.3},\n  \
+         \"s35932_cold_sweep_ms\": {s35932_cold_sweep:.3},\n  \
+         \"s35932_warm_sweep_ms\": {s35932_warm_sweep:.3},\n  \
+         \"s35932_warm_ratio\": {warm_ratio:.3}\n}}\n",
         circuit_entries.join(",\n")
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -153,6 +298,11 @@ fn run_json() {
         speedup > 1.0,
         "CSR simplex ({s35932_auto:.3} ms) is not faster than the \
          pre-refactor engine ({prerefactor_ms:.3} ms) on s35932"
+    );
+    assert!(
+        warm_ratio < 0.4,
+        "warm c-sweep + period search on s35932 ({s35932_warm_sweep:.3} ms) \
+         is not under 40% of the cold-per-probe total ({s35932_cold_sweep:.3} ms)"
     );
 }
 

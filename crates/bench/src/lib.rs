@@ -35,13 +35,18 @@
 use std::time::Instant;
 
 use retime_circuits::{paper_suite, SuiteCircuit};
-use retime_core::{grar, GrarConfig, GrarReport};
+use retime_core::{grar, grar_with_sweep, GrarConfig, GrarReport};
 use retime_liberty::{EdlOverhead, Library};
 use retime_netlist::{CombCloud, Netlist};
-use retime_retime::{base_retime, flop_design_area, AreaModel, RetimeError, RetimeOutcome};
+use retime_retime::{
+    base_retime, base_retime_sweep, flop_design_area, AreaModel, RetimeError, RetimeOutcome,
+    RetimingSweep,
+};
 use retime_sta::{DelayModel, TwoPhaseClock};
-use retime_verify::{verify_certificate, FlowKind, VerifyOptions, VerifySetup};
-use retime_vl::{vl_retime, VlConfig, VlReport, VlVariant};
+use retime_verify::{
+    check_warm_solution, verify_certificate, FlowKind, VerifyOptions, VerifySetup,
+};
+use retime_vl::{vl_retime, vl_retime_with_sweep, VlConfig, VlReport, VlVariant};
 
 /// A suite circuit with its calibrated clock.
 pub struct BenchCase {
@@ -308,6 +313,111 @@ pub fn run_approaches(
     Ok(Approaches { base, rvl, grar: g })
 }
 
+/// Per-flow warm-start slots carried across an overhead sweep on one
+/// case. Each flow re-solves the *same* Eq. 14 instance per `c` — only
+/// demands (G-RAR's pseudo overhead) or nothing at all (base/RVL, whose
+/// cuts don't depend on `c`) change between probes — so one primed
+/// [`RetimingSweep`] per flow turns the sweep's repeat solves into
+/// warm hits or delta re-routes instead of cold re-primes.
+#[derive(Default)]
+pub struct WarmSlots {
+    /// Base retiming's instance.
+    pub base: Option<RetimingSweep>,
+    /// RVL-RAR's instance.
+    pub rvl: Option<RetimingSweep>,
+    /// G-RAR's instance.
+    pub grar: Option<RetimingSweep>,
+}
+
+impl WarmSlots {
+    /// Aggregate sweep counters across the three flows' primed slots.
+    pub fn stats(&self) -> retime_flow::SweepStats {
+        let mut total = retime_flow::SweepStats::default();
+        for slot in [&self.base, &self.rvl, &self.grar] {
+            let Some(sweep) = slot else { continue };
+            let s = sweep.stats();
+            total.warm_hits += s.warm_hits;
+            total.cost_resumes += s.cost_resumes;
+            total.demand_deltas += s.demand_deltas;
+            total.cold_solves += s.cold_solves;
+            total.repair_pivots += s.repair_pivots;
+        }
+        total
+    }
+
+    /// Certifies every primed slot's most recent warm flow solution
+    /// against an independent cold solve of the same instance
+    /// ([`check_warm_solution`]): the warm result must be a *proven*
+    /// optimum (bounds, conservation, cost recount, complementary
+    /// slackness) with the cold objective.
+    ///
+    /// # Errors
+    /// Surfaces [`retime_verify::VerifyError::WarmStartMismatch`] as an
+    /// internal flow error naming the offending flow.
+    pub fn certify(&self) -> Result<(), RetimeError> {
+        for (label, slot) in [
+            ("base", &self.base),
+            ("rvl", &self.rvl),
+            ("grar", &self.grar),
+        ] {
+            let Some(sweep) = slot else { continue };
+            let Some(warm) = sweep.warm_solution() else {
+                continue;
+            };
+            let cold = sweep
+                .flow()
+                .solve_reference()
+                .map_err(|e| RetimeError::Internal(format!("{label} warm reference solve: {e}")))?;
+            check_warm_solution(sweep.flow(), warm, &cold).map_err(|e| {
+                RetimeError::Internal(format!("{label} warm certificate rejected: {e}"))
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// [`run_approaches`] with warm-start slots threaded through all three
+/// flows — the overhead-sweep call sites (Table IV, the serve worker)
+/// keep one [`WarmSlots`] per case so consecutive `c` probes resume the
+/// previous basis instead of re-priming from scratch. With
+/// `RETIME_VERIFY=1` every warm flow solution is additionally certified
+/// against an independent cold solve before the row is accepted.
+///
+/// # Errors
+/// Propagates flow failures, rejected certificates, and warm/cold
+/// mismatches.
+pub fn run_approaches_with(
+    case: &BenchCase,
+    lib: &Library,
+    c: EdlOverhead,
+    slots: &mut WarmSlots,
+) -> Result<Approaches, RetimeError> {
+    let cloud = &case.circuit.cloud;
+    let mut base = base_retime_sweep(
+        cloud,
+        lib,
+        case.clock,
+        DelayModel::PathBased,
+        c,
+        &mut slots.base,
+    )?;
+    let mut rvl = vl_retime_with_sweep(
+        cloud,
+        lib,
+        case.clock,
+        &VlConfig::new(VlVariant::Rvl, c),
+        &mut slots.rvl,
+    )?;
+    let mut g = grar_with_sweep(cloud, lib, case.clock, &GrarConfig::new(c), &mut slots.grar)?;
+    if verify_enabled() {
+        Certification::of_case(case, c, FlowKind::Base, "base").run(lib, &mut base)?;
+        Certification::of_case(case, c, FlowKind::Vl, "rvl").run(lib, &mut rvl.outcome)?;
+        Certification::of_case(case, c, FlowKind::Grar, "grar").run(lib, &mut g.outcome)?;
+        slots.certify()?;
+    }
+    Ok(Approaches { base, rvl, grar: g })
+}
+
 /// Runs all three flows on every case in parallel (`RETIME_THREADS` caps
 /// the fan-out). The result vector is index-aligned with `cases`, so
 /// table output order is deterministic regardless of thread count.
@@ -369,8 +479,9 @@ pub fn table4_row(case: &BenchCase, lib: &Library) -> (Vec<String>, [f64; 3], [f
     let mut row = vec![case.circuit.spec.name.to_string()];
     let mut rvl_impr = [0.0f64; 3];
     let mut g_impr = [0.0f64; 3];
+    let mut slots = WarmSlots::default();
     for (k, c) in EdlOverhead::SWEEP.into_iter().enumerate() {
-        let a = run_approaches(case, lib, c).expect("flows run");
+        let a = run_approaches_with(case, lib, c, &mut slots).expect("flows run");
         let base = a.base.seq.total();
         let rvl = a.rvl.outcome.seq.total();
         let g = a.grar.outcome.seq.total();

@@ -23,7 +23,7 @@ use std::sync::Mutex;
 
 use retime_bench::{build_case, map_cases, table1_row, table4_row, BenchCase};
 use retime_circuits::{paper_suite, Fig4};
-use retime_core::{grar, GrarConfig};
+use retime_core::{grar, grar_with_sweep, GrarConfig};
 use retime_liberty::{EdlOverhead, Library};
 use retime_retime::{AreaModel, SolverEngine};
 use retime_sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
@@ -162,6 +162,43 @@ fn fig4_grar_simplex_trace_matches_golden_structure() {
     assert_eq!(check.events, records.len());
 
     check_golden("fig4_trace_simplex.txt", &structure(&records));
+}
+
+#[test]
+fn fig4_warm_sweep_trace_matches_golden_structure() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let fig = Fig4::new();
+    let lib = Library::fdsoi28();
+    let clock = feasible_clock(&fig.cloud, &lib);
+    // The overhead sweep through one persistent warm slot: the first
+    // probe primes the basis cold, the re-spins go through `solve_warm`
+    // — the golden pins the dispatch (`path` attribute / `warm_hits`
+    // counter) and, on repaired probes, the `rule` / `repair_pivots`
+    // counters of the resumed simplex.
+    let mut slot = None;
+    let (_, records) = with_tracing(|| {
+        for c in EdlOverhead::SWEEP {
+            grar_with_sweep(
+                &fig.cloud,
+                &lib,
+                clock,
+                &GrarConfig::new(c).with_threads(1),
+                &mut slot,
+            )
+            .expect("grar warm sweep on fig4");
+        }
+    });
+    assert!(!records.is_empty(), "the traced sweep recorded no spans");
+    assert!(
+        records.iter().any(|r| r.name == "solve_warm"),
+        "re-spins must route through the warm solver"
+    );
+
+    let text = retime_trace::chrome_trace(&records);
+    let check = retime_trace::check_chrome_trace(&text).expect("export validates");
+    assert_eq!(check.events, records.len());
+
+    check_golden("fig4_trace_warm.txt", &structure(&records));
 }
 
 #[test]

@@ -60,7 +60,7 @@ pub mod edl;
 pub mod ilp;
 
 pub use cutset::{classify_and_cut_set, classify_many, cut_set};
-pub use driver::{grar, GrarConfig, GrarReport};
+pub use driver::{grar, grar_with_sweep, GrarConfig, GrarReport};
 pub use edl::{insert_error_detection, EdlInsertion};
 pub use ilp::{exhaustive_best, IlpFormulation};
 pub use retime_engine::{PhaseTimings, Stage};

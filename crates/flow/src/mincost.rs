@@ -122,6 +122,33 @@ impl MinCostFlow {
         self.frozen = OnceLock::new();
     }
 
+    /// Re-prices a user arc. Unlike the structural mutators, a cost edit
+    /// keeps the frozen CSR arena (patched in place: structure is
+    /// unchanged, only the per-arc cost arrays move), so parametric
+    /// probes that slide costs between solves never rebuild adjacency.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn set_cost(&mut self, id: ArcId, cost: i64) {
+        assert!(id.0 < self.user_arcs, "arc id out of range");
+        let e = 2 * id.0;
+        self.cost[e] = cost;
+        self.cost[e + 1] = -cost;
+        if let Some(g) = self.frozen.get_mut() {
+            g.set_cost(e, cost);
+            g.set_cost(e + 1, -cost);
+        }
+    }
+
+    /// The cost of a user arc (see [`MinCostFlow::set_cost`]).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn cost_of(&self, id: ArcId) -> i64 {
+        assert!(id.0 < self.user_arcs, "arc id out of range");
+        self.cost[2 * id.0]
+    }
+
     /// The current demand of a node.
     pub fn demand(&self, v: usize) -> i64 {
         self.demand[v]

@@ -36,11 +36,29 @@ const PIVOT_BATCH: usize = 256;
 /// Sentinel for "no node / no arc" in the index-based tree arrays.
 const NONE: u32 = u32::MAX;
 
+/// Where an arc sits relative to the current basis. `pub(crate)` so the
+/// warm-start layer can snapshot and restore arc states across solves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ArcState {
+pub(crate) enum ArcState {
+    /// Non-basic at its lower bound (flow 0).
     Lower,
+    /// Basic (a spanning-tree arc).
     Tree,
+    /// Non-basic at its upper bound (flow = capacity).
     Upper,
+}
+
+/// A network-simplex basis frozen between solves: per-arc states (user
+/// arcs first, one artificial per node after) plus the spanning tree's
+/// parent and predecessor-arc arrays. Potentials and flows are *not*
+/// stored — the warm resume re-derives both from the tree (dual repair
+/// against the current costs, primal restore from the snapshot flows),
+/// so a snapshot stays valid across pure cost edits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BasisSnapshot {
+    pub(crate) state: Vec<ArcState>,
+    pub(crate) parent: Vec<u32>,
+    pub(crate) pred: Vec<u32>,
 }
 
 /// Struct-of-arrays arc table: user arcs first, artificial arcs after.
@@ -231,6 +249,17 @@ impl MinCostFlow {
         &self,
         kind: PivotRuleKind,
     ) -> Result<FlowSolution, FlowError> {
+        self.simplex_cold(kind, false).map(|(sol, _)| sol)
+    }
+
+    /// Cold simplex solve, optionally exporting the final basis for
+    /// warm-start reuse. The solve path (and its trace output) is
+    /// identical whether or not the snapshot is requested.
+    pub(crate) fn simplex_cold(
+        &self,
+        kind: PivotRuleKind,
+        want_snapshot: bool,
+    ) -> Result<(FlowSolution, Option<BasisSnapshot>), FlowError> {
         let n = self.node_count();
         let total: i64 = (0..n).map(|v| self.demand(v)).sum();
         if total != 0 {
@@ -318,6 +347,11 @@ impl MinCostFlow {
         if arcs.flow[first_artificial..].iter().any(|&f| f > 0) {
             return Err(FlowError::Infeasible);
         }
+        let snapshot = want_snapshot.then(|| BasisSnapshot {
+            state: arcs.state.clone(),
+            parent: tree.parent.clone(),
+            pred: tree.pred.clone(),
+        });
         let mut flows = Vec::with_capacity(user);
         let mut cost = 0i64;
         for a in 0..first_artificial {
@@ -326,11 +360,239 @@ impl MinCostFlow {
         }
         let mut potentials = tree.pot;
         potentials.truncate(n);
-        Ok(FlowSolution {
-            cost,
-            flows,
-            potentials,
-        })
+        Ok((
+            FlowSolution {
+                cost,
+                flows,
+                potentials,
+            },
+            snapshot,
+        ))
+    }
+
+    /// Resumes the network simplex from a frozen basis: restores arc
+    /// states and tree structure, re-derives potentials from the current
+    /// costs (dual repair) and flows from the snapshot (primal restore —
+    /// demands must be unchanged since the capture; the warm-start layer
+    /// guarantees this), then pivots to optimality under `kind`.
+    ///
+    /// Returns the solution, the refreshed snapshot, and the number of
+    /// repair pivots performed.
+    ///
+    /// # Errors
+    /// [`FlowError::StaleBasis`] when the snapshot is inconsistent with
+    /// the instance; otherwise the same errors as a cold solve.
+    pub(crate) fn simplex_resume(
+        &self,
+        snap: &BasisSnapshot,
+        prev_flows: &[i64],
+        kind: PivotRuleKind,
+    ) -> Result<(FlowSolution, BasisSnapshot, u64), FlowError> {
+        let n = self.node_count();
+        let total: i64 = (0..n).map(|v| self.demand(v)).sum();
+        if total != 0 {
+            return Err(FlowError::UnbalancedDemands { total });
+        }
+        let g = self.frozen();
+        let user = self.arc_count();
+        let root = n;
+        let nn = n + 1;
+        let stale = |detail: String| FlowError::StaleBasis { detail };
+        if snap.state.len() != user + n
+            || snap.parent.len() != nn
+            || snap.pred.len() != nn
+            || prev_flows.len() != user
+        {
+            return Err(stale(format!(
+                "snapshot sized for {} arcs / {} nodes, instance has {user} arcs / {n} nodes",
+                snap.state
+                    .len()
+                    .saturating_sub(snap.parent.len().saturating_sub(1)),
+                snap.parent.len().saturating_sub(1),
+            )));
+        }
+        // Arc table at the *current* costs; states from the snapshot;
+        // non-tree flows pinned to their bound, tree flows restored.
+        let mut arcs = Arcs::with_capacity(user + n);
+        let mut max_cost = 1i64;
+        for (a, &prev) in prev_flows.iter().enumerate() {
+            let e = 2 * a;
+            let cost = g.cost(e);
+            max_cost = max_cost.max(cost.abs());
+            let flow = match snap.state[a] {
+                ArcState::Lower => 0,
+                ArcState::Upper => g.cap(e),
+                ArcState::Tree => prev,
+            };
+            if flow < 0 || flow > g.cap(e) {
+                return Err(stale(format!(
+                    "restored flow {flow} out of bounds on arc {a}"
+                )));
+            }
+            arcs.push(g.tail(e), g.head(e), g.cap(e), cost, flow, snap.state[a]);
+        }
+        let big_m = max_cost.saturating_mul((n as i64) + 2).saturating_add(1);
+        let first_artificial = arcs.len();
+        for v in 0..n {
+            let b = self.demand(v);
+            let st = snap.state[user + v];
+            if st == ArcState::Upper {
+                return Err(stale(format!(
+                    "artificial arc of node {v} at its upper bound"
+                )));
+            }
+            // The snapshot was taken at an optimum, where artificials
+            // carry zero flow; with demands unchanged they still do.
+            if b > 0 {
+                arcs.push(root, v, i64::MAX / 4, big_m, 0, st);
+            } else {
+                arcs.push(v, root, i64::MAX / 4, big_m, 0, st);
+            }
+        }
+        // Conservation audit: the restored flows must meet the demands
+        // exactly (artificials carry zero), or the snapshot is stale.
+        let mut excess = vec![0i64; n];
+        for a in 0..user {
+            let f = arcs.flow[a];
+            excess[arcs.to[a] as usize] += f;
+            excess[arcs.from[a] as usize] -= f;
+        }
+        for (v, &e) in excess.iter().enumerate() {
+            if e != self.demand(v) {
+                return Err(stale(format!(
+                    "restored flows give excess {e} at node {v}, demand is {}",
+                    self.demand(v)
+                )));
+            }
+        }
+        // Rebuild the tree: parent/pred from the snapshot, child
+        // threading re-woven, then one sweep from the root fixes depths
+        // and re-prices potentials at the current costs (dual repair).
+        let mut tree = SpanningTree::new(nn);
+        if snap.parent[root] != NONE || snap.pred[root] != NONE {
+            return Err(stale("root must not have a parent".into()));
+        }
+        for v in 0..n {
+            let p = snap.parent[v];
+            let ai = snap.pred[v];
+            if p as usize >= nn || ai as usize >= arcs.len() {
+                return Err(stale(format!("node {v} has out-of-range tree links")));
+            }
+            if arcs.state[ai as usize] != ArcState::Tree {
+                return Err(stale(format!("predecessor arc of node {v} is not basic")));
+            }
+            let (af, at) = (arcs.from[ai as usize], arcs.to[ai as usize]);
+            let joins = (af == v as u32 && at == p) || (at == v as u32 && af == p);
+            if !joins {
+                return Err(stale(format!(
+                    "predecessor arc of node {v} does not join it to its parent"
+                )));
+            }
+            tree.attach(v as u32, p);
+            tree.pred[v] = ai;
+        }
+        tree.parent[root] = NONE;
+        tree.pred[root] = NONE;
+        tree.depth[root] = 0;
+        tree.pot[root] = 0;
+        tree.stack.clear();
+        tree.stack.push(root as u32);
+        let mut seen = 0usize;
+        while let Some(x) = tree.stack.pop() {
+            seen += 1;
+            let x = x as usize;
+            let mut c = tree.first_child[x];
+            while c != NONE {
+                let cv = c as usize;
+                let ai = tree.pred[cv] as usize;
+                tree.depth[cv] = tree.depth[x] + 1;
+                tree.pot[cv] = if arcs.from[ai] as usize == x {
+                    tree.pot[x] + arcs.cost[ai]
+                } else {
+                    tree.pot[x] - arcs.cost[ai]
+                };
+                tree.stack.push(c);
+                c = tree.next_sib[cv];
+            }
+        }
+        if seen != nn {
+            return Err(stale(format!(
+                "tree reaches {seen} of {nn} nodes (cycle or disconnection)"
+            )));
+        }
+
+        // Ordinary strongly-feasible pivoting from the repaired basis.
+        let mut rule = kind.instantiate(arcs.len());
+        let rule_name = rule.name();
+        let solve_span = retime_trace::span("network_simplex_warm");
+        retime_trace::attr_str("rule", rule_name);
+        let max_pivots = 200 * (arcs.len() + nn) + 10_000;
+        let mut pivots = 0usize;
+        let mut degenerate_total = 0u64;
+        let mut optimal = false;
+        while !optimal {
+            let _batch = retime_trace::span("pivot_batch");
+            retime_trace::attr_str("rule", rule_name);
+            let batch_start = pivots;
+            let mut batch_degenerate = 0u64;
+            loop {
+                let entering = rule.select(&Pricing {
+                    from: &arcs.from,
+                    to: &arcs.to,
+                    cost: &arcs.cost,
+                    state: &arcs.state,
+                    pot: &tree.pot,
+                });
+                let Some(e_idx) = entering else {
+                    optimal = true;
+                    break;
+                };
+                pivots += 1;
+                if pivots > max_pivots {
+                    retime_trace::counter("pivot_count", (pivots - batch_start) as u64);
+                    retime_trace::counter("degenerate_pivots", batch_degenerate);
+                    return Err(FlowError::IterationLimit);
+                }
+                if pivot(&mut arcs, &mut tree, e_idx) {
+                    batch_degenerate += 1;
+                }
+                if pivots - batch_start >= PIVOT_BATCH {
+                    break;
+                }
+            }
+            retime_trace::counter("pivot_count", (pivots - batch_start) as u64);
+            retime_trace::counter("degenerate_pivots", batch_degenerate);
+            degenerate_total += batch_degenerate;
+        }
+        retime_trace::counter("repair_pivots", pivots as u64);
+        retime_trace::counter("degenerate_total", degenerate_total);
+        drop(solve_span);
+
+        if arcs.flow[first_artificial..].iter().any(|&f| f > 0) {
+            return Err(FlowError::Infeasible);
+        }
+        let snapshot = BasisSnapshot {
+            state: arcs.state.clone(),
+            parent: tree.parent.clone(),
+            pred: tree.pred.clone(),
+        };
+        let mut flows = Vec::with_capacity(user);
+        let mut cost = 0i64;
+        for a in 0..first_artificial {
+            flows.push(arcs.flow[a]);
+            cost += arcs.flow[a] * arcs.cost[a];
+        }
+        let mut potentials = tree.pot;
+        potentials.truncate(n);
+        Ok((
+            FlowSolution {
+                cost,
+                flows,
+                potentials,
+            },
+            snapshot,
+            pivots as u64,
+        ))
     }
 }
 

@@ -124,6 +124,46 @@ pub fn base_retime_with(
     c: EdlOverhead,
     engine: SolverEngine,
 ) -> Result<RetimeOutcome, RetimeError> {
+    base_retime_impl(cloud, lib, clock, model, c, engine, None)
+}
+
+/// [`base_retime`] with a persistent warm-start slot. The base problem
+/// does not depend on the EDL overhead (it only prices the area bill),
+/// so across a `c` sweep the flow instance is identical and every probe
+/// after the first is answered verbatim from the cached basis.
+/// `RETIME_WARM=0` turns the slot into a pass-through.
+///
+/// # Errors
+/// Propagates infeasible clocking, STA, and solver failures.
+pub fn base_retime_sweep(
+    cloud: &CombCloud,
+    lib: &Library,
+    clock: TwoPhaseClock,
+    model: DelayModel,
+    c: EdlOverhead,
+    slot: &mut Option<crate::problem::RetimingSweep>,
+) -> Result<RetimeOutcome, RetimeError> {
+    base_retime_impl(
+        cloud,
+        lib,
+        clock,
+        model,
+        c,
+        SolverEngine::MinCostFlow,
+        Some(slot),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn base_retime_impl(
+    cloud: &CombCloud,
+    lib: &Library,
+    clock: TwoPhaseClock,
+    model: DelayModel,
+    c: EdlOverhead,
+    engine: SolverEngine,
+    mut slot: Option<&mut Option<crate::problem::RetimingSweep>>,
+) -> Result<RetimeOutcome, RetimeError> {
     let started = Instant::now();
 
     #[derive(Default)]
@@ -149,12 +189,34 @@ pub fn base_retime_with(
             Ok(())
         })
         .stage(Stage::Solve, |ctx| {
-            let sol = ctx
-                .data
-                .problem
-                .as_ref()
-                .expect("sta stage ran")
-                .solve(engine)?;
+            let problem = ctx.data.problem.as_ref().expect("sta stage ran");
+            let sol = match &mut slot {
+                Some(slot) => {
+                    let slot = &mut **slot;
+                    let before = slot.as_ref().map(|s| s.stats()).unwrap_or_default();
+                    let sol = crate::problem::solve_with_slot(problem, engine, slot)?;
+                    if let Some(sweep) = slot.as_ref() {
+                        // saturating: a re-primed slot restarts its counters.
+                        let s = sweep.stats();
+                        ctx.timings
+                            .count("warm_hits", s.warm_hits.saturating_sub(before.warm_hits));
+                        ctx.timings.count(
+                            "cost_resumes",
+                            s.cost_resumes.saturating_sub(before.cost_resumes),
+                        );
+                        ctx.timings.count(
+                            "demand_deltas",
+                            s.demand_deltas.saturating_sub(before.demand_deltas),
+                        );
+                        ctx.timings.count(
+                            "cold_solves",
+                            s.cold_solves.saturating_sub(before.cold_solves),
+                        );
+                    }
+                    sol
+                }
+                None => problem.solve(engine)?,
+            };
             ctx.timings.count("solver_invocations", 1);
             ctx.data.sol = Some(sol);
             Ok(())

@@ -15,7 +15,10 @@
 
 use std::collections::HashMap;
 
+use retime_flow::{ArcId, MinCostFlow, ParametricSweep, SweepStats};
 use retime_netlist::{CellId, Gate, Netlist, NetlistError};
+
+use crate::error::RetimeError;
 
 /// A classic retiming graph: combinational gates as vertices, flip-flop
 /// counts as edge weights, plus the host vertex closing I/O paths.
@@ -40,6 +43,22 @@ pub struct ClassicRetiming {
     pub period: f64,
     /// The period of the input circuit, for comparison.
     pub original_period: f64,
+}
+
+/// Result of [`ClassicGraph::min_period_flow`]: the minimum-**register**
+/// retiming among those achieving the minimum period, plus the
+/// warm-start counters accumulated by the parametric sweep behind the
+/// period probes.
+#[derive(Debug, Clone)]
+pub struct FlowPeriodRetiming {
+    /// The retiming, in the same shape [`ClassicGraph::min_period`]
+    /// reports.
+    pub retiming: ClassicRetiming,
+    /// Total registers after retiming, `Σ_e w_r(e)` (the classic
+    /// per-edge count, without fanout sharing).
+    pub registers: i64,
+    /// Warm/cold solve counters across the period probes.
+    pub stats: SweepStats,
 }
 
 impl ClassicGraph {
@@ -244,6 +263,148 @@ impl ClassicGraph {
             period: best.1,
             original_period: original,
         }
+    }
+
+    /// Total registers under retiming `r`, `Σ_e (w(e) + r(to) − r(from))`
+    /// — the classic per-edge count, without fanout sharing. `None` when
+    /// some retimed weight is negative (illegal `r`).
+    pub fn register_count(&self, r: &[i64]) -> Option<i64> {
+        let mut total = 0;
+        for &(u, v, w) in &self.edges {
+            let wr = w + r[v] - r[u];
+            if wr < 0 {
+                return None;
+            }
+            total += wr;
+        }
+        Some(total)
+    }
+
+    /// The W/D matrices of Leiserson–Saxe: for each ordered pair,
+    /// `W(u, v)` is the minimum register count over `u ⇝ v` paths and
+    /// `D(u, v)` the maximum path delay among the register-minimal ones
+    /// — computed by one lexicographic Floyd–Warshall over edge lengths
+    /// `(w(e), −d(from))`. `None` for unreachable pairs.
+    fn wd_matrices(&self) -> Vec<Vec<Option<(i64, f64)>>> {
+        let n = self.len();
+        let lex_less = |a: (i64, f64), b: (i64, f64)| a.0 < b.0 || (a.0 == b.0 && a.1 < b.1);
+        let mut dist: Vec<Vec<Option<(i64, f64)>>> = vec![vec![None; n]; n];
+        for (v, row) in dist.iter_mut().enumerate() {
+            row[v] = Some((0, 0.0));
+        }
+        for &(u, v, w) in &self.edges {
+            if u == v {
+                continue;
+            }
+            let cand = (w, -self.delay[u]);
+            if dist[u][v].is_none_or(|cur| lex_less(cand, cur)) {
+                dist[u][v] = Some(cand);
+            }
+        }
+        for k in 0..n {
+            let row_k = dist[k].clone();
+            for row_i in dist.iter_mut() {
+                let Some(a) = row_i[k] else { continue };
+                for (cur, &via) in row_i.iter_mut().zip(&row_k) {
+                    let Some(b) = via else { continue };
+                    let cand = (a.0 + b.0, a.1 + b.1);
+                    if cur.is_none_or(|c| lex_less(cand, c)) {
+                        *cur = Some(cand);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Minimum-period retiming through the min-cost-flow dual: the same
+    /// FEAS-gated binary search as [`ClassicGraph::min_period`], but each
+    /// feasible probe solves min-**register**-subject-to-period as a flow
+    /// (the LP dual of Leiserson–Saxe's min-area program) instead of
+    /// taking whatever labels FEAS happens to produce.
+    ///
+    /// Every probe reuses one flow instance: the period constraint
+    /// `r(u) − r(v) ≤ W(u, v) − 1` for pairs with `D(u, v) > p` is an
+    /// arc whose cost slides between `W − 1` (binding) and `W`
+    /// (redundant — already implied by the edge constraints), so the
+    /// probes are pure cost changes and the [`ParametricSweep`] resumes
+    /// the previous basis instead of re-priming (`RETIME_WARM`
+    /// controls this; see `retime_flow::WarmMode`).
+    ///
+    /// # Errors
+    /// Propagates flow-solver failures; [`RetimeError::Internal`] if the
+    /// flow's duals violate the period they were solved for (a bug,
+    /// guarded rather than assumed).
+    pub fn min_period_flow(&self, tolerance: f64) -> Result<FlowPeriodRetiming, RetimeError> {
+        let n = self.len();
+        let dist = self.wd_matrices();
+        let mut pairs: Vec<(i64, f64)> = Vec::new();
+        let mut flow = MinCostFlow::new(n);
+        for &(u, v, w) in &self.edges {
+            flow.add_uncapacitated(u, v, w);
+        }
+        for (u, row) in dist.iter().enumerate() {
+            for (v, &cell) in row.iter().enumerate() {
+                let Some((w, negd)) = cell else { continue };
+                if u == v {
+                    continue;
+                }
+                // Starts redundant (cost W); probes tighten it to W − 1.
+                flow.add_uncapacitated(u, v, w);
+                pairs.push((w, self.delay[v] - negd));
+            }
+        }
+        let mut demand = vec![0i64; n];
+        for &(u, v, _) in &self.edges {
+            demand[v] += 1;
+            demand[u] -= 1;
+        }
+        for (v, &d) in demand.iter().enumerate() {
+            flow.set_demand(v, d);
+        }
+        let mut sweep = ParametricSweep::new(flow);
+        let n_edges = self.edges.len();
+
+        let original = self.period(&vec![0; n]).unwrap_or(f64::INFINITY);
+        let mut lo = self.delay.iter().copied().fold(0.0f64, f64::max);
+        let mut hi = original;
+        let identity = vec![0i64; n];
+        let regs0 = self.register_count(&identity).unwrap_or(0);
+        let mut best = (identity, original, regs0);
+        while hi - lo > tolerance {
+            let mid = 0.5 * (lo + hi);
+            if self.feasible(mid).is_none() {
+                lo = mid;
+                continue;
+            }
+            for (k, &(w, d)) in pairs.iter().enumerate() {
+                let cost = if d > mid + 1e-9 { w - 1 } else { w };
+                sweep.problem_mut().set_cost(ArcId(n_edges + k), cost);
+            }
+            let sol = sweep.solve().map_err(RetimeError::from)?;
+            let y = &sol.potentials;
+            let r: Vec<i64> = (0..n).map(|v| y[0] - y[v]).collect();
+            let violated =
+                || RetimeError::Internal(format!("flow duals violate the probed period {mid}"));
+            let achieved = self.period(&r).ok_or_else(violated)?;
+            if achieved > mid + 1e-6 {
+                return Err(violated());
+            }
+            let regs = self.register_count(&r).ok_or_else(violated)?;
+            if achieved < best.1 - 1e-9 || ((achieved - best.1).abs() <= 1e-9 && regs < best.2) {
+                best = (r, achieved, regs);
+            }
+            hi = mid;
+        }
+        Ok(FlowPeriodRetiming {
+            retiming: ClassicRetiming {
+                r: best.0,
+                period: best.1,
+                original_period: original,
+            },
+            registers: best.2,
+            stats: sweep.stats(),
+        })
     }
 
     /// Applies a retiming to the original netlist: flip-flop chains are
@@ -460,6 +621,79 @@ g4 = NOT(g3)
             r[1] = -5;
         }
         assert!(g.period(&r).is_none() || g.apply(&n, &r).is_err());
+    }
+
+    #[test]
+    fn flow_min_period_matches_feas_with_no_more_registers() {
+        let n = unbalanced();
+        let g = ClassicGraph::extract(&n, unit_delay).unwrap();
+        let feas = g.min_period(0.01);
+        let flow = g.min_period_flow(0.01).unwrap();
+        assert!(
+            (flow.retiming.period - feas.period).abs() < 0.05,
+            "flow search must reach the FEAS period: {} vs {}",
+            flow.retiming.period,
+            feas.period
+        );
+        assert_eq!(flow.retiming.r[0], 0, "host stays pinned");
+        let feas_regs = g.register_count(&feas.r).unwrap();
+        assert!(
+            flow.registers <= feas_regs,
+            "min-register probe returned {} registers, FEAS used {feas_regs}",
+            flow.registers
+        );
+        // On a single ring the register count is a retiming invariant.
+        assert_eq!(flow.registers, 2);
+        let applied = g.apply(&n, &flow.retiming.r).unwrap();
+        let g2 = ClassicGraph::extract(&applied, unit_delay).unwrap();
+        let p2 = g2.period(&vec![0; g2.len()]).unwrap();
+        assert!((p2 - flow.retiming.period).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flow_probes_resume_instead_of_repriming() {
+        let g = ClassicGraph::extract(&unbalanced(), unit_delay).unwrap();
+        let flow = g.min_period_flow(0.01).unwrap();
+        let s = flow.stats;
+        assert_eq!(s.cold_solves, 1, "one prime, then warm probes: {s:?}");
+        assert!(
+            s.cost_resumes + s.warm_hits >= 1,
+            "period probes are cost-only: {s:?}"
+        );
+        assert_eq!(s.demand_deltas, 0, "no demand ever changes: {s:?}");
+    }
+
+    #[test]
+    fn flow_min_period_drops_registers_feas_leaves_behind() {
+        // Two parallel paths a → z: FEAS pushes labels greedily and can
+        // strand registers; the min-register probe must tie them down.
+        // A 4-deep chain with 2 flops plus a short bypass with 2 flops:
+        // balancing the chain must not duplicate flops on the bypass.
+        let n = bench::parse(
+            "two_path",
+            "\
+INPUT(a)
+OUTPUT(z)
+g1 = NOT(a)
+g2 = NOT(g1)
+q1 = DFF(g2)
+q2 = DFF(q1)
+g3 = NOT(q2)
+g4 = NOT(g3)
+b1 = NOT(a)
+p1 = DFF(b1)
+p2 = DFF(p1)
+b2 = NOT(p2)
+z = AND(g4, b2)
+",
+        )
+        .unwrap();
+        let g = ClassicGraph::extract(&n, unit_delay).unwrap();
+        let feas = g.min_period(0.01);
+        let flow = g.min_period_flow(0.01).unwrap();
+        assert!((flow.retiming.period - feas.period).abs() < 0.05);
+        assert!(flow.registers <= g.register_count(&feas.r).unwrap());
+        assert!(flow.registers <= g.register_count(&vec![0; g.len()]).unwrap());
     }
 
     #[test]

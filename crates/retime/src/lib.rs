@@ -60,12 +60,13 @@ pub mod problem;
 pub mod regions;
 
 pub use area::{flop_design_area, master_backed_sinks, AreaModel, SeqBreakdown};
-pub use base::{base_retime, base_retime_with, RetimeOutcome, RunStats};
-pub use classic::{ClassicGraph, ClassicRetiming};
+pub use base::{base_retime, base_retime_sweep, base_retime_with, RetimeOutcome, RunStats};
+pub use classic::{ClassicGraph, ClassicRetiming, FlowPeriodRetiming};
 pub use error::RetimeError;
 pub use legalize::{legalize, LegalizeReport, SPEEDUP as LEGALIZE_SPEEDUP};
 pub use problem::{
-    RetimingProblem, RetimingSolution, SolverEngine, BREADTH_SCALE, COMMERCIAL_MOVEMENT_PENALTY,
+    solve_with_slot, RetimingProblem, RetimingSolution, RetimingSweep, SolverEngine, BREADTH_SCALE,
+    COMMERCIAL_MOVEMENT_PENALTY,
 };
 pub use regions::{Region, Regions};
 pub use retime_engine::{PhaseTimings, Stage};

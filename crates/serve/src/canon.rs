@@ -97,6 +97,26 @@ pub fn cache_key(canonical_netlist: &str, lib: &Library, cfg: &KeyConfig) -> Str
     sha256_hex(material.as_bytes())
 }
 
+/// Warm-basis pool key: the *structural* part of [`cache_key`] — the
+/// canonical netlist, library, flow, clock, and delay model, but **not**
+/// the EDL overhead `c` or the verify switch. Two submissions that
+/// differ only in `c` (an ECO overhead re-spin) build the same Eq. 14
+/// instance with different demands, so they share a warm key and the
+/// second resumes the first one's basis. A clock change alters the
+/// region pre-division (and thereby the instance structure), so it gets
+/// a fresh key.
+pub fn warm_key(canonical_netlist: &str, lib: &Library, cfg: &KeyConfig) -> String {
+    let material = format!(
+        "retime-serve-warmkey-v1\nlib:{}\nflow:{}\nclock:{:016x}\nmodel:{:?}\n--\n{}",
+        lib.name(),
+        cfg.flow.name(),
+        cfg.clock.max_path_delay().to_bits(),
+        cfg.model,
+        canonical_netlist,
+    );
+    sha256_hex(material.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +207,53 @@ z = BUFF(g2)
         }
         // Same config, same text → same key.
         assert_eq!(k0, cache_key(&canon, &lib, &base));
+    }
+
+    #[test]
+    fn warm_key_ignores_overhead_and_verify_but_not_structure() {
+        let lib = Library::fdsoi28();
+        let canon = canonical_bench(&bench::parse("x", TIDY).unwrap());
+        let base = KeyConfig {
+            flow: FlowKind::Grar,
+            overhead: EdlOverhead::MEDIUM,
+            clock: TwoPhaseClock::from_max_delay(10.0),
+            model: DelayModel::PathBased,
+            verify: false,
+        };
+        let k0 = warm_key(&canon, &lib, &base);
+        // An ECO overhead re-spin (and flipping verification) lands on
+        // the same warm slot…
+        for alias in [
+            KeyConfig {
+                overhead: EdlOverhead::HIGH,
+                ..base
+            },
+            KeyConfig {
+                verify: true,
+                ..base
+            },
+        ] {
+            assert_eq!(k0, warm_key(&canon, &lib, &alias), "{alias:?}");
+        }
+        // …while anything that changes the instance structure does not.
+        for variant in [
+            KeyConfig {
+                flow: FlowKind::Base,
+                ..base
+            },
+            KeyConfig {
+                clock: TwoPhaseClock::from_max_delay(11.0),
+                ..base
+            },
+            KeyConfig {
+                model: DelayModel::GateBased,
+                ..base
+            },
+        ] {
+            assert_ne!(k0, warm_key(&canon, &lib, &variant), "{variant:?}");
+        }
+        let other =
+            canonical_bench(&bench::parse("x", "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").unwrap());
+        assert_ne!(k0, warm_key(&other, &lib, &base));
     }
 }

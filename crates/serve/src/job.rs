@@ -278,6 +278,66 @@ pub fn execute(
             .outcome
         }
     };
+    finish_execution(cfg, circuit, lib, &mut outcome, None)
+}
+
+/// [`execute`] with a warm-start slot threaded through the flow's
+/// min-cost-flow solve — the worker pool's path for ECO re-submissions
+/// (see [`crate::warm::WarmPool`]). A `None` slot primes cold and
+/// leaves the basis behind for the next job with the same
+/// [`crate::canon::warm_key`]; a primed slot resumes it. Results are
+/// bit-identical to [`execute`] either way, and with `verify:true`
+/// every warm flow solution is additionally certified against an
+/// independent cold solve.
+///
+/// # Errors
+/// Propagates flow failures, rejected certificates, and warm/cold
+/// mismatches.
+pub fn execute_with_slot(
+    cfg: &KeyConfig,
+    circuit: &ResolvedCircuit,
+    lib: &Library,
+    slot: &mut Option<retime_retime::RetimingSweep>,
+) -> Result<JobOutput, RetimeError> {
+    let cloud = &circuit.cloud;
+    let mut outcome = match cfg.flow {
+        FlowKind::Base => {
+            retime_retime::base_retime_sweep(cloud, lib, cfg.clock, cfg.model, cfg.overhead, slot)?
+        }
+        FlowKind::Grar => {
+            retime_core::grar_with_sweep(
+                cloud,
+                lib,
+                cfg.clock,
+                &GrarConfig::new(cfg.overhead).with_model(cfg.model),
+                slot,
+            )?
+            .outcome
+        }
+        FlowKind::Vl => {
+            retime_vl::vl_retime_with_sweep(
+                cloud,
+                lib,
+                cfg.clock,
+                &VlConfig::new(VlVariant::Rvl, cfg.overhead),
+                slot,
+            )?
+            .outcome
+        }
+    };
+    finish_execution(cfg, circuit, lib, &mut outcome, slot.as_ref())
+}
+
+/// Shared tail of [`execute`] / [`execute_with_slot`]: optional
+/// certification (including the warm/cold cross-check when a primed
+/// slot produced the solution) and payload rendering.
+fn finish_execution(
+    cfg: &KeyConfig,
+    circuit: &ResolvedCircuit,
+    lib: &Library,
+    outcome: &mut RetimeOutcome,
+    sweep: Option<&retime_retime::RetimingSweep>,
+) -> Result<JobOutput, RetimeError> {
     if cfg.verify {
         Certification::of_netlist(
             &circuit.netlist,
@@ -288,9 +348,20 @@ pub fn execute(
             format!("{} [serve/{}]", circuit.name, cfg.flow.name()),
         )
         .with_model(cfg.model)
-        .run(lib, &mut outcome)?;
+        .run(lib, outcome)?;
+        if let Some(sweep) = sweep {
+            if let Some(warm) = sweep.warm_solution() {
+                let cold = sweep
+                    .flow()
+                    .solve_reference()
+                    .map_err(|e| RetimeError::Internal(format!("warm reference solve: {e}")))?;
+                retime_verify::check_warm_solution(sweep.flow(), warm, &cold).map_err(|e| {
+                    RetimeError::Internal(format!("warm certificate rejected: {e}"))
+                })?;
+            }
+        }
     }
-    let payload = render_payload(&circuit.name, cfg, cloud, &outcome);
+    let payload = render_payload(&circuit.name, cfg, &circuit.cloud, outcome);
     let payload_sha256 = sha256_hex(payload.as_bytes());
     Ok(JobOutput {
         payload,

@@ -52,12 +52,16 @@ pub mod job;
 pub mod metrics;
 pub mod queue;
 pub mod server;
+pub mod warm;
 
 pub use cache::{CachedResult, ResultCache};
-pub use canon::{cache_key, canonical_bench, KeyConfig};
+pub use canon::{cache_key, canonical_bench, warm_key, KeyConfig};
 pub use client::Client;
 pub use hash::{sha256, sha256_hex};
-pub use job::{execute, prepare, render_payload, resolve_circuit, CircuitRef, JobOutput, JobSpec};
+pub use job::{
+    execute, execute_with_slot, prepare, render_payload, resolve_circuit, CircuitRef, JobOutput,
+    JobSpec,
+};
 pub use metrics::Metrics;
 pub use queue::{JobQueue, PushError};
 /// The deterministic JSON renderer/parser now lives in [`retime_trace`]
@@ -66,3 +70,4 @@ pub use queue::{JobQueue, PushError};
 pub use retime_trace::json;
 pub use retime_trace::json::Json;
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use warm::WarmPool;

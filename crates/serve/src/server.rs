@@ -28,8 +28,10 @@ use retime_engine::{parallel_map, thread_count};
 use retime_liberty::Library;
 
 use crate::cache::{CachedResult, ResultCache};
-use crate::canon::KeyConfig;
-use crate::job::{execute, prepare, resolve_circuit, CircuitRef, JobSpec, ResolvedCircuit};
+use crate::canon::{warm_key, KeyConfig};
+use crate::job::{
+    execute_with_slot, prepare, resolve_circuit, CircuitRef, JobSpec, ResolvedCircuit,
+};
 use crate::json::{obj, parse, Json};
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, PushError};
@@ -108,6 +110,7 @@ struct Shared {
     metrics: Metrics,
     jobs: Mutex<HashMap<u64, JobRecord>>,
     jobs_wake: Condvar,
+    warm: crate::warm::WarmPool,
     suite_store: Mutex<HashMap<String, Arc<ResolvedCircuit>>>,
     next_id: AtomicU64,
     workers: usize,
@@ -140,6 +143,7 @@ impl Server {
             metrics: Metrics::new(),
             jobs: Mutex::new(HashMap::new()),
             jobs_wake: Condvar::new(),
+            warm: crate::warm::WarmPool::default(),
             suite_store: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             workers,
@@ -257,10 +261,18 @@ fn worker_loop(shared: &Shared) {
             }
         }
         let label = format!("flow=\"{}\"", work.flow);
+        // ECO warm start: check out the basis a structurally identical
+        // job (same circuit/flow/clock/model, any overhead) left behind.
+        let slot_key = warm_key(&work.circuit.canonical, &shared.lib, &work.cfg);
+        let mut slot = shared.warm.checkout(&slot_key);
+        let resumed = slot.is_some();
         let executed = {
             let _exec = retime_trace::span("execute");
-            execute(&work.cfg, &work.circuit, &shared.lib)
+            execute_with_slot(&work.cfg, &work.circuit, &shared.lib, &mut slot)
         };
+        if let Some(sweep) = slot.take() {
+            shared.warm.checkin(&slot_key, sweep);
+        }
         drop(job_span);
         let state = match executed {
             Ok(output) => {
@@ -269,6 +281,22 @@ fn worker_loop(shared: &Shared) {
                 shared
                     .metrics
                     .inc("retime_serve_jobs_completed_total", &label, 1);
+                if resumed {
+                    shared
+                        .metrics
+                        .inc("retime_serve_warm_resumed_jobs_total", &label, 1);
+                }
+                for (family, counter) in [
+                    ("retime_serve_warm_hits_total", "warm_hits"),
+                    ("retime_serve_warm_cost_resumes_total", "cost_resumes"),
+                    ("retime_serve_warm_demand_deltas_total", "demand_deltas"),
+                    ("retime_serve_warm_cold_solves_total", "cold_solves"),
+                ] {
+                    let n = output.phases.counter(counter);
+                    if n > 0 {
+                        shared.metrics.inc(family, &label, n);
+                    }
+                }
                 if work.cfg.verify {
                     shared
                         .metrics
@@ -554,6 +582,7 @@ fn handle_metrics(shared: &Shared) -> Json {
         ("retime_serve_queue_depth", shared.queue.depth() as f64),
         ("retime_serve_workers", shared.workers as f64),
         ("retime_serve_cache_entries", shared.cache.len() as f64),
+        ("retime_serve_warm_pool_entries", shared.warm.len() as f64),
     ]);
     obj(vec![("ok", Json::Bool(true)), ("metrics", Json::Str(text))])
 }

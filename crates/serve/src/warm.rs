@@ -1,0 +1,127 @@
+//! Warm-basis pool for ECO re-submissions.
+//!
+//! The content-addressed result cache answers *identical* re-submissions
+//! with zero work; this pool accelerates the next-most-common service
+//! pattern — an **ECO re-spin** that re-submits the same circuit with a
+//! tweaked EDL overhead. Such a job misses the result cache (the key
+//! hashes `c`), but its Eq. 14 instance has the same structure as the
+//! previous run's, so the previous run's simplex basis is a valid warm
+//! start. Slots are keyed by [`crate::canon::warm_key`] — the cache key
+//! *minus* overhead and verification — and hold the
+//! [`RetimingSweep`] a finished job left behind.
+//!
+//! Concurrency uses a checkout model: a worker [`WarmPool::checkout`]s
+//! the slot (removing it), executes against it, and
+//! [`WarmPool::checkin`]s the re-primed sweep. Two concurrent jobs with
+//! the same warm key simply race for the slot; the loser primes cold
+//! and the last check-in wins — never a correctness concern, because
+//! every warm solve is certified (`RETIME_VERIFY`/`verify:true`) or at
+//! minimum produced by the structurally-validated
+//! [`retime_retime::solve_with_slot`] contract.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use retime_retime::RetimingSweep;
+
+/// Bounded checkout/checkin store of warm simplex bases.
+pub struct WarmPool {
+    slots: Mutex<HashMap<String, RetimingSweep>>,
+    cap: usize,
+}
+
+impl Default for WarmPool {
+    fn default() -> WarmPool {
+        WarmPool::new(64)
+    }
+}
+
+impl WarmPool {
+    /// A pool holding at most `cap` idle bases (a primed sweep owns the
+    /// full Eq. 14 instance, so the bound caps resident memory, not
+    /// correctness — an evicted slot just means a future ECO primes
+    /// cold).
+    pub fn new(cap: usize) -> WarmPool {
+        WarmPool {
+            slots: Mutex::new(HashMap::new()),
+            cap,
+        }
+    }
+
+    /// Removes and returns the slot for `key`, if an earlier job left
+    /// one behind.
+    pub fn checkout(&self, key: &str) -> Option<RetimingSweep> {
+        self.slots.lock().expect("warm pool lock").remove(key)
+    }
+
+    /// Returns a (re-)primed sweep to the pool. Dropped silently when
+    /// the pool is at capacity — warm starts are an optimization, never
+    /// an obligation.
+    pub fn checkin(&self, key: &str, sweep: RetimingSweep) {
+        let mut slots = self.slots.lock().expect("warm pool lock");
+        if slots.len() < self.cap || slots.contains_key(key) {
+            slots.insert(key.to_string(), sweep);
+        }
+    }
+
+    /// Idle bases currently parked.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("warm pool lock").len()
+    }
+
+    /// Whether no bases are parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retime_liberty::Library;
+    use retime_netlist::{bench, CombCloud};
+    use retime_retime::{Regions, RetimingProblem};
+    use retime_sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
+
+    fn sweep() -> RetimingSweep {
+        let n = bench::parse(
+            "t",
+            "INPUT(a)\nOUTPUT(z)\nq = DFF(a)\ng = NOT(q)\nz = NOT(g)\n",
+        )
+        .unwrap();
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let sta = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(5.0),
+            DelayModel::PathBased,
+        )
+        .unwrap();
+        let regions = Regions::compute(&sta).unwrap();
+        RetimingProblem::build(&cloud, &regions).parametric_sweep()
+    }
+
+    #[test]
+    fn checkout_removes_and_checkin_restores() {
+        let pool = WarmPool::new(4);
+        assert!(pool.checkout("k").is_none());
+        pool.checkin("k", sweep());
+        assert_eq!(pool.len(), 1);
+        assert!(pool.checkout("k").is_some());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_new_keys_but_not_reinsertion() {
+        let pool = WarmPool::new(1);
+        pool.checkin("a", sweep());
+        pool.checkin("b", sweep());
+        assert_eq!(pool.len(), 1, "over-capacity insert is dropped");
+        assert!(pool.checkout("b").is_none());
+        // Re-inserting the resident key is always allowed.
+        pool.checkin("a", sweep());
+        assert_eq!(pool.len(), 1);
+        assert!(pool.checkout("a").is_some());
+    }
+}

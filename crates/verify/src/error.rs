@@ -90,6 +90,14 @@ pub enum VerifyError {
         /// What failed.
         detail: String,
     },
+    /// A warm-started flow solve diverged from the cold-solve contract:
+    /// its solution failed independent certification, or its objective
+    /// differs from the cold objective on the same instance. The warm
+    /// cache must be discarded and the instance re-solved cold.
+    WarmStartMismatch {
+        /// What diverged (certification failure or objective delta).
+        detail: String,
+    },
     /// The retimed netlist computed a different output than the
     /// original under random stimulus.
     NotEquivalent {
@@ -157,6 +165,9 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::FlowCertificate { detail } => {
                 write!(f, "flow certificate failed: {detail}")
+            }
+            VerifyError::WarmStartMismatch { detail } => {
+                write!(f, "warm-start mismatch: {detail}")
             }
             VerifyError::NotEquivalent { cycle } => write!(
                 f,

@@ -83,6 +83,37 @@ pub fn check_flow_solution(p: &MinCostFlow, sol: &FlowSolution) -> Result<(), Ve
     Ok(())
 }
 
+/// Certifies a **warm-started** solution against the cold-solve
+/// contract: `warm` must pass [`check_flow_solution`] on `p` (bounds,
+/// conservation, cost accounting, complementary slackness — i.e. it is
+/// a *proven optimal* solution, not merely a plausible one), and its
+/// objective must equal `cold.cost`, the objective of an independent
+/// cold solve of the same instance. Vertex solutions of a min-cost flow
+/// are not unique, so the flows themselves may differ between equally
+/// optimal bases; the objective may not.
+///
+/// # Errors
+/// Returns [`VerifyError::WarmStartMismatch`] naming what diverged —
+/// the caller must discard the warm cache and re-solve cold.
+pub fn check_warm_solution(
+    p: &MinCostFlow,
+    warm: &FlowSolution,
+    cold: &FlowSolution,
+) -> Result<(), VerifyError> {
+    check_flow_solution(p, warm).map_err(|e| VerifyError::WarmStartMismatch {
+        detail: format!("warm solution failed certification: {e}"),
+    })?;
+    if warm.cost != cold.cost {
+        return Err(VerifyError::WarmStartMismatch {
+            detail: format!(
+                "warm objective {} differs from cold objective {}",
+                warm.cost, cold.cost
+            ),
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +169,46 @@ mod tests {
         sol.cost = 2 + 16 + 2 + 4;
         let err = check_flow_solution(&p, &sol).unwrap_err();
         assert!(err.to_string().contains("dual gain"), "{err}");
+    }
+
+    #[test]
+    fn warm_check_accepts_genuine_warm_solves() {
+        use retime_flow::{ArcId, PivotRuleKind};
+        let mut p = diamond();
+        let mut basis = p.solve_cold_capture(PivotRuleKind::Auto).unwrap();
+        p.set_cost(ArcId(1), 2);
+        let (warm, _) = p.solve_warm(&mut basis, PivotRuleKind::Auto).unwrap();
+        let cold = p.solve_network_simplex().unwrap();
+        check_warm_solution(&p, &warm, &cold).unwrap();
+    }
+
+    #[test]
+    fn warm_check_rejects_poisoned_potentials() {
+        use retime_flow::PivotRuleKind;
+        let p = diamond();
+        let mut basis = p.solve_cold_capture(PivotRuleKind::Auto).unwrap();
+        // Corrupt the cached dual certificate, then take the (verbatim)
+        // warm hit: the independent check must refuse it.
+        basis.potentials_mut()[0] += 1_000;
+        let (warm, outcome) = p.solve_warm(&mut basis, PivotRuleKind::Auto).unwrap();
+        assert_eq!(outcome, retime_flow::WarmOutcome::Hit);
+        let cold = p.solve_network_simplex().unwrap();
+        let err = check_warm_solution(&p, &warm, &cold).unwrap_err();
+        assert!(
+            matches!(err, VerifyError::WarmStartMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn warm_check_rejects_objective_divergence() {
+        let p = diamond();
+        let warm = p.solve_network_simplex().unwrap();
+        // A warm solution that certifies fine still fails the contract
+        // when the cold re-solve lands on a different objective.
+        let mut cold = warm.clone();
+        cold.cost += 1;
+        let err = check_warm_solution(&p, &warm, &cold).unwrap_err();
+        assert!(err.to_string().contains("differs from cold"), "{err}");
     }
 }

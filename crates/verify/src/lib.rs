@@ -20,6 +20,9 @@
 //! * [`check_flow_solution`] — primal/dual certificate checking of a
 //!   min-cost-flow solution (capacity, conservation, cost,
 //!   complementary slackness).
+//! * [`check_warm_solution`] — the warm-start contract: a warm-started
+//!   re-solve must pass [`check_flow_solution`] *and* match the cold
+//!   objective, else [`VerifyError::WarmStartMismatch`].
 //!
 //! Failures are diagnosis-specific [`VerifyError`] variants, so a
 //! corrupted label, a mistyped EDL flag, and a miscounted area each
@@ -45,7 +48,7 @@ pub use certificate::{
     VerifySetup,
 };
 pub use error::VerifyError;
-pub use flowcheck::check_flow_solution;
+pub use flowcheck::{check_flow_solution, check_warm_solution};
 
 /// Whether certificate verification was requested via the environment
 /// (`RETIME_VERIFY=1`, `true`, or `on`).

@@ -11,8 +11,8 @@ use retime_engine::{FlowContext, Pipeline, Stage};
 use retime_liberty::{EdlOverhead, Library};
 use retime_netlist::{CombCloud, NodeId, NodeKind};
 use retime_retime::{
-    AreaModel, Region, Regions, RetimeError, RetimeOutcome, RetimingProblem, RetimingSolution,
-    SolverEngine,
+    solve_with_slot, AreaModel, Region, Regions, RetimeError, RetimeOutcome, RetimingProblem,
+    RetimingSolution, RetimingSweep, SolverEngine,
 };
 use retime_sta::{DelayModel, IncrementalTiming, SinkClass, TimingAnalysis, TwoPhaseClock};
 
@@ -143,6 +143,37 @@ pub fn vl_retime(
     clock: TwoPhaseClock,
     cfg: &VlConfig,
 ) -> Result<VlReport, RetimeError> {
+    vl_retime_impl(cloud, lib, clock, cfg, None)
+}
+
+/// [`vl_retime`] with a persistent warm-start slot. The virtual-library
+/// solve does not depend on the EDL overhead at all (the overhead only
+/// prices the area bill), so across a `c` sweep with a fixed variant the
+/// targeted flow instance is *identical* and every probe after the first
+/// is answered verbatim from the cached basis (`warm_hits`).
+/// `RETIME_WARM=0` turns the slot into a pass-through; a structurally
+/// different problem re-primes it. Per-call warm counters land in the
+/// report's `Stage::Solve` instrumentation.
+///
+/// # Errors
+/// The same failures as [`vl_retime`].
+pub fn vl_retime_with_sweep(
+    cloud: &CombCloud,
+    lib: &Library,
+    clock: TwoPhaseClock,
+    cfg: &VlConfig,
+    slot: &mut Option<RetimingSweep>,
+) -> Result<VlReport, RetimeError> {
+    vl_retime_impl(cloud, lib, clock, cfg, Some(slot))
+}
+
+fn vl_retime_impl(
+    cloud: &CombCloud,
+    lib: &Library,
+    clock: TwoPhaseClock,
+    cfg: &VlConfig,
+    mut slot: Option<&mut Option<RetimingSweep>>,
+) -> Result<VlReport, RetimeError> {
     let started = Instant::now();
     let pi = clock.period();
     let _flow_span = retime_trace::span("vl_retime");
@@ -270,7 +301,34 @@ pub fn vl_retime(
             let regions = ctx.data.regions.as_ref().expect("sta stage ran");
             let mut problem = RetimingProblem::build(cloud, regions);
             problem.set_movement_penalty(retime_retime::COMMERCIAL_MOVEMENT_PENALTY);
-            ctx.data.sol = Some(problem.solve(cfg.engine)?);
+            let sol = match &mut slot {
+                Some(slot) => {
+                    let slot = &mut **slot;
+                    let before = slot.as_ref().map(|s| s.stats()).unwrap_or_default();
+                    let sol = solve_with_slot(&problem, cfg.engine, slot)?;
+                    if let Some(sweep) = slot.as_ref() {
+                        // saturating: a re-primed slot restarts its counters.
+                        let s = sweep.stats();
+                        ctx.timings
+                            .count("warm_hits", s.warm_hits.saturating_sub(before.warm_hits));
+                        ctx.timings.count(
+                            "cost_resumes",
+                            s.cost_resumes.saturating_sub(before.cost_resumes),
+                        );
+                        ctx.timings.count(
+                            "demand_deltas",
+                            s.demand_deltas.saturating_sub(before.demand_deltas),
+                        );
+                        ctx.timings.count(
+                            "cold_solves",
+                            s.cold_solves.saturating_sub(before.cold_solves),
+                        );
+                    }
+                    sol
+                }
+                None => problem.solve(cfg.engine)?,
+            };
+            ctx.data.sol = Some(sol);
             ctx.timings.count("solver_invocations", 1);
             Ok(())
         })
@@ -554,6 +612,32 @@ mod tests {
             assert_eq!(seq.outcome.ed_sinks, par.outcome.ed_sinks);
             assert!((seq.outcome.total_area - par.outcome.total_area).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn warm_sweep_is_bit_identical_to_cold_runs_across_overheads() {
+        // The VL solve never sees the overhead, so a slot carried across
+        // the sweep answers every later probe verbatim from the basis.
+        let cloud = testbench();
+        let lib = Library::fdsoi28();
+        let clock = clock_for(&cloud, &lib, 1.1);
+        let mut slot = None;
+        for c in EdlOverhead::SWEEP {
+            let cfg = VlConfig::new(VlVariant::Rvl, c);
+            let cold = vl_retime(&cloud, &lib, clock, &cfg).unwrap();
+            let warm = vl_retime_with_sweep(&cloud, &lib, clock, &cfg, &mut slot).unwrap();
+            assert_eq!(warm.outcome.cut, cold.outcome.cut, "cut at {c}");
+            assert_eq!(warm.outcome.ed_sinks, cold.outcome.ed_sinks);
+            assert_eq!(warm.swapped, cold.swapped);
+            assert!((warm.outcome.total_area - cold.outcome.total_area).abs() < 1e-12);
+        }
+        let sweep = slot.expect("slot primed");
+        let s = sweep.stats();
+        assert_eq!(s.cold_solves, 1, "{s:?}");
+        assert_eq!(
+            s.warm_hits, 2,
+            "overhead-only re-runs are verbatim hits: {s:?}"
+        );
     }
 
     #[test]
