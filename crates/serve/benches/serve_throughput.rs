@@ -1,111 +1,14 @@
-//! Service throughput: jobs/sec cold (every job runs a flow) vs cached
-//! (every job is a content-addressed hit), with N concurrent clients.
+//! Service latency: a criterion group measuring the cached
+//! submit→result round-trip against an in-process server.
 //!
-//! `--json` runs both passes once against an in-process server and
-//! writes `BENCH_serve.json` at the repo root; without it, a criterion
-//! group measures the cached submit→result round-trip latency.
-
-use std::time::Instant;
+//! The `BENCH_serve.json` generator lives in the `serve-loadgen` binary
+//! now — it drives 1000+ concurrent connections through an epoll state
+//! machine and reports p50/p99/p999 latency plus saturation throughput,
+//! which a 4-client blocking loop here could never measure honestly.
 
 use criterion::{criterion_group, Criterion};
-use retime_circuits::paper_suite;
 use retime_serve::json::Json;
 use retime_serve::{Client, Server, ServerConfig};
-
-const CLIENTS: usize = 4;
-
-/// The tiny-suite job list: the four smallest circuits × two flows.
-fn job_list() -> Vec<(String, &'static str)> {
-    let mut specs = paper_suite();
-    specs.sort_by_key(|s| s.flops);
-    specs
-        .into_iter()
-        .take(4)
-        .flat_map(|s| {
-            ["base", "grar"]
-                .into_iter()
-                .map(move |flow| (s.name.to_string(), flow))
-        })
-        .collect()
-}
-
-/// Runs every job to completion across `CLIENTS` concurrent connections,
-/// returning (elapsed seconds, solver invocations reported by `result`).
-fn run_pass(addr: &str, jobs: &[(String, &'static str)]) -> (f64, u64) {
-    let t0 = Instant::now();
-    let solver_total = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..CLIENTS)
-            .map(|k| {
-                scope.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
-                    let mut solver = 0u64;
-                    for (circuit, flow) in jobs.iter().skip(k).step_by(CLIENTS) {
-                        let reply = client
-                            .submit_suite(circuit, flow, "medium")
-                            .expect("submit");
-                        assert_eq!(
-                            reply.get("ok"),
-                            Some(&Json::Bool(true)),
-                            "submit rejected: {}",
-                            reply.render()
-                        );
-                        let id = reply.get("id").and_then(Json::as_u64).expect("job id");
-                        let result = client.wait_result(id).expect("result");
-                        assert_eq!(
-                            result.get("status").and_then(Json::as_str),
-                            Some("done"),
-                            "job failed: {}",
-                            result.render()
-                        );
-                        solver += result
-                            .get("solver_invocations")
-                            .and_then(Json::as_u64)
-                            .expect("solver counter");
-                    }
-                    solver
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("client")).sum()
-    });
-    (t0.elapsed().as_secs_f64(), solver_total)
-}
-
-fn run_json() {
-    let handle = Server::spawn(ServerConfig {
-        queue_bound: 256,
-        ..ServerConfig::default()
-    })
-    .expect("spawn server");
-    let addr = handle.addr().to_string();
-    let jobs = job_list();
-
-    let (cold_s, cold_solver) = run_pass(&addr, &jobs);
-    assert!(cold_solver > 0, "cold pass must invoke the solver");
-    let (cached_s, cached_solver) = run_pass(&addr, &jobs);
-    assert_eq!(cached_solver, 0, "cached pass must be solver-free");
-
-    handle.shutdown();
-    handle.wait();
-
-    let n = jobs.len() as f64;
-    let json = format!(
-        "{{\n  \"jobs\": {},\n  \"clients\": {CLIENTS},\n  \
-         \"cold_jobs_per_sec\": {:.3},\n  \"cached_jobs_per_sec\": {:.3},\n  \
-         \"cold_solver_invocations\": {cold_solver},\n  \
-         \"cached_solver_invocations\": {cached_solver},\n  \
-         \"cache_speedup\": {:.1}\n}}\n",
-        jobs.len(),
-        n / cold_s,
-        n / cached_s,
-        cold_s / cached_s,
-    );
-    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_serve.json");
-    std::fs::write(&out, &json).expect("writes json");
-    print!("{json}");
-}
 
 fn bench_serve(c: &mut Criterion) {
     let handle = Server::spawn(ServerConfig::default()).expect("spawn server");
@@ -139,9 +42,5 @@ fn bench_serve(c: &mut Criterion) {
 criterion_group!(benches, bench_serve);
 
 fn main() {
-    if std::env::args().any(|a| a == "--json") {
-        run_json();
-    } else {
-        benches();
-    }
+    benches();
 }

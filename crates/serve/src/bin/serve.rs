@@ -1,12 +1,20 @@
 //! `retime-serve` — start the retiming daemon.
 //!
 //! ```text
-//! retime-serve [--addr 127.0.0.1:0] [--workers N] [--queue-bound N] [--verbose]
+//! retime-serve [--addr 127.0.0.1:0] [--workers N] [--queue-bound N]
+//!              [--cache-dir DIR] [--cache-max-bytes N]
+//!              [--memory-entries N] [--reactors N] [--verbose]
 //! ```
 //!
 //! Prints the bound address on stdout (one line, flushed) so scripts can
 //! bind port 0 and discover the kernel-chosen port, then serves until a
 //! client sends `shutdown`.
+//!
+//! `--cache-dir` turns on the persistent content-addressed result cache:
+//! finished payloads are written crash-safely (temp + fsync + atomic
+//! rename) under sharded paths, recovered and re-served bit-identical
+//! across restarts, and evicted LRU once the tier exceeds
+//! `--cache-max-bytes` (default 1 GiB).
 //!
 //! With `RETIME_TRACE=1` (or `RETIME_TRACE_OUT=trace.json`) the daemon
 //! records per-job spans — queue-wait vs execute, linked by job id — and
@@ -20,17 +28,28 @@ use retime_serve::{Server, ServerConfig};
 fn main() {
     let trace = retime_trace::TraceSession::from_env();
     let mut config = ServerConfig::default();
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut cache_max_bytes: u64 = 1 << 30;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => config.addr = expect_value(&mut args, "--addr"),
             "--workers" => config.workers = expect_parsed(&mut args, "--workers"),
             "--queue-bound" => config.queue_bound = expect_parsed(&mut args, "--queue-bound"),
+            "--cache-dir" => cache_dir = Some(expect_value(&mut args, "--cache-dir").into()),
+            "--cache-max-bytes" => {
+                cache_max_bytes = expect_parsed(&mut args, "--cache-max-bytes") as u64;
+            }
+            "--memory-entries" => {
+                config.cache.memory_entries = expect_parsed(&mut args, "--memory-entries");
+            }
+            "--reactors" => config.reactors = expect_parsed(&mut args, "--reactors"),
             "--verbose" | "-v" => config.verbose = true,
             "--help" | "-h" => {
                 println!(
                     "usage: retime-serve [--addr HOST:PORT] [--workers N] \
-                     [--queue-bound N] [--verbose]"
+                     [--queue-bound N] [--cache-dir DIR] [--cache-max-bytes N] \
+                     [--memory-entries N] [--reactors N] [--verbose]"
                 );
                 return;
             }
@@ -41,10 +60,17 @@ fn main() {
         }
     }
 
+    if let Some(dir) = cache_dir {
+        config.cache.disk = Some(retime_serve::DiskCacheConfig {
+            dir,
+            max_bytes: cache_max_bytes,
+        });
+    }
+
     let handle = match Server::spawn(config) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("retime-serve: bind failed: {e}");
+            eprintln!("retime-serve: startup failed: {e}");
             std::process::exit(1);
         }
     };

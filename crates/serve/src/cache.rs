@@ -1,14 +1,25 @@
-//! Content-addressed result cache.
+//! Tiered content-addressed result cache: in-memory LRU over an
+//! optional persistent disk tier.
 //!
 //! Keys are the SHA-256 of canonical netlist + library + flow config
 //! (see [`crate::canon::cache_key`]); values are the finished job
 //! payloads. A repeat submission of an identical job is answered from
 //! here with zero solver work, byte-identical to the first run.
+//!
+//! Lookups consult the memory tier first, then fall through to the
+//! [`DiskCache`] (when the daemon runs with `--cache-dir`) — a disk hit
+//! re-verifies the payload digest, promotes the entry into memory, and
+//! is counted separately from a memory hit so the disk-vs-memory split
+//! shows up in the Prometheus metrics. Stores write through: memory
+//! immediately, then the crash-safe disk protocol. Disk failures are
+//! counted and swallowed — persistence is an accelerator, never a
+//! correctness dependency.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::disk::{DiskCache, DiskCacheConfig, RecoveryStats};
 use crate::job::JobOutput;
 
 /// A cached result: the deterministic payload and its digest.
@@ -20,62 +31,238 @@ pub struct CachedResult {
     pub payload_sha256: String,
 }
 
-/// Thread-safe content-addressed store with hit/miss counters.
+/// How a [`ResultCache`] is wired up.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Memory-tier entry cap (`0` = unbounded).
+    pub memory_entries: usize,
+    /// Optional persistent tier.
+    pub disk: Option<DiskCacheConfig>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            memory_entries: 4096,
+            disk: None,
+        }
+    }
+}
+
+/// Which tier answered a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitTier {
+    /// Served straight from the in-memory map.
+    Memory,
+    /// Re-read and verified from the disk tier (then promoted).
+    Disk,
+}
+
 #[derive(Default)]
+struct MemTier {
+    entries: HashMap<String, (Arc<CachedResult>, u64)>,
+    /// seq → key, LRU order.
+    order: BTreeMap<u64, String>,
+    next_seq: u64,
+}
+
+impl MemTier {
+    fn get(&mut self, key: &str) -> Option<Arc<CachedResult>> {
+        let next = self.next_seq;
+        let (value, seq) = self.entries.get_mut(key)?;
+        self.order.remove(seq);
+        *seq = next;
+        self.order.insert(next, key.to_string());
+        self.next_seq += 1;
+        Some(Arc::clone(value))
+    }
+
+    fn insert(&mut self, key: &str, value: Arc<CachedResult>, cap: usize) -> u64 {
+        if let Some((_, seq)) = self.entries.remove(key) {
+            self.order.remove(&seq);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(key.to_string(), (value, seq));
+        self.order.insert(seq, key.to_string());
+        let mut evicted = 0;
+        while cap != 0 && self.entries.len() > cap {
+            let Some((_, victim)) = self.order.pop_first() else {
+                break;
+            };
+            self.entries.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// Counter snapshot of the cache's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub memory_hits: u64,
+    /// Lookups answered from disk (verified + promoted).
+    pub disk_hits: u64,
+    /// Lookups answered by neither tier.
+    pub misses: u64,
+    /// Memory-tier entries dropped by the entry cap.
+    pub memory_evictions: u64,
+    /// Disk-tier entries dropped by the byte cap.
+    pub disk_evictions: u64,
+    /// Disk stores/loads that failed (persistence is best-effort).
+    pub disk_errors: u64,
+    /// Accumulated age (seconds since write) of disk-served entries.
+    pub disk_hit_age_secs: u64,
+}
+
+/// Thread-safe tiered content-addressed store.
 pub struct ResultCache {
-    entries: Mutex<HashMap<String, Arc<CachedResult>>>,
-    hits: AtomicU64,
+    mem: Mutex<MemTier>,
+    memory_entries: usize,
+    disk: Option<DiskCache>,
+    recovery: RecoveryStats,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
+    memory_evictions: AtomicU64,
+    disk_errors: AtomicU64,
+    disk_hit_age_secs: AtomicU64,
+}
+
+impl Default for ResultCache {
+    fn default() -> ResultCache {
+        ResultCache::new()
+    }
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An unbounded memory-only cache (the test/bench default).
     pub fn new() -> ResultCache {
-        ResultCache::default()
+        ResultCache::with_config(CacheConfig {
+            memory_entries: 0,
+            disk: None,
+        })
+        .expect("memory-only cache cannot fail to open")
     }
 
-    /// Looks up a key, counting the hit or miss.
+    /// Opens a cache per `config`, running disk recovery when a
+    /// persistent tier is configured.
+    ///
+    /// # Errors
+    /// Propagates disk-tier open/scan failures.
+    pub fn with_config(config: CacheConfig) -> std::io::Result<ResultCache> {
+        let (disk, recovery) = match config.disk {
+            Some(cfg) => {
+                let (d, r) = DiskCache::open(cfg)?;
+                (Some(d), r)
+            }
+            None => (None, RecoveryStats::default()),
+        };
+        Ok(ResultCache {
+            mem: Mutex::new(MemTier::default()),
+            memory_entries: config.memory_entries,
+            disk,
+            recovery,
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            memory_evictions: AtomicU64::new(0),
+            disk_errors: AtomicU64::new(0),
+            disk_hit_age_secs: AtomicU64::new(0),
+        })
+    }
+
+    /// Looks up a key across both tiers, counting the hit tier or miss.
     pub fn lookup(&self, key: &str) -> Option<Arc<CachedResult>> {
-        let found = self.entries.lock().expect("cache lock").get(key).cloned();
-        if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        }
-        found
+        self.lookup_tiered(key).map(|(v, _)| v)
     }
 
-    /// Stores a finished job under its key (first writer wins; a
-    /// concurrent duplicate computed the same bytes anyway).
+    /// [`ResultCache::lookup`] that also reports which tier answered.
+    pub fn lookup_tiered(&self, key: &str) -> Option<(Arc<CachedResult>, HitTier)> {
+        if let Some(hit) = self.mem.lock().expect("cache lock").get(key) {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Some((hit, HitTier::Memory));
+        }
+        if let Some(disk) = &self.disk {
+            if let Some(entry) = disk.load(key) {
+                let value = Arc::new(CachedResult {
+                    payload: entry.payload,
+                    payload_sha256: entry.payload_sha256,
+                });
+                let evicted = self.mem.lock().expect("cache lock").insert(
+                    key,
+                    Arc::clone(&value),
+                    self.memory_entries,
+                );
+                self.memory_evictions.fetch_add(evicted, Ordering::Relaxed);
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.disk_hit_age_secs
+                    .fetch_add(entry.age_secs, Ordering::Relaxed);
+                return Some((value, HitTier::Disk));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a finished job under its key: memory immediately, then
+    /// write-through to the disk tier (best-effort, errors counted).
     pub fn store(&self, key: &str, output: &JobOutput) {
-        self.entries
+        let value = Arc::new(CachedResult {
+            payload: output.payload.clone(),
+            payload_sha256: output.payload_sha256.clone(),
+        });
+        let evicted = self
+            .mem
             .lock()
             .expect("cache lock")
-            .entry(key.to_string())
-            .or_insert_with(|| {
-                Arc::new(CachedResult {
-                    payload: output.payload.clone(),
-                    payload_sha256: output.payload_sha256.clone(),
-                })
-            });
+            .insert(key, value, self.memory_entries);
+        self.memory_evictions.fetch_add(evicted, Ordering::Relaxed);
+        if let Some(disk) = &self.disk {
+            if let Err(e) = disk.store(key, &output.payload, &output.payload_sha256) {
+                self.disk_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("[retime-serve] disk cache store failed for {key}: {e}");
+            }
+        }
     }
 
-    /// Entries stored.
+    /// Memory-tier entries resident.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.mem.lock().expect("cache lock").entries.len()
     }
 
-    /// Whether the cache is empty.
+    /// Whether the memory tier is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// (hits, misses) since start.
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+    /// Disk-tier entry count (0 without a persistent tier).
+    pub fn disk_len(&self) -> usize {
+        self.disk.as_ref().map_or(0, DiskCache::len)
+    }
+
+    /// Disk-tier resident bytes (0 without a persistent tier).
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk.as_ref().map_or(0, DiskCache::total_bytes)
+    }
+
+    /// What startup recovery found (zeros without a persistent tier).
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            memory_evictions: self.memory_evictions.load(Ordering::Relaxed),
+            disk_evictions: self.disk.as_ref().map_or(0, DiskCache::evictions),
+            disk_errors: self.disk_errors.load(Ordering::Relaxed),
+            disk_hit_age_secs: self.disk_hit_age_secs.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -93,22 +280,67 @@ mod tests {
         }
     }
 
+    /// Cache keys are SHA-256 digests in production; derive one.
+    fn key(tag: &str) -> String {
+        crate::hash::sha256_hex(tag.as_bytes())
+    }
+
     #[test]
     fn lookup_counts_hits_and_misses() {
         let cache = ResultCache::new();
-        assert!(cache.lookup("k").is_none());
-        cache.store("k", &output("{\"a\":1}"));
-        let hit = cache.lookup("k").unwrap();
+        let k = key("k");
+        assert!(cache.lookup(&k).is_none());
+        cache.store(&k, &output("{\"a\":1}"));
+        let hit = cache.lookup(&k).unwrap();
         assert_eq!(hit.payload, "{\"a\":1}");
-        assert_eq!(cache.stats(), (1, 1));
+        let stats = cache.stats();
+        assert_eq!((stats.memory_hits, stats.misses), (1, 1));
         assert_eq!(cache.len(), 1);
     }
 
     #[test]
-    fn first_writer_wins() {
-        let cache = ResultCache::new();
-        cache.store("k", &output("first"));
-        cache.store("k", &output("second"));
-        assert_eq!(cache.lookup("k").unwrap().payload, "first");
+    fn memory_tier_evicts_lru_at_entry_cap() {
+        let cache = ResultCache::with_config(CacheConfig {
+            memory_entries: 2,
+            disk: None,
+        })
+        .unwrap();
+        let (a, b, c) = (key("a"), key("b"), key("c"));
+        cache.store(&a, &output("1"));
+        cache.store(&b, &output("2"));
+        assert!(cache.lookup(&a).is_some(), "a is now most recent");
+        cache.store(&c, &output("3"));
+        assert!(cache.lookup(&b).is_none(), "b was LRU");
+        assert!(cache.lookup(&a).is_some());
+        assert!(cache.lookup(&c).is_some());
+        assert_eq!(cache.stats().memory_evictions, 1);
+    }
+
+    #[test]
+    fn disk_tier_persists_across_cache_instances() {
+        let tmp = crate::disk::tests::TempDir::new("cache-tiered");
+        let cfg = || CacheConfig {
+            memory_entries: 8,
+            disk: Some(DiskCacheConfig {
+                dir: tmp.0.clone(),
+                max_bytes: 1 << 20,
+            }),
+        };
+        let k = key("k");
+        let first = ResultCache::with_config(cfg()).unwrap();
+        first.store(&k, &output("{\"persisted\":true}"));
+        drop(first);
+
+        let second = ResultCache::with_config(cfg()).unwrap();
+        assert_eq!(second.recovery().recovered, 1);
+        assert_eq!(second.len(), 0, "memory tier starts cold");
+        let (hit, tier) = second.lookup_tiered(&k).expect("disk hit");
+        assert_eq!(tier, HitTier::Disk);
+        assert_eq!(hit.payload, "{\"persisted\":true}");
+        // Promoted: the second lookup is a memory hit.
+        let (_, tier) = second.lookup_tiered(&k).expect("memory hit");
+        assert_eq!(tier, HitTier::Memory);
+        let stats = second.stats();
+        assert_eq!((stats.disk_hits, stats.memory_hits), (1, 1));
     }
 }

@@ -1,0 +1,570 @@
+//! Persistent sharded content-addressed result store.
+//!
+//! On-disk layout under the cache root:
+//!
+//! ```text
+//! <root>/ab/ab3f…e2.entry      ← one finished result, shard = key[0..2]
+//! <root>/ab/ab3f…e2.tmp-<n>    ← in-flight write (crash leftover only)
+//! <root>/quarantine/…          ← torn/corrupt files found on startup
+//! ```
+//!
+//! Every entry file is a one-line JSON header — the key, the payload's
+//! SHA-256, the payload byte length, and the write timestamp — followed
+//! by the raw payload bytes. The write protocol is crash-safe:
+//! serialize into `<final>.tmp-<seq>`, `fsync` the temp file, atomically
+//! `rename` it over the final path, then `fsync` the shard directory. A
+//! crash at any point leaves either the old state or the new state plus
+//! possibly a torn `.tmp-*` file; startup recovery
+//! ([`DiskCache::open`]) validates every `.entry` (header parses, name
+//! matches key, digest matches payload) into the index and moves
+//! everything else into `quarantine/`, counting both outcomes.
+//!
+//! The in-memory index mirrors the directory: key → byte size + LRU
+//! stamp. Inserts past the byte cap evict strictly least-recently-used
+//! entries (loads refresh recency, and touch the file's mtime so the
+//! ordering survives a restart). [`shard_rel_path`] / [`key_of_rel_path`]
+//! are the pure key↔path maps the format proptests round-trip.
+//!
+//! Fault injection: setting `RETIME_SERVE_CACHE_FAULT=abort-before-rename`
+//! makes the first store abort the process between the temp-file write
+//! and the rename — the crash-recovery integration test uses this to
+//! manufacture a torn write deterministically.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+use crate::hash::sha256_hex;
+use crate::json::{obj, parse, Json};
+
+/// Suffix of a committed entry file.
+pub const ENTRY_SUFFIX: &str = ".entry";
+/// Infix marking an in-flight temp file (`<key>.entry.tmp-<seq>`).
+pub const TMP_INFIX: &str = ".tmp-";
+/// Subdirectory torn/corrupt files are moved into on startup.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Relative path of a key's entry file: `ab/ab…{64 hex}.entry`.
+pub fn shard_rel_path(key: &str) -> PathBuf {
+    PathBuf::from(&key[..2]).join(format!("{key}{ENTRY_SUFFIX}"))
+}
+
+/// Inverse of [`shard_rel_path`]: recovers the key from a relative
+/// entry path, or `None` when the path is not a well-formed entry
+/// location (wrong shard, wrong suffix, non-hex, wrong length).
+pub fn key_of_rel_path(rel: &Path) -> Option<String> {
+    let mut comps = rel.components();
+    let shard = comps.next()?.as_os_str().to_str()?;
+    let file = comps.next()?.as_os_str().to_str()?;
+    if comps.next().is_some() {
+        return None;
+    }
+    let key = file.strip_suffix(ENTRY_SUFFIX)?;
+    let well_formed = key.len() == 64
+        && key
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+        && shard == &key[..2];
+    well_formed.then(|| key.to_string())
+}
+
+/// How a [`DiskCache`] is wired up.
+#[derive(Debug, Clone)]
+pub struct DiskCacheConfig {
+    /// Cache root directory (created if missing).
+    pub dir: PathBuf,
+    /// Byte cap across all entry files; inserts past it evict LRU.
+    pub max_bytes: u64,
+}
+
+/// What startup recovery found in an existing cache directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Valid entries admitted into the index.
+    pub recovered: u64,
+    /// Torn temp files and corrupt entries moved to `quarantine/`.
+    pub discarded: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    bytes: u64,
+    /// LRU stamp: larger = more recently used.
+    seq: u64,
+}
+
+#[derive(Default)]
+struct Index {
+    entries: HashMap<String, IndexEntry>,
+    /// seq → key, the eviction order. Kept in lockstep with `entries`.
+    order: BTreeMap<u64, String>,
+    total_bytes: u64,
+    next_seq: u64,
+}
+
+impl Index {
+    fn touch(&mut self, key: &str) {
+        if let Some(e) = self.entries.get_mut(key) {
+            self.order.remove(&e.seq);
+            e.seq = self.next_seq;
+            self.order.insert(e.seq, key.to_string());
+            self.next_seq += 1;
+        }
+    }
+
+    fn insert(&mut self, key: &str, bytes: u64) {
+        if let Some(old) = self.entries.remove(key) {
+            self.order.remove(&old.seq);
+            self.total_bytes -= old.bytes;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries
+            .insert(key.to_string(), IndexEntry { bytes, seq });
+        self.order.insert(seq, key.to_string());
+        self.total_bytes += bytes;
+    }
+
+    fn remove(&mut self, key: &str) -> Option<u64> {
+        let e = self.entries.remove(key)?;
+        self.order.remove(&e.seq);
+        self.total_bytes -= e.bytes;
+        Some(e.bytes)
+    }
+
+    fn lru_key(&self) -> Option<String> {
+        self.order.values().next().cloned()
+    }
+}
+
+/// A validated entry read back from disk.
+#[derive(Debug)]
+pub struct DiskEntry {
+    /// The stored payload text, byte-identical to what was written.
+    pub payload: String,
+    /// SHA-256 (hex) of `payload`, from the verified header.
+    pub payload_sha256: String,
+    /// Seconds since the entry was written (0 when clocks disagree).
+    pub age_secs: u64,
+}
+
+/// The persistent store: sharded directory plus in-memory LRU index.
+pub struct DiskCache {
+    dir: PathBuf,
+    max_bytes: u64,
+    index: Mutex<Index>,
+    tmp_seq: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (or creates) a cache directory, scanning existing shards
+    /// into the index. Valid entries are admitted oldest-mtime-first so
+    /// the rebuilt LRU order matches the writing process's; torn temp
+    /// files and corrupt entries are moved to `quarantine/` and counted.
+    ///
+    /// # Errors
+    /// Propagates directory creation/scan failures. Unreadable
+    /// individual files are quarantined, not fatal.
+    pub fn open(cfg: DiskCacheConfig) -> io::Result<(DiskCache, RecoveryStats)> {
+        fs::create_dir_all(&cfg.dir)?;
+        let cache = DiskCache {
+            dir: cfg.dir,
+            max_bytes: cfg.max_bytes,
+            index: Mutex::new(Index::default()),
+            tmp_seq: AtomicU64::new(1),
+            evictions: AtomicU64::new(0),
+        };
+        let mut stats = RecoveryStats::default();
+        // (mtime, key, bytes) of every valid entry, admitted in age order.
+        let mut valid: Vec<(SystemTime, String, u64)> = Vec::new();
+        for shard in fs::read_dir(&cache.dir)? {
+            let shard = shard?;
+            let name = shard.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !shard.file_type()?.is_dir() || name == QUARANTINE_DIR {
+                continue;
+            }
+            for file in fs::read_dir(shard.path())? {
+                let file = file?;
+                let rel = PathBuf::from(name).join(file.file_name());
+                match cache.validate(&file.path(), &rel) {
+                    Some((key, bytes)) => {
+                        let mtime = file
+                            .metadata()
+                            .and_then(|m| m.modified())
+                            .unwrap_or(SystemTime::UNIX_EPOCH);
+                        valid.push((mtime, key, bytes));
+                    }
+                    None => {
+                        cache.quarantine(&file.path());
+                        stats.discarded += 1;
+                    }
+                }
+            }
+        }
+        valid.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        let mut index = cache.index.lock().expect("disk index lock");
+        for (_, key, bytes) in valid {
+            index.insert(&key, bytes);
+            stats.recovered += 1;
+        }
+        drop(index);
+        Ok((cache, stats))
+    }
+
+    /// Checks one scanned file: committed suffix, header parses, name
+    /// matches the header key, digest matches the payload. Returns the
+    /// key and file size, or `None` for anything quarantine-worthy.
+    fn validate(&self, path: &Path, rel: &Path) -> Option<(String, u64)> {
+        let key = key_of_rel_path(rel)?;
+        let entry = read_entry(path, &key).ok()?;
+        let bytes = fs::metadata(path).ok()?.len();
+        let _ = entry;
+        Some((key, bytes))
+    }
+
+    fn quarantine(&self, path: &Path) {
+        let pen = self.dir.join(QUARANTINE_DIR);
+        let _ = fs::create_dir_all(&pen);
+        if let Some(name) = path.file_name() {
+            let _ = fs::rename(path, pen.join(name));
+        }
+    }
+
+    /// Loads and verifies a key's entry, refreshing its LRU recency (in
+    /// memory and on the file's mtime). Returns `None` on miss; a
+    /// corrupt entry is quarantined and reads as a miss.
+    pub fn load(&self, key: &str) -> Option<DiskEntry> {
+        {
+            let index = self.index.lock().expect("disk index lock");
+            index.entries.get(key)?;
+        }
+        let path = self.dir.join(shard_rel_path(key));
+        match read_entry(&path, key) {
+            Ok(entry) => {
+                let mut index = self.index.lock().expect("disk index lock");
+                index.touch(key);
+                drop(index);
+                if let Ok(f) = fs::OpenOptions::new().append(true).open(&path) {
+                    let _ = f.set_modified(SystemTime::now());
+                }
+                Some(entry)
+            }
+            Err(_) => {
+                let mut index = self.index.lock().expect("disk index lock");
+                index.remove(key);
+                drop(index);
+                self.quarantine(&path);
+                None
+            }
+        }
+    }
+
+    /// Persists a payload under its key with the crash-safe temp-file +
+    /// `fsync` + atomic-rename protocol, then evicts LRU entries until
+    /// the byte cap holds again. Returns how many entries were evicted.
+    ///
+    /// # Errors
+    /// Propagates I/O failures; the index is only updated after the
+    /// rename committed.
+    pub fn store(&self, key: &str, payload: &str, payload_sha256: &str) -> io::Result<u64> {
+        let rel = shard_rel_path(key);
+        let final_path = self.dir.join(&rel);
+        let shard_dir = final_path.parent().expect("entry has a shard dir");
+        fs::create_dir_all(shard_dir)?;
+
+        let header = obj(vec![
+            ("key", Json::Str(key.to_string())),
+            ("sha256", Json::Str(payload_sha256.to_string())),
+            ("len", Json::Num(payload.len() as f64)),
+            ("created_unix", Json::Num(unix_now() as f64)),
+        ])
+        .render();
+        let tmp = self.dir.join(format!(
+            "{}{}{}",
+            rel.display(),
+            TMP_INFIX,
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(header.as_bytes())?;
+            f.write_all(b"\n")?;
+            f.write_all(payload.as_bytes())?;
+            f.sync_all()?;
+        }
+        if fault_abort_armed() {
+            eprintln!("[retime-serve] cache fault injection: aborting before rename of {key}");
+            std::process::abort();
+        }
+        fs::rename(&tmp, &final_path)?;
+        // Persist the rename itself: fsync the shard directory.
+        if let Ok(d) = fs::File::open(shard_dir) {
+            let _ = d.sync_all();
+        }
+
+        let bytes = fs::metadata(&final_path)?.len();
+        let mut index = self.index.lock().expect("disk index lock");
+        index.insert(key, bytes);
+        let mut evicted = 0;
+        while index.total_bytes > self.max_bytes {
+            let Some(victim) = index.lru_key() else { break };
+            index.remove(&victim);
+            let _ = fs::remove_file(self.dir.join(shard_rel_path(&victim)));
+            evicted += 1;
+        }
+        drop(index);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        Ok(evicted)
+    }
+
+    /// Entries currently indexed.
+    pub fn len(&self) -> usize {
+        self.index.lock().expect("disk index lock").entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes of all indexed entry files.
+    pub fn total_bytes(&self) -> u64 {
+        self.index.lock().expect("disk index lock").total_bytes
+    }
+
+    /// Lifetime eviction count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Keys in eviction order, least recently used first (test hook for
+    /// the strict-LRU property).
+    pub fn keys_lru(&self) -> Vec<String> {
+        self.index
+            .lock()
+            .expect("disk index lock")
+            .order
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Per-key byte sizes (test hook for rebuild-equality checks).
+    pub fn sizes(&self) -> BTreeMap<String, u64> {
+        self.index
+            .lock()
+            .expect("disk index lock")
+            .entries
+            .iter()
+            .map(|(k, e)| (k.clone(), e.bytes))
+            .collect()
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+/// Whether the fault-injection env knob arms an abort before rename.
+fn fault_abort_armed() -> bool {
+    static ARMED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ARMED.get_or_init(|| {
+        matches!(
+            std::env::var("RETIME_SERVE_CACHE_FAULT").as_deref(),
+            Ok("abort-before-rename")
+        )
+    })
+}
+
+/// Reads and fully validates one entry file: header line parses, its
+/// key matches `key`, its length matches the payload, and the payload
+/// hashes to the recorded digest.
+fn read_entry(path: &Path, key: &str) -> io::Result<DiskEntry> {
+    let mut raw = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut raw)?;
+    let nl = raw
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| corrupt("missing header line"))?;
+    let header_text = std::str::from_utf8(&raw[..nl]).map_err(|_| corrupt("non-UTF-8 header"))?;
+    let header = parse(header_text).map_err(|_| corrupt("unparseable header"))?;
+    if header.get("key").and_then(Json::as_str) != Some(key) {
+        return Err(corrupt("header key mismatch"));
+    }
+    let sha = header
+        .get("sha256")
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt("header missing sha256"))?;
+    let len = header
+        .get("len")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt("header missing len"))?;
+    let payload = &raw[nl + 1..];
+    if payload.len() as u64 != len {
+        return Err(corrupt("payload length mismatch"));
+    }
+    if sha256_hex(payload) != sha {
+        return Err(corrupt("payload digest mismatch"));
+    }
+    let created = header
+        .get("created_unix")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let payload = String::from_utf8(payload.to_vec()).map_err(|_| corrupt("non-UTF-8 payload"))?;
+    Ok(DiskEntry {
+        payload,
+        payload_sha256: sha.to_string(),
+        age_secs: unix_now().saturating_sub(created),
+    })
+}
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt cache entry: {what}"),
+    )
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// A unique scratch directory under the system temp dir, removed on
+    /// drop.
+    pub(crate) struct TempDir(pub PathBuf);
+
+    impl TempDir {
+        pub(crate) fn new(tag: &str) -> TempDir {
+            static N: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "retime-serve-{tag}-{}-{}",
+                std::process::id(),
+                N.fetch_add(1, Ordering::Relaxed),
+            ));
+            fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn key(n: u8) -> String {
+        sha256_hex(&[n])
+    }
+
+    fn open(dir: &Path, cap: u64) -> (DiskCache, RecoveryStats) {
+        DiskCache::open(DiskCacheConfig {
+            dir: dir.to_path_buf(),
+            max_bytes: cap,
+        })
+        .expect("open disk cache")
+    }
+
+    fn store(cache: &DiskCache, key: &str, payload: &str) -> u64 {
+        cache
+            .store(key, payload, &sha256_hex(payload.as_bytes()))
+            .expect("store")
+    }
+
+    #[test]
+    fn path_round_trip_and_rejects() {
+        let k = key(1);
+        let rel = shard_rel_path(&k);
+        assert_eq!(key_of_rel_path(&rel), Some(k.clone()));
+        assert_eq!(rel.parent().unwrap().to_str().unwrap(), &k[..2]);
+        // Wrong shard dir, bad suffix, junk names.
+        assert_eq!(
+            key_of_rel_path(&PathBuf::from("zz").join(format!("{k}.entry"))),
+            None
+        );
+        assert_eq!(
+            key_of_rel_path(&PathBuf::from(&k[..2]).join(format!("{k}.tmp-1"))),
+            None
+        );
+        assert_eq!(key_of_rel_path(&PathBuf::from("ab/short.entry")), None);
+    }
+
+    #[test]
+    fn store_load_round_trip_survives_reopen() {
+        let tmp = TempDir::new("roundtrip");
+        let (cache, stats) = open(&tmp.0, 1 << 20);
+        assert_eq!(stats, RecoveryStats::default());
+        let k = key(1);
+        store(&cache, &k, "{\"hello\":1}");
+        let hit = cache.load(&k).expect("hit");
+        assert_eq!(hit.payload, "{\"hello\":1}");
+        drop(cache);
+
+        let (reopened, stats) = open(&tmp.0, 1 << 20);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.discarded, 0);
+        let hit = reopened.load(&k).expect("hit after reopen");
+        assert_eq!(hit.payload, "{\"hello\":1}");
+        assert!(reopened.load(&key(2)).is_none());
+    }
+
+    #[test]
+    fn eviction_is_lru_and_respects_cap() {
+        let tmp = TempDir::new("evict");
+        let (cache, _) = open(&tmp.0, 600);
+        let payload = "x".repeat(100); // file size ≈ 100 + header
+        store(&cache, &key(1), &payload);
+        store(&cache, &key(2), &payload);
+        // Touch key 1 so key 2 is now LRU.
+        cache.load(&key(1)).expect("hit");
+        store(&cache, &key(3), &payload);
+        assert!(cache.total_bytes() <= 600);
+        assert!(cache.load(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.load(&key(1)).is_some());
+        assert!(cache.load(&key(3)).is_some());
+        assert!(cache.evictions() >= 1);
+    }
+
+    #[test]
+    fn torn_temp_and_corrupt_entries_are_quarantined() {
+        let tmp = TempDir::new("quarantine");
+        let (cache, _) = open(&tmp.0, 1 << 20);
+        let k1 = key(1);
+        let k2 = key(2);
+        store(&cache, &k1, "good");
+        store(&cache, &k2, "soon-corrupt");
+        drop(cache);
+
+        // A torn temp file and a bit-flipped entry.
+        let shard = tmp.0.join(&k1[..2]);
+        fs::write(shard.join(format!("{k1}.entry.tmp-9")), b"torn").unwrap();
+        let victim = tmp.0.join(shard_rel_path(&k2));
+        let mut bytes = fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&victim, &bytes).unwrap();
+
+        let (reopened, stats) = open(&tmp.0, 1 << 20);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.discarded, 2);
+        assert!(reopened.load(&k1).is_some());
+        assert!(reopened.load(&k2).is_none());
+        let pen: Vec<_> = fs::read_dir(tmp.0.join(QUARANTINE_DIR))
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(pen.len(), 2, "{pen:?}");
+    }
+}

@@ -9,18 +9,26 @@
 //! tables use, on a worker pool built from
 //! [`retime_engine::parallel_map`].
 //!
-//! Three properties carry the design:
+//! Four properties carry the design:
 //!
-//! 1. **Content-addressed caching** ([`canon`], [`cache`]): a job's key
-//!    is the SHA-256 of its canonicalized netlist plus library and flow
-//!    configuration. Re-submitting the same circuit — even with shuffled
-//!    statements or different whitespace — is answered from the cache,
-//!    byte-identical to the first run, with zero solver work.
-//! 2. **Backpressure** ([`queue`]): the job queue is bounded; a
+//! 1. **Content-addressed caching** ([`canon`], [`cache`], [`disk`]): a
+//!    job's key is the SHA-256 of its canonicalized netlist plus library
+//!    and flow configuration. Re-submitting the same circuit — even with
+//!    shuffled statements or different whitespace — is answered from the
+//!    cache, byte-identical to the first run, with zero solver work.
+//!    With `--cache-dir` the cache gains a persistent sharded disk tier
+//!    (temp-file + fsync + atomic rename; startup recovery quarantines
+//!    torn writes), so restarts keep their warm results too.
+//! 2. **Nonblocking I/O** ([`epoll`], [`reactor`]): connections live on
+//!    a few reactor threads driving an epoll loop over nonblocking
+//!    sockets with per-connection NDJSON buffers. Idle and slow clients
+//!    cost buffers, not threads; stalled readers are disconnected at a
+//!    write-buffer cap instead of buffering without bound.
+//! 3. **Backpressure** ([`queue`]): the job queue is bounded; a
 //!    submission past the bound gets a structured `overloaded` reply
 //!    carrying `retry_after_ms` estimated from observed job wall-clock,
 //!    never an unbounded backlog.
-//! 3. **Observability** ([`metrics`]): cache hits/misses, queue depth,
+//! 4. **Observability** ([`metrics`]): cache hits/misses, queue depth,
 //!    per-flow per-stage wall-clock (the service view of Table VII), and
 //!    rejection counts export in Prometheus text format. Alongside the
 //!    metrics, the daemon records `retime-trace` spans when
@@ -47,16 +55,20 @@
 pub mod cache;
 pub mod canon;
 pub mod client;
+pub mod disk;
+pub mod epoll;
 pub mod hash;
 pub mod job;
 pub mod metrics;
 pub mod queue;
+pub mod reactor;
 pub mod server;
 pub mod warm;
 
-pub use cache::{CachedResult, ResultCache};
+pub use cache::{CacheConfig, CacheStats, CachedResult, HitTier, ResultCache};
 pub use canon::{cache_key, canonical_bench, warm_key, KeyConfig};
 pub use client::Client;
+pub use disk::{shard_rel_path, DiskCache, DiskCacheConfig, RecoveryStats};
 pub use hash::{sha256, sha256_hex};
 pub use job::{
     execute, execute_with_slot, prepare, render_payload, resolve_circuit, CircuitRef, JobOutput,
@@ -64,6 +76,7 @@ pub use job::{
 };
 pub use metrics::Metrics;
 pub use queue::{JobQueue, PushError};
+pub use reactor::ConnLimits;
 /// The deterministic JSON renderer/parser now lives in [`retime_trace`]
 /// (the Chrome-trace exporter shares it); re-exported so serve call
 /// sites keep their `crate::json::…` paths.

@@ -40,6 +40,51 @@ const FAMILIES: &[(&str, &str, &str)] = &[
         "Submissions that had to run a flow.",
     ),
     (
+        "retime_serve_cache_memory_hits_total",
+        "counter",
+        "Cache lookups answered by the in-memory tier.",
+    ),
+    (
+        "retime_serve_cache_disk_hits_total",
+        "counter",
+        "Cache lookups answered by the persistent disk tier (verified and promoted).",
+    ),
+    (
+        "retime_serve_cache_disk_hit_age_seconds_total",
+        "counter",
+        "Accumulated age of disk-served entries at hit time.",
+    ),
+    (
+        "retime_serve_cache_memory_evictions_total",
+        "counter",
+        "Memory-tier entries dropped by the entry cap.",
+    ),
+    (
+        "retime_serve_cache_disk_evictions_total",
+        "counter",
+        "Disk-tier entries dropped by the byte cap.",
+    ),
+    (
+        "retime_serve_cache_recovered_total",
+        "counter",
+        "Disk entries validated and re-admitted at startup recovery.",
+    ),
+    (
+        "retime_serve_cache_discarded_total",
+        "counter",
+        "Torn or corrupt disk files quarantined at startup recovery.",
+    ),
+    (
+        "retime_serve_cache_disk_errors_total",
+        "counter",
+        "Best-effort disk-tier operations that failed.",
+    ),
+    (
+        "retime_serve_slow_client_disconnects_total",
+        "counter",
+        "Connections dropped for exceeding the write-buffer cap.",
+    ),
+    (
         "retime_serve_rejected_overload_total",
         "counter",
         "Submissions rejected with a structured overloaded reply.",
@@ -98,6 +143,26 @@ const FAMILIES: &[(&str, &str, &str)] = &[
         "retime_serve_cache_entries",
         "gauge",
         "Entries in the result cache.",
+    ),
+    (
+        "retime_serve_cache_disk_entries",
+        "gauge",
+        "Entries resident in the persistent disk tier.",
+    ),
+    (
+        "retime_serve_cache_disk_bytes",
+        "gauge",
+        "Payload bytes resident in the persistent disk tier.",
+    ),
+    (
+        "retime_serve_open_connections",
+        "gauge",
+        "Client connections currently registered with a reactor.",
+    ),
+    (
+        "retime_serve_reactors",
+        "gauge",
+        "I/O reactor threads in the event loop.",
     ),
     (
         "retime_serve_warm_pool_entries",

@@ -1,33 +1,44 @@
-//! The retiming daemon: TCP acceptor, NDJSON protocol dispatch, and the
-//! worker pool that drains the bounded job queue.
+//! The retiming daemon: acceptor, reactor event loop, NDJSON protocol
+//! dispatch, and the worker pool that drains the bounded job queue.
+//!
+//! Connection I/O runs on a small fixed set of nonblocking
+//! [`reactor`](crate::reactor) threads (one epoll loop each); the
+//! acceptor only accepts and hands sockets over round-robin. A thousand
+//! idle clients therefore cost a thousand buffer pairs, not a thousand
+//! threads. Protocol handling — this module — is the
+//! [`Service`] the reactors call back into.
 //!
 //! One connection carries any number of newline-delimited JSON commands:
 //!
 //! * `submit` — name a circuit (suite name or inline `.bench` text), a
 //!   flow, an overhead; the reply is `queued`, `done` (cache hit), or a
 //!   structured `overloaded` rejection with `retry_after_ms`.
-//! * `status` / `result` — poll or (with `"wait": true`) block on a job.
+//! * `status` / `result` — poll or (with `"wait": true`) subscribe to a
+//!   job. A waited `result` does not block the reactor: the connection
+//!   is parked in a waiter table and the reply is injected when the
+//!   worker finishes the job.
 //! * `metrics` — Prometheus text exposition of the service counters.
 //! * `pause` / `resume` — hold and release the worker pool (used by the
 //!   backpressure tests to fill the queue deterministically).
 //! * `shutdown` — drain-then-exit: no new work is accepted, queued jobs
-//!   finish, workers and the acceptor join.
+//!   finish, workers, reactors, and the acceptor join.
 //!
 //! The pool is literally built on [`retime_engine::parallel_map`] — one
 //! supervisor thread fans `worker_loop` out over `workers` slots, so the
 //! pool size honors `RETIME_THREADS` exactly like every flow does.
+//! Results land in the tiered [`ResultCache`]; with `--cache-dir` they
+//! also persist across restarts (see [`crate::disk`]).
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 use retime_engine::{parallel_map, thread_count};
 use retime_liberty::Library;
 
-use crate::cache::{CachedResult, ResultCache};
+use crate::cache::{CacheConfig, CachedResult, ResultCache};
 use crate::canon::{warm_key, KeyConfig};
 use crate::job::{
     execute_with_slot, prepare, resolve_circuit, CircuitRef, JobSpec, ResolvedCircuit,
@@ -35,6 +46,7 @@ use crate::job::{
 use crate::json::{obj, parse, Json};
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, PushError};
+use crate::reactor::{reactor_pair, ConnLimits, LineReply, ReactorMsg, ReactorPost, Service};
 
 /// How a [`Server`] is wired up.
 #[derive(Debug, Clone)]
@@ -48,6 +60,13 @@ pub struct ServerConfig {
     pub queue_bound: usize,
     /// Log job lifecycle events to stderr.
     pub verbose: bool,
+    /// I/O reactor threads (`0` = auto, currently 2).
+    pub reactors: usize,
+    /// Result-cache wiring: memory-tier cap and optional `--cache-dir`
+    /// persistent tier.
+    pub cache: CacheConfig,
+    /// Per-connection line/write-buffer caps.
+    pub limits: ConnLimits,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +76,9 @@ impl Default for ServerConfig {
             workers: 0,
             queue_bound: 64,
             verbose: false,
+            reactors: 0,
+            cache: CacheConfig::default(),
+            limits: ConnLimits::default(),
         }
     }
 }
@@ -101,33 +123,54 @@ impl JobRecord {
     }
 }
 
-/// Everything the acceptor, connections, and workers share.
+/// Job records plus the deferred-`result` waiter table. One mutex
+/// guards both so a waiter can never be registered after its wake: the
+/// worker publishes `Done`/`Failed` and collects waiters under the same
+/// lock a dispatcher uses to check state before parking.
+#[derive(Default)]
+struct JobTable {
+    records: HashMap<u64, JobRecord>,
+    /// job id → connections waiting on it, as (reactor, conn) pairs.
+    waiters: HashMap<u64, Vec<(usize, u64)>>,
+}
+
+/// Everything the acceptor, reactors, and workers share.
 struct Shared {
     lib: Library,
     addr: SocketAddr,
     queue: JobQueue,
     cache: ResultCache,
     metrics: Metrics,
-    jobs: Mutex<HashMap<u64, JobRecord>>,
-    jobs_wake: Condvar,
+    jobs: Mutex<JobTable>,
     warm: crate::warm::WarmPool,
     suite_store: Mutex<HashMap<String, Arc<ResolvedCircuit>>>,
     next_id: AtomicU64,
     workers: usize,
     shutting_down: AtomicBool,
     verbose: bool,
+    /// Set once at spawn, after the reactor threads exist.
+    reactors: OnceLock<Vec<ReactorPost>>,
+    open_connections: AtomicU64,
 }
 
-/// The retiming service. [`Server::spawn`] binds, starts the pool, and
-/// returns a handle; all interaction then goes over the socket.
+impl Shared {
+    fn posts(&self) -> &[ReactorPost] {
+        self.reactors.get().map_or(&[], Vec::as_slice)
+    }
+}
+
+/// The retiming service. [`Server::spawn`] binds, starts the pool and
+/// the reactors, and returns a handle; all interaction then goes over
+/// the socket.
 pub struct Server;
 
 impl Server {
-    /// Binds the listener, starts the acceptor and the worker pool, and
-    /// returns a handle holding the bound address.
+    /// Binds the listener, opens the cache (running disk recovery when
+    /// `--cache-dir` is configured), and starts the worker pool, the
+    /// reactors, and the acceptor.
     ///
     /// # Errors
-    /// Propagates the bind failure.
+    /// Propagates bind and cache-open failures.
     pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -135,20 +178,33 @@ impl Server {
             0 => thread_count(),
             n => n,
         };
+        let n_reactors = match config.reactors {
+            0 => 2,
+            n => n,
+        };
+        let cache = ResultCache::with_config(config.cache.clone())?;
+        let recovery = cache.recovery();
+        if config.verbose && (recovery.recovered > 0 || recovery.discarded > 0) {
+            eprintln!(
+                "[retime-serve] cache recovery: {} entries re-admitted, {} quarantined",
+                recovery.recovered, recovery.discarded
+            );
+        }
         let shared = Arc::new(Shared {
             lib: Library::fdsoi28(),
             addr,
             queue: JobQueue::new(config.queue_bound),
-            cache: ResultCache::new(),
+            cache,
             metrics: Metrics::new(),
-            jobs: Mutex::new(HashMap::new()),
-            jobs_wake: Condvar::new(),
+            jobs: Mutex::new(JobTable::default()),
             warm: crate::warm::WarmPool::default(),
             suite_store: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             workers,
             shutting_down: AtomicBool::new(false),
             verbose: config.verbose,
+            reactors: OnceLock::new(),
+            open_connections: AtomicU64::new(0),
         });
 
         let pool = {
@@ -159,16 +215,34 @@ impl Server {
             })
         };
 
+        let mut posts = Vec::with_capacity(n_reactors);
+        let mut reactor_threads = Vec::with_capacity(n_reactors);
+        for idx in 0..n_reactors {
+            let (post, core) = reactor_pair(idx)?;
+            posts.push(post);
+            let shared = Arc::clone(&shared);
+            let limits = config.limits;
+            reactor_threads.push(std::thread::spawn(move || core.run(&shared, limits)));
+        }
+        shared
+            .reactors
+            .set(posts)
+            .unwrap_or_else(|_| unreachable!("reactor posts set once"));
+
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
+                let mut next_conn: u64 = 0;
                 for stream in listener.incoming() {
                     if shared.shutting_down.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    let shared = Arc::clone(&shared);
-                    std::thread::spawn(move || handle_connection(&shared, stream));
+                    let posts = shared.posts();
+                    let conn = next_conn;
+                    next_conn += 1;
+                    let reactor = (conn as usize) % posts.len();
+                    posts[reactor].inject(ReactorMsg::Accept { conn, stream });
                 }
             })
         };
@@ -178,6 +252,7 @@ impl Server {
             shared,
             acceptor: Some(acceptor),
             pool: Some(pool),
+            reactors: reactor_threads,
         })
     }
 }
@@ -188,6 +263,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     pool: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -197,10 +273,18 @@ impl ServerHandle {
     }
 
     /// Blocks until the server has drained and every thread joined —
-    /// returns after a client sends `shutdown`.
+    /// returns after a client sends `shutdown`. Order matters: the pool
+    /// drains first (its final `JobDone` replies still need reactors),
+    /// then the reactors flush and exit, then the acceptor joins.
     pub fn wait(mut self) {
         if let Some(pool) = self.pool.take() {
             let _ = pool.join();
+        }
+        for post in self.shared.posts() {
+            post.stop();
+        }
+        for reactor in self.reactors.drain(..) {
+            let _ = reactor.join();
         }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
@@ -228,7 +312,7 @@ fn worker_loop(shared: &Shared) {
     while let Some(id) = shared.queue.pop() {
         let work = {
             let mut jobs = shared.jobs.lock().expect("jobs lock");
-            match jobs.get_mut(&id) {
+            match jobs.records.get_mut(&id) {
                 Some(record) => match std::mem::replace(&mut record.state, JobState::Running) {
                     JobState::Queued(work) => Some(work),
                     other => {
@@ -319,33 +403,52 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         };
-        let mut jobs = shared.jobs.lock().expect("jobs lock");
-        if let Some(record) = jobs.get_mut(&id) {
-            record.state = state;
+        // Publish, then wake every parked `result --wait`: the waiter
+        // list is taken under the same lock that set the state, so a
+        // dispatcher either sees the final state or is on the list.
+        let waiters = {
+            let mut jobs = shared.jobs.lock().expect("jobs lock");
+            if let Some(record) = jobs.records.get_mut(&id) {
+                record.state = state;
+            }
+            jobs.waiters.remove(&id).unwrap_or_default()
+        };
+        let posts = shared.posts();
+        for (reactor, conn) in waiters {
+            if let Some(post) = posts.get(reactor) {
+                post.inject(ReactorMsg::JobDone { conn, id });
+            }
         }
-        drop(jobs);
-        shared.jobs_wake.notify_all();
     }
 }
 
-/// Serves one client connection: a loop of NDJSON request → reply.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = write_half;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = dispatch(shared, &line);
-        let mut text = reply.render();
-        text.push('\n');
-        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
-            break;
-        }
+impl Service for Shared {
+    fn handle_line(&self, reactor: usize, conn: u64, line: &str) -> LineReply {
+        dispatch(self, reactor, conn, line)
+    }
+
+    fn render_done(&self, id: u64) -> String {
+        let jobs = self.jobs.lock().expect("jobs lock");
+        render_result(&jobs, id).render()
+    }
+
+    fn on_connect(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_disconnect(&self, reactor: usize, conn: u64) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+        // Unpark nothing: just forget any waits this connection held.
+        let mut jobs = self.jobs.lock().expect("jobs lock");
+        jobs.waiters.retain(|_, list| {
+            list.retain(|&(r, c)| !(r == reactor && c == conn));
+            !list.is_empty()
+        });
+    }
+
+    fn on_write_overflow(&self) {
+        self.metrics
+            .inc("retime_serve_slow_client_disconnects_total", "", 1);
     }
 }
 
@@ -357,15 +460,15 @@ fn error_reply(msg: &str) -> Json {
 }
 
 /// Parses one request line and routes it to the command handler.
-fn dispatch(shared: &Shared, line: &str) -> Json {
+fn dispatch(shared: &Shared, reactor: usize, conn: u64, line: &str) -> LineReply {
     let v = match parse(line) {
         Ok(v) => v,
-        Err(e) => return error_reply(&format!("bad request: {e}")),
+        Err(e) => return LineReply::Now(error_reply(&format!("bad request: {e}")).render()),
     };
-    match v.get("cmd").and_then(Json::as_str) {
+    let reply = match v.get("cmd").and_then(Json::as_str) {
         Some("submit") => handle_submit(shared, &v),
         Some("status") => handle_status(shared, &v),
-        Some("result") => handle_result(shared, &v),
+        Some("result") => return handle_result(shared, reactor, conn, &v),
         Some("metrics") => handle_metrics(shared),
         Some("pause") => {
             shared.queue.pause();
@@ -389,7 +492,8 @@ fn dispatch(shared: &Shared, line: &str) -> Json {
             "unknown cmd {other:?} (submit | status | result | metrics | pause | resume | shutdown)"
         )),
         None => error_reply("missing `cmd`"),
-    }
+    };
+    LineReply::Now(reply.render())
 }
 
 /// Resolves a circuit, reusing prior suite builds (inline netlists are
@@ -435,7 +539,7 @@ fn handle_submit(shared: &Shared, v: &Json) -> Json {
     if let Some(hit) = shared.cache.lookup(&prepared.key) {
         shared.metrics.inc("retime_serve_cache_hits_total", "", 1);
         let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
-        shared.jobs.lock().expect("jobs lock").insert(
+        shared.jobs.lock().expect("jobs lock").records.insert(
             id,
             JobRecord {
                 cached: true,
@@ -446,7 +550,6 @@ fn handle_submit(shared: &Shared, v: &Json) -> Json {
                 },
             },
         );
-        shared.jobs_wake.notify_all();
         return obj(vec![
             ("ok", Json::Bool(true)),
             ("id", Json::Num(id as f64)),
@@ -461,7 +564,7 @@ fn handle_submit(shared: &Shared, v: &Json) -> Json {
     let retry_after_ms = shared
         .metrics
         .retry_after_ms(shared.queue.depth(), shared.workers);
-    shared.jobs.lock().expect("jobs lock").insert(
+    shared.jobs.lock().expect("jobs lock").records.insert(
         id,
         JobRecord {
             cached: false,
@@ -484,7 +587,7 @@ fn handle_submit(shared: &Shared, v: &Json) -> Json {
             ("key", Json::Str(prepared.key)),
         ]),
         Err(err) => {
-            shared.jobs.lock().expect("jobs lock").remove(&id);
+            shared.jobs.lock().expect("jobs lock").records.remove(&id);
             match err {
                 PushError::Overloaded { retry_after_ms } => {
                     shared
@@ -515,7 +618,7 @@ fn handle_status(shared: &Shared, v: &Json) -> Json {
         Err(e) => return e,
     };
     let jobs = shared.jobs.lock().expect("jobs lock");
-    match jobs.get(&id) {
+    match jobs.records.get(&id) {
         Some(record) => obj(vec![
             ("ok", Json::Bool(true)),
             ("id", Json::Num(id as f64)),
@@ -527,62 +630,110 @@ fn handle_status(shared: &Shared, v: &Json) -> Json {
     }
 }
 
-fn handle_result(shared: &Shared, v: &Json) -> Json {
-    let id = match job_id(v) {
-        Ok(id) => id,
-        Err(e) => return e,
+/// Renders the terminal `result` reply for `id` (the shared path for
+/// immediate answers and deferred `JobDone` deliveries).
+fn render_result(jobs: &JobTable, id: u64) -> Json {
+    let Some(record) = jobs.records.get(&id) else {
+        return error_reply(&format!("unknown job id {id}"));
     };
-    let wait = matches!(v.get("wait"), Some(Json::Bool(true)));
-    let mut jobs = shared.jobs.lock().expect("jobs lock");
-    loop {
-        let Some(record) = jobs.get(&id) else {
-            return error_reply(&format!("unknown job id {id}"));
-        };
-        match &record.state {
-            JobState::Done {
-                payload,
-                solver_invocations,
-            } => {
-                return obj(vec![
-                    ("ok", Json::Bool(true)),
-                    ("id", Json::Num(id as f64)),
-                    ("status", Json::Str("done".to_string())),
-                    ("cached", Json::Bool(record.cached)),
-                    ("key", Json::Str(record.key.clone())),
-                    ("payload_sha256", Json::Str(payload.payload_sha256.clone())),
-                    ("solver_invocations", Json::Num(*solver_invocations as f64)),
-                    ("result", Json::Raw(payload.payload.clone())),
-                ]);
-            }
-            JobState::Failed { error } => {
-                return obj(vec![
-                    ("ok", Json::Bool(false)),
-                    ("id", Json::Num(id as f64)),
-                    ("status", Json::Str("failed".to_string())),
-                    ("error", Json::Str(error.clone())),
-                ]);
-            }
-            _ if wait => {
-                jobs = shared.jobs_wake.wait(jobs).expect("jobs lock");
-            }
-            _ => {
-                return obj(vec![
-                    ("ok", Json::Bool(false)),
-                    ("id", Json::Num(id as f64)),
-                    ("status", Json::Str(record.status_name().to_string())),
-                    ("error", Json::Str("pending".to_string())),
-                ]);
-            }
-        }
+    match &record.state {
+        JobState::Done {
+            payload,
+            solver_invocations,
+        } => obj(vec![
+            ("ok", Json::Bool(true)),
+            ("id", Json::Num(id as f64)),
+            ("status", Json::Str("done".to_string())),
+            ("cached", Json::Bool(record.cached)),
+            ("key", Json::Str(record.key.clone())),
+            ("payload_sha256", Json::Str(payload.payload_sha256.clone())),
+            ("solver_invocations", Json::Num(*solver_invocations as f64)),
+            ("result", Json::Raw(payload.payload.clone())),
+        ]),
+        JobState::Failed { error } => obj(vec![
+            ("ok", Json::Bool(false)),
+            ("id", Json::Num(id as f64)),
+            ("status", Json::Str("failed".to_string())),
+            ("error", Json::Str(error.clone())),
+        ]),
+        _ => obj(vec![
+            ("ok", Json::Bool(false)),
+            ("id", Json::Num(id as f64)),
+            ("status", Json::Str(record.status_name().to_string())),
+            ("error", Json::Str("pending".to_string())),
+        ]),
     }
 }
 
+fn handle_result(shared: &Shared, reactor: usize, conn: u64, v: &Json) -> LineReply {
+    let id = match job_id(v) {
+        Ok(id) => id,
+        Err(e) => return LineReply::Now(e.render()),
+    };
+    let wait = matches!(v.get("wait"), Some(Json::Bool(true)));
+    let mut jobs = shared.jobs.lock().expect("jobs lock");
+    let pending = matches!(
+        jobs.records.get(&id).map(|r| &r.state),
+        Some(JobState::Queued(_) | JobState::Running)
+    );
+    if pending && wait {
+        // Park this connection; the worker injects the reply on finish.
+        jobs.waiters.entry(id).or_default().push((reactor, conn));
+        return LineReply::Deferred;
+    }
+    LineReply::Now(render_result(&jobs, id).render())
+}
+
 fn handle_metrics(shared: &Shared) -> Json {
+    let stats = shared.cache.stats();
+    let recovery = shared.cache.recovery();
     let text = shared.metrics.render(&[
         ("retime_serve_queue_depth", shared.queue.depth() as f64),
         ("retime_serve_workers", shared.workers as f64),
         ("retime_serve_cache_entries", shared.cache.len() as f64),
+        (
+            "retime_serve_cache_disk_entries",
+            shared.cache.disk_len() as f64,
+        ),
+        (
+            "retime_serve_cache_disk_bytes",
+            shared.cache.disk_bytes() as f64,
+        ),
+        (
+            "retime_serve_cache_memory_hits_total",
+            stats.memory_hits as f64,
+        ),
+        ("retime_serve_cache_disk_hits_total", stats.disk_hits as f64),
+        (
+            "retime_serve_cache_disk_hit_age_seconds_total",
+            stats.disk_hit_age_secs as f64,
+        ),
+        (
+            "retime_serve_cache_memory_evictions_total",
+            stats.memory_evictions as f64,
+        ),
+        (
+            "retime_serve_cache_disk_evictions_total",
+            stats.disk_evictions as f64,
+        ),
+        (
+            "retime_serve_cache_recovered_total",
+            recovery.recovered as f64,
+        ),
+        (
+            "retime_serve_cache_discarded_total",
+            recovery.discarded as f64,
+        ),
+        (
+            "retime_serve_cache_disk_errors_total",
+            stats.disk_errors as f64,
+        ),
         ("retime_serve_warm_pool_entries", shared.warm.len() as f64),
+        (
+            "retime_serve_open_connections",
+            shared.open_connections.load(Ordering::Relaxed) as f64,
+        ),
+        ("retime_serve_reactors", shared.posts().len() as f64),
     ]);
     obj(vec![("ok", Json::Bool(true)), ("metrics", Json::Str(text))])
 }

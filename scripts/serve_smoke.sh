@@ -5,24 +5,33 @@
 #   3. assert the second submission is a cache hit with zero solver work
 #      and a bit-identical result payload,
 #   4. scrape the metrics hit counter,
-#   5. shut the daemon down gracefully and check it exits.
-# Binaries default to the release profile; override with SERVE=/CLIENT=.
+#   5. shut the daemon down gracefully and check it exits,
+#   6. restart it on the same --cache-dir and assert the first
+#      submission is already a disk hit with the same payload digest,
+#   7. run a small serve-loadgen pass against the restarted daemon and
+#      validate the BENCH json it writes.
+# Binaries default to the release profile; override with SERVE=/CLIENT=/LOADGEN=.
 set -euo pipefail
 
 SERVE=${SERVE:-target/release/retime-serve}
 CLIENT=${CLIENT:-target/release/retime-client}
+LOADGEN=${LOADGEN:-target/release/serve-loadgen}
 BANNER=$(mktemp)
+CACHE_DIR=$(mktemp -d)
 
-"$SERVE" --addr 127.0.0.1:0 --queue-bound 16 >"$BANNER" &
+"$SERVE" --addr 127.0.0.1:0 --queue-bound 16 --cache-dir "$CACHE_DIR" >"$BANNER" &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$BANNER"' EXIT
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$BANNER" "$CACHE_DIR"' EXIT
 
-for _ in $(seq 1 100); do
-  grep -q "listening on" "$BANNER" && break
-  sleep 0.1
-done
-ADDR=$(sed -n 's/^retime-serve listening on //p' "$BANNER")
-[ -n "$ADDR" ] || { echo "FAIL: daemon never printed its address"; exit 1; }
+wait_for_addr() {
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$BANNER" && break
+    sleep 0.1
+  done
+  ADDR=$(sed -n 's/^retime-serve listening on //p' "$BANNER")
+  [ -n "$ADDR" ] || { echo "FAIL: daemon never printed its address"; exit 1; }
+}
+wait_for_addr
 echo "daemon at $ADDR"
 
 first=$("$CLIENT" --addr "$ADDR" submit --circuit s1196 --flow grar --c medium --wait)
@@ -51,5 +60,38 @@ row "$first" | grep -q '"total_area":' \
 "$CLIENT" --addr "$ADDR" shutdown | grep -q '"draining":true' \
   || { echo "FAIL: shutdown was not acknowledged"; exit 1; }
 wait "$SERVER_PID"
-trap 'rm -f "$BANNER"' EXIT
 echo "PASS: cache-hit round trip, metrics, and graceful shutdown"
+
+# --- Restart on the same cache dir: the disk tier must answer cold. ---
+: >"$BANNER"
+"$SERVE" --addr 127.0.0.1:0 --queue-bound 16 --cache-dir "$CACHE_DIR" >"$BANNER" &
+SERVER_PID=$!
+wait_for_addr
+echo "restarted daemon at $ADDR"
+
+third=$("$CLIENT" --addr "$ADDR" submit --circuit s1196 --flow grar --c medium --wait)
+echo "$third"
+echo "$third" | grep -q '"cached":true' \
+  || { echo "FAIL: restart-warm submission was not a cache hit"; exit 1; }
+echo "$third" | grep -q '"solver_invocations":0' \
+  || { echo "FAIL: restart-warm hit reported solver work"; exit 1; }
+[ "$(sha "$first")" = "$(sha "$third")" ] \
+  || { echo "FAIL: payload digest changed across restart"; exit 1; }
+"$CLIENT" --addr "$ADDR" metrics | grep -q '^retime_serve_cache_recovered_total 1$' \
+  || { echo "FAIL: recovery did not count the persisted entry"; exit 1; }
+
+# --- Small loadgen pass against the restarted (disk-warm) daemon. ---
+BENCH_JSON=$(mktemp)
+"$LOADGEN" --addr "$ADDR" --connections 50 --requests 200 --json "$BENCH_JSON"
+for field in p50_ms p99_ms p999_ms saturation_jobs_per_sec; do
+  grep -q "\"$field\":" "$BENCH_JSON" \
+    || { echo "FAIL: BENCH json missing $field"; rm -f "$BENCH_JSON"; exit 1; }
+done
+cat "$BENCH_JSON"
+rm -f "$BENCH_JSON"
+
+"$CLIENT" --addr "$ADDR" shutdown | grep -q '"draining":true' \
+  || { echo "FAIL: restarted daemon shutdown was not acknowledged"; exit 1; }
+wait "$SERVER_PID"
+trap 'rm -rf "$BANNER" "$CACHE_DIR"' EXIT
+echo "PASS: restart-warm disk hit, loadgen smoke, and graceful shutdown"
