@@ -1,0 +1,125 @@
+//! Conversion front-door throughput: EDIF write → parse → two-phase
+//! conversion on suite circuits.
+//!
+//! Modes:
+//!
+//! * default — criterion group on s1423 (fast, CI-smoke friendly);
+//! * `--json [circuit]` — best-of-3 timed breakdown on `circuit`
+//!   (default s35932, the largest suite circuit), written to
+//!   `BENCH_convert.json` in the repository root.
+//!
+//! The JSON path also reports parser throughput in MiB/s over the
+//! circuit's EDIF text, since the interned-atom reader is the piece the
+//! front door adds on top of the existing `.bench` path.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use retime_circuits::paper_suite;
+use retime_convert::{convert, edif, ConvertConfig};
+use retime_liberty::Library;
+use retime_netlist::Netlist;
+
+fn suite_netlist(name: &str) -> Netlist {
+    paper_suite()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("{name} not in suite"))
+        .build()
+        .expect("builds")
+        .netlist
+}
+
+/// One timed pass: returns (write, parse, convert) durations.
+fn one_pass(src: &Netlist, text: &str, lib: &Library) -> (Duration, Duration, Duration) {
+    let t0 = Instant::now();
+    let written = edif::write(src);
+    let write_t = t0.elapsed();
+    assert_eq!(written.len(), text.len(), "writer is deterministic");
+
+    let t0 = Instant::now();
+    let parsed = edif::parse(text).expect("suite EDIF parses");
+    let parse_t = t0.elapsed();
+
+    let cfg = ConvertConfig {
+        check: false, // the proof is covered by tests; this times the pass
+        ..ConvertConfig::default()
+    };
+    let t0 = Instant::now();
+    let conv = convert(&parsed, lib, &cfg).expect("suite circuit converts");
+    let convert_t = t0.elapsed();
+    assert_eq!(conv.netlist.stats().dffs, 0);
+
+    (write_t, parse_t, convert_t)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Best-of-3 breakdown written to `BENCH_convert.json`.
+fn run_json(circuit: &str) {
+    let lib = Library::fdsoi28();
+    let src = suite_netlist(circuit);
+    let text = edif::write(&src);
+    let stats = src.stats();
+    let (mut write_best, mut parse_best, mut convert_best) =
+        (Duration::MAX, Duration::MAX, Duration::MAX);
+    for _ in 0..3 {
+        let (w, p, c) = one_pass(&src, &text, &lib);
+        write_best = write_best.min(w);
+        parse_best = parse_best.min(p);
+        convert_best = convert_best.min(c);
+    }
+    let mib = text.len() as f64 / (1024.0 * 1024.0);
+    let parse_mib_s = mib / parse_best.as_secs_f64().max(1e-9);
+    let json = format!(
+        "{{\n  \"circuit\": \"{}\",\n  \"gates\": {},\n  \"flops\": {},\n  \
+         \"edif_bytes\": {},\n  \"write_ms\": {:.3},\n  \"parse_ms\": {:.3},\n  \
+         \"parse_mib_per_s\": {:.1},\n  \"convert_ms\": {:.3},\n  \"total_ms\": {:.3}\n}}\n",
+        circuit,
+        stats.gates,
+        stats.dffs,
+        text.len(),
+        ms(write_best),
+        ms(parse_best),
+        parse_mib_s,
+        ms(convert_best),
+        ms(write_best) + ms(parse_best) + ms(convert_best),
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_convert.json");
+    std::fs::write(&out, &json).expect("writes json");
+    print!("{json}");
+}
+
+fn bench_convert(c: &mut Criterion) {
+    let lib = Library::fdsoi28();
+    let src = suite_netlist("s1423");
+    let text = edif::write(&src);
+    let mut group = c.benchmark_group("convert_s1423");
+    group.sample_size(20);
+    group.bench_function("edif_parse", |b| {
+        b.iter(|| edif::parse(&text).expect("parses"))
+    });
+    group.bench_function("edif_write_parse_convert", |b| {
+        b.iter(|| one_pass(&src, &text, &lib))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_convert);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let circuit = match args.get(pos + 1) {
+            Some(name) if !name.starts_with('-') => name.clone(),
+            _ => "s35932".to_string(),
+        };
+        run_json(&circuit);
+    } else {
+        benches();
+    }
+}

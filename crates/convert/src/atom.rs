@@ -1,0 +1,136 @@
+//! Interned symbol table for the EDIF parser.
+//!
+//! EDIF netlists repeat the same identifiers relentlessly — every net
+//! lists its joined instance names again, every instance names its
+//! library cell, every `portRef` spells a port name that occurs on
+//! thousands of other instances. Interning turns each distinct string
+//! into a 4-byte [`Atom`] exactly once, so the parse tree stores copies
+//! of an index instead of copies of a string, comparisons are integer
+//! compares, and resolution back to text is an array lookup (the design
+//! SNIPPETS.md snippet 3 borrows from the `edif` crate's netlist
+//! model).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// An interned string: a cheap, `Copy` handle valid for the lifetime of
+/// the [`Interner`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom(u32);
+
+impl Atom {
+    /// The raw table index (mostly useful for debugging and stats).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The symbol table mapping strings to [`Atom`]s and back.
+///
+/// # Example
+/// ```
+/// let mut t = retime_convert::Interner::new();
+/// let a = t.intern("portRef");
+/// let b = t.intern("portRef");
+/// assert_eq!(a, b);
+/// assert_eq!(t.resolve(a), "portRef");
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: HashMap<Rc<str>, u32>,
+    names: Vec<Rc<str>>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `s`, returning the existing [`Atom`] if it was seen
+    /// before. The `Rc<str>` storage means each distinct string is
+    /// allocated once and shared between the lookup map and the
+    /// resolution table.
+    pub fn intern(&mut self, s: &str) -> Atom {
+        if let Some(&id) = self.map.get(s) {
+            return Atom(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("more than u32::MAX distinct atoms");
+        let owned: Rc<str> = Rc::from(s);
+        self.names.push(Rc::clone(&owned));
+        self.map.insert(owned, id);
+        Atom(id)
+    }
+
+    /// Looks a string up without interning it.
+    pub fn get(&self, s: &str) -> Option<Atom> {
+        self.map.get(s).map(|&id| Atom(id))
+    }
+
+    /// The text an [`Atom`] stands for.
+    ///
+    /// # Panics
+    /// Panics if `a` came from a different interner with more entries.
+    pub fn resolve(&self, a: Atom) -> &str {
+        &self.names[a.index()]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_resolvable() {
+        let mut t = Interner::new();
+        let a = t.intern("net");
+        let b = t.intern("instance");
+        let a2 = t.intern("net");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "net");
+        assert_eq!(t.resolve(b), "instance");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn interning_is_case_sensitive() {
+        // Keyword case-folding is the parser's concern, not the table's:
+        // EDIF identifiers are case-significant even though keywords are
+        // not, so the table must keep `Q` and `q` distinct.
+        let mut t = Interner::new();
+        assert_ne!(t.intern("Q"), t.intern("q"));
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = Interner::new();
+        assert_eq!(t.get("x"), None);
+        let a = t.intern("x");
+        assert_eq!(t.get("x"), Some(a));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn atoms_are_dense_indices() {
+        let mut t = Interner::new();
+        for i in 0..100 {
+            let a = t.intern(&format!("s{i}"));
+            assert_eq!(a.index(), i);
+        }
+        assert_eq!(t.len(), 100);
+        assert!(!t.is_empty());
+        assert!(Interner::new().is_empty());
+    }
+}

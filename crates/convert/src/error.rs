@@ -1,0 +1,190 @@
+//! Structured errors for the conversion front door.
+//!
+//! The EDIF reader is the subsystem's hostile-input surface: it must
+//! diagnose truncated files, pathological nesting, duplicate names, and
+//! dangling references with a structured error — never a panic, never a
+//! stack overflow (the s-expression parser is iterative and
+//! depth-limited for exactly that reason).
+
+use std::error::Error;
+use std::fmt;
+
+use retime_netlist::NetlistError;
+
+/// Everything the front door can reject: s-expression syntax trouble,
+/// EDIF structure violations, netlist construction failures, and
+/// conversion-time checks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConvertError {
+    /// A character-level syntax error at `line`/`col` (1-based).
+    Syntax {
+        /// 1-based line of the offending character.
+        line: usize,
+        /// 1-based column of the offending character.
+        col: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Input ended with `open` unclosed `(` lists (truncated file).
+    Truncated {
+        /// How many lists were still open at end of input.
+        open: usize,
+        /// 1-based line where input ended.
+        line: usize,
+    },
+    /// A `)` with no matching `(`.
+    UnexpectedClose {
+        /// 1-based line of the stray `)`.
+        line: usize,
+        /// 1-based column of the stray `)`.
+        col: usize,
+    },
+    /// Nesting exceeded the parser's depth limit.
+    TooDeep {
+        /// The configured limit that was exceeded.
+        limit: usize,
+        /// 1-based line where the limit was crossed.
+        line: usize,
+    },
+    /// A required EDIF section is missing (`edif`, `cell`, `view`, …).
+    MissingSection(&'static str),
+    /// Two ports, instances, or nets share a name.
+    DuplicateName {
+        /// What kind of object collided (`port`, `instance`, `net`).
+        kind: &'static str,
+        /// The colliding name.
+        name: String,
+    },
+    /// An instance references a library cell the reader cannot map onto
+    /// a netlist primitive.
+    UnknownCell(String),
+    /// A `portRef` names a port the referenced cell does not have.
+    UnknownPort {
+        /// The instance (or `<top>` for interface references).
+        instance: String,
+        /// The unmapped port name.
+        port: String,
+    },
+    /// A `portRef` names an instance that was never declared.
+    UnknownInstance(String),
+    /// A net joins two or more output pins.
+    MultipleDrivers(String),
+    /// A net (or top-level output port) has no driver.
+    Undriven(String),
+    /// A name contains characters the `.bench` canonical form cannot
+    /// round-trip (parentheses, commas, `=`, whitespace, …).
+    BadName(String),
+    /// EDIF structure the reader cannot interpret (malformed form,
+    /// non-contiguous pin indices, a pin joined twice, …).
+    BadStructure(String),
+    /// A netlist-level failure (arity, combinational cycle, …).
+    Netlist(NetlistError),
+    /// Conversion requires a flip-flop netlist but got something else,
+    /// or the converted circuit failed a structural invariant.
+    Convert(String),
+    /// Timing analysis of the converted circuit failed.
+    Sta(String),
+    /// The converted circuit disagreed with its FF source in functional
+    /// simulation (this indicates a bug — the splitter is semantics-
+    /// preserving by construction).
+    NotEquivalent {
+        /// First simulated cycle whose outputs differed.
+        cycle: usize,
+    },
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertError::Syntax { line, col, message } => {
+                write!(f, "syntax error at {line}:{col}: {message}")
+            }
+            ConvertError::Truncated { open, line } => {
+                write!(f, "truncated input at line {line}: {open} unclosed `(`")
+            }
+            ConvertError::UnexpectedClose { line, col } => {
+                write!(f, "unmatched `)` at {line}:{col}")
+            }
+            ConvertError::TooDeep { limit, line } => {
+                write!(f, "nesting deeper than {limit} at line {line}")
+            }
+            ConvertError::MissingSection(s) => write!(f, "missing EDIF section `{s}`"),
+            ConvertError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name `{name}`")
+            }
+            ConvertError::UnknownCell(c) => write!(f, "unknown library cell `{c}`"),
+            ConvertError::UnknownPort { instance, port } => {
+                write!(f, "unknown port `{port}` on `{instance}`")
+            }
+            ConvertError::UnknownInstance(i) => write!(f, "portRef to unknown instance `{i}`"),
+            ConvertError::MultipleDrivers(n) => write!(f, "net `{n}` has multiple drivers"),
+            ConvertError::Undriven(n) => write!(f, "net `{n}` has no driver"),
+            ConvertError::BadName(n) => write!(f, "name {n:?} cannot round-trip through .bench"),
+            ConvertError::BadStructure(m) => write!(f, "malformed EDIF: {m}"),
+            ConvertError::Netlist(e) => write!(f, "netlist error: {e}"),
+            ConvertError::Convert(m) => write!(f, "conversion error: {m}"),
+            ConvertError::Sta(m) => write!(f, "timing analysis error: {m}"),
+            ConvertError::NotEquivalent { cycle } => {
+                write!(
+                    f,
+                    "converted circuit diverges from its FF source at cycle {cycle}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ConvertError {}
+
+impl From<NetlistError> for ConvertError {
+    fn from(e: NetlistError) -> ConvertError {
+        ConvertError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line_and_specific() {
+        let cases: Vec<(ConvertError, &str)> = vec![
+            (
+                ConvertError::Truncated { open: 3, line: 9 },
+                "3 unclosed `(`",
+            ),
+            (
+                ConvertError::TooDeep { limit: 64, line: 1 },
+                "deeper than 64",
+            ),
+            (
+                ConvertError::DuplicateName {
+                    kind: "port",
+                    name: "a".into(),
+                },
+                "duplicate port name `a`",
+            ),
+            (
+                ConvertError::NotEquivalent { cycle: 17 },
+                "diverges from its FF source at cycle 17",
+            ),
+        ];
+        for (e, needle) in cases {
+            let msg = e.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+            assert!(!msg.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn netlist_errors_convert() {
+        let e: ConvertError = NetlistError::UnknownName("x".into()).into();
+        assert!(matches!(e, ConvertError::Netlist(_)));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ConvertError>();
+    }
+}

@@ -1,0 +1,143 @@
+//! Fuzz-style hostile-input battery: the EDIF front door must return
+//! structured [`ConvertError`]s — never panic, never overflow the stack
+//! — on arbitrary byte soup, truncated documents, deeply nested
+//! s-expressions, and duplicate-name declarations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retime_convert::sexpr::{self, Limits};
+use retime_convert::{edif, ConvertError, Interner};
+use retime_netlist::bench;
+
+/// A small but real FF netlist whose EDIF export anchors the
+/// truncation and mutation tests.
+const SOURCE: &str = "\
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G17)
+G5 = DFF(G10)
+G10 = NOR(G0, G14)
+G14 = NOT(G5)
+G17 = NAND(G10, G1)
+";
+
+fn valid_edif() -> String {
+    edif::write(&bench::parse("hostile", SOURCE).unwrap())
+}
+
+/// Random printable soup weighted toward structural characters, so the
+/// generator actually exercises the list machinery rather than producing
+/// one long token.
+fn garbage(seed: u64, len: usize) -> String {
+    const POOL: &[char] = &[
+        '(', '(', '(', ')', ')', '"', ' ', '\n', '\t', 'a', 'Z', '0', '9', '_', '.', '/', '$', '[',
+        ']', '-', ':', 'é', 'φ', '∞',
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| POOL[rng.random_range(0..POOL.len())])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary soup: every outcome is a clean `Ok` or a structured,
+    /// printable error — reaching the end of this test body at all
+    /// proves no panic and no stack overflow.
+    #[test]
+    fn arbitrary_soup_never_panics(seed in any::<u64>(), len in 0usize..400) {
+        let src = garbage(seed, len);
+        match edif::parse(&src) {
+            Ok(n) => prop_assert!(n.validate().is_ok()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Every strict prefix of a valid document (short of its closing
+    /// paren) is diagnosed, not accepted and not panicked on.
+    #[test]
+    fn truncated_documents_are_structured_errors(cut_seed in any::<u64>()) {
+        let full = valid_edif();
+        prop_assert!(edif::parse(&full).is_ok());
+        let body = full.trim_end().len();
+        let mut rng = StdRng::seed_from_u64(cut_seed);
+        let cut = rng.random_range(1..body - 1);
+        // Cut on a char boundary (the writer emits only ASCII, but stay
+        // safe against future escaping changes).
+        let cut = (1..=cut).rev().find(|&c| full.is_char_boundary(c)).unwrap();
+        let err = edif::parse(&full[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                ConvertError::Truncated { .. }
+                    | ConvertError::Syntax { .. }
+                    | ConvertError::MissingSection(_)
+                    | ConvertError::BadStructure(_)
+            ),
+            "unexpected diagnosis for cut at {cut}: {err}"
+        );
+    }
+
+    /// Unbounded nesting hits the depth limit, not the call stack — for
+    /// any depth and any (small) configured limit.
+    #[test]
+    fn deep_nesting_is_depth_limited(depth in 1usize..50_000, limit in 1usize..32) {
+        let hostile = "(".repeat(depth);
+        let mut interner = Interner::new();
+        let err = sexpr::parse_with_limits(&hostile, &mut interner, Limits { max_depth: limit })
+            .unwrap_err();
+        if depth > limit {
+            prop_assert!(matches!(err, ConvertError::TooDeep { limit: l, .. } if l == limit));
+        } else {
+            prop_assert!(matches!(err, ConvertError::Truncated { open, .. } if open == depth));
+        }
+    }
+
+    /// Duplicating any single instance block in a valid document is a
+    /// structured duplicate-name diagnosis.
+    #[test]
+    fn duplicated_instances_are_diagnosed(pick in any::<u64>()) {
+        let full = valid_edif();
+        let instances: Vec<&str> = full
+            .lines()
+            .filter(|l| l.trim_start().starts_with("(instance "))
+            .collect();
+        prop_assert!(!instances.is_empty());
+        let mut rng = StdRng::seed_from_u64(pick);
+        let victim = instances[rng.random_range(0..instances.len())];
+        let doubled = full.replace(victim, &format!("{victim}\n{victim}"));
+        let err = edif::parse(&doubled).unwrap_err();
+        prop_assert!(
+            matches!(err, ConvertError::DuplicateName { .. }),
+            "expected DuplicateName, got: {err}"
+        );
+    }
+}
+
+/// A close paren avalanche after a valid document is rejected cleanly.
+#[test]
+fn trailing_close_parens_are_unexpected_close() {
+    let mut src = valid_edif();
+    src.push_str(&")".repeat(10_000));
+    assert!(matches!(
+        edif::parse(&src),
+        Err(ConvertError::UnexpectedClose { .. })
+    ));
+}
+
+/// A duplicated port declaration is a duplicate-name diagnosis too.
+#[test]
+fn duplicated_ports_are_diagnosed() {
+    let full = valid_edif();
+    let port = full
+        .lines()
+        .find(|l| l.trim_start().starts_with("(port G0 "))
+        .expect("input port line");
+    let doubled = full.replace(port, &format!("{port}\n{port}"));
+    assert!(matches!(
+        edif::parse(&doubled),
+        Err(ConvertError::DuplicateName { .. })
+    ));
+}

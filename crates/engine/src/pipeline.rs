@@ -11,9 +11,15 @@ use std::time::{Duration, Instant};
 /// backward passes and cut-set construction that dominate its runtime),
 /// and the virtual-library flow adds its typing/freezing `Seed` pass and
 /// the post-retiming `Swap` step. When `RETIME_VERIFY=1`, every flow
-/// appends the independent certificate-checker `Verify` stage.
+/// appends the independent certificate-checker `Verify` stage. Circuits
+/// that arrive as ordinary edge-triggered FF netlists first pass through
+/// the `Convert` front stage (`retime-convert`), which splits each FF
+/// into a master/slave latch pair before any retiming stage runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Stage {
+    /// Edge-triggered → two-phase conversion (FF split, invariant
+    /// validation) performed by the `retime-convert` front door.
+    Convert,
     /// Forward STA, region computation, problem construction.
     Sta,
     /// Virtual-library initial typing and cone freezing.
@@ -32,7 +38,8 @@ pub enum Stage {
 
 impl Stage {
     /// All stages, in canonical execution order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
+        Stage::Convert,
         Stage::Sta,
         Stage::Seed,
         Stage::Classify,
@@ -45,6 +52,7 @@ impl Stage {
     /// Stable display name.
     pub fn name(self) -> &'static str {
         match self {
+            Stage::Convert => "convert",
             Stage::Sta => "sta",
             Stage::Seed => "seed",
             Stage::Classify => "classify",
@@ -57,13 +65,14 @@ impl Stage {
 
     fn index(self) -> usize {
         match self {
-            Stage::Sta => 0,
-            Stage::Seed => 1,
-            Stage::Classify => 2,
-            Stage::Solve => 3,
-            Stage::Commit => 4,
-            Stage::Swap => 5,
-            Stage::Verify => 6,
+            Stage::Convert => 0,
+            Stage::Sta => 1,
+            Stage::Seed => 2,
+            Stage::Classify => 3,
+            Stage::Solve => 4,
+            Stage::Commit => 5,
+            Stage::Swap => 6,
+            Stage::Verify => 7,
         }
     }
 }

@@ -3,8 +3,9 @@
 //! ```text
 //! retime-client --addr HOST:PORT submit --circuit s1196 [--flow grar]
 //!               [--c medium|low|high|<num>] [--model path|gate]
-//!               [--clock NS] [--verify] [--wait]
-//! retime-client --addr HOST:PORT submit --netlist FILE [--name NAME] …
+//!               [--clock NS] [--verify] [--convert] [--wait]
+//! retime-client --addr HOST:PORT submit --netlist FILE [--name NAME]
+//!               [--format bench|edif] …
 //! retime-client --addr HOST:PORT status <ID>
 //! retime-client --addr HOST:PORT result <ID> [--wait]
 //! retime-client --addr HOST:PORT metrics
@@ -104,6 +105,8 @@ fn submit(client: &mut Client, tail: &[&str]) -> Result<bool, String> {
                 fields.push(("clock", Json::Num(ns)));
             }
             "--verify" => fields.push(("verify", Json::Bool(true))),
+            "--format" => fields.push(("format", Json::Str(value("--format")?))),
+            "--convert" => fields.push(("convert", Json::Bool(true))),
             "--wait" => wait = true,
             other => return Err(format!("unknown submit flag {other:?}")),
         }

@@ -16,6 +16,12 @@
 //! across restarts, and evicted LRU once the tier exceeds
 //! `--cache-max-bytes` (default 1 GiB).
 //!
+//! `--cache-gc` (with `--cache-dir`) compacts the directory offline
+//! instead of serving: orphaned `.tmp-*` leftovers are deleted, every
+//! entry's digest is re-verified (corrupt ones are quarantined), and a
+//! one-line report is printed. Run it only while no daemon is serving
+//! from that directory.
+//!
 //! With `RETIME_TRACE=1` (or `RETIME_TRACE_OUT=trace.json`) the daemon
 //! records per-job spans — queue-wait vs execute, linked by job id — and
 //! writes the Chrome-trace file plus a self-time profile on shutdown,
@@ -30,6 +36,7 @@ fn main() {
     let mut config = ServerConfig::default();
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut cache_max_bytes: u64 = 1 << 30;
+    let mut cache_gc = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,19 +50,38 @@ fn main() {
             "--memory-entries" => {
                 config.cache.memory_entries = expect_parsed(&mut args, "--memory-entries");
             }
+            "--cache-gc" => cache_gc = true,
             "--reactors" => config.reactors = expect_parsed(&mut args, "--reactors"),
             "--verbose" | "-v" => config.verbose = true,
             "--help" | "-h" => {
                 println!(
                     "usage: retime-serve [--addr HOST:PORT] [--workers N] \
                      [--queue-bound N] [--cache-dir DIR] [--cache-max-bytes N] \
-                     [--memory-entries N] [--reactors N] [--verbose]"
+                     [--cache-gc] [--memory-entries N] [--reactors N] [--verbose]"
                 );
                 return;
             }
             other => {
                 eprintln!("retime-serve: unknown argument {other:?} (try --help)");
                 std::process::exit(2);
+            }
+        }
+    }
+
+    if cache_gc {
+        let Some(dir) = cache_dir else {
+            eprintln!("retime-serve: --cache-gc needs --cache-dir DIR");
+            std::process::exit(2);
+        };
+        match retime_serve::disk::gc(&dir) {
+            Ok(report) => {
+                println!("retime-serve cache-gc {}: {report}", dir.display());
+                trace.finish();
+                return;
+            }
+            Err(e) => {
+                eprintln!("retime-serve: cache-gc failed: {e}");
+                std::process::exit(1);
             }
         }
     }

@@ -9,7 +9,8 @@
 //! preserved.
 //!
 //! The cache key is a SHA-256 over a versioned preamble — library name,
-//! flow, EDL overhead bits, clock bits, delay model, verify switch —
+//! flow, EDL overhead bits, clock bits, delay model, verify switch, and
+//! (since v2) the edge-triggered → two-phase `convert` switch —
 //! followed by the canonical netlist text. Float parameters contribute
 //! their exact IEEE-754 bits, so "c = 1.0" and "c = 1.0000001" never
 //! alias.
@@ -79,19 +80,23 @@ pub struct KeyConfig {
     pub model: DelayModel,
     /// Whether the job routes through `retime-verify` certification.
     pub verify: bool,
+    /// Whether the submission was converted edge-triggered → two-phase
+    /// by `retime-convert` before the flow ran.
+    pub convert: bool,
 }
 
 /// Content-addressed cache key: SHA-256 (hex) over the canonicalized
 /// netlist, the library identity, and the flow configuration.
 pub fn cache_key(canonical_netlist: &str, lib: &Library, cfg: &KeyConfig) -> String {
     let material = format!(
-        "retime-serve-key-v1\nlib:{}\nflow:{}\nc:{:016x}\nclock:{:016x}\nmodel:{:?}\nverify:{}\n--\n{}",
+        "retime-serve-key-v2\nlib:{}\nflow:{}\nc:{:016x}\nclock:{:016x}\nmodel:{:?}\nverify:{}\nconvert:{}\n--\n{}",
         lib.name(),
         cfg.flow.name(),
         cfg.overhead.value().to_bits(),
         cfg.clock.max_path_delay().to_bits(),
         cfg.model,
         cfg.verify,
+        cfg.convert,
         canonical_netlist,
     );
     sha256_hex(material.as_bytes())
@@ -104,7 +109,9 @@ pub fn cache_key(canonical_netlist: &str, lib: &Library, cfg: &KeyConfig) -> Str
 /// instance with different demands, so they share a warm key and the
 /// second resumes the first one's basis. A clock change alters the
 /// region pre-division (and thereby the instance structure), so it gets
-/// a fresh key.
+/// a fresh key. The `convert` switch is deliberately absent too: a
+/// converted submission's canonical text already differs from its FF
+/// source's, so the two can never alias a warm slot.
 pub fn warm_key(canonical_netlist: &str, lib: &Library, cfg: &KeyConfig) -> String {
     let material = format!(
         "retime-serve-warmkey-v1\nlib:{}\nflow:{}\nclock:{:016x}\nmodel:{:?}\n--\n{}",
@@ -178,6 +185,7 @@ z = BUFF(g2)
             clock: TwoPhaseClock::from_max_delay(10.0),
             model: DelayModel::PathBased,
             verify: false,
+            convert: false,
         };
         let k0 = cache_key(&canon, &lib, &base);
         assert_eq!(k0.len(), 64);
@@ -202,6 +210,10 @@ z = BUFF(g2)
                 verify: true,
                 ..base
             },
+            KeyConfig {
+                convert: true,
+                ..base
+            },
         ] {
             assert_ne!(k0, cache_key(&canon, &lib, &variant), "{variant:?}");
         }
@@ -219,6 +231,7 @@ z = BUFF(g2)
             clock: TwoPhaseClock::from_max_delay(10.0),
             model: DelayModel::PathBased,
             verify: false,
+            convert: false,
         };
         let k0 = warm_key(&canon, &lib, &base);
         // An ECO overhead re-spin (and flipping verification) lands on

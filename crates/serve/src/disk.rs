@@ -372,6 +372,94 @@ impl DiskCache {
     }
 }
 
+/// What an offline [`gc`] pass found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Valid entries kept (header parses, name matches key, digest
+    /// matches payload).
+    pub kept: u64,
+    /// Total bytes of the kept entries.
+    pub kept_bytes: u64,
+    /// Orphaned `.tmp-*` files deleted.
+    pub temps_removed: u64,
+    /// Corrupt, misnamed, or foreign shard files moved to
+    /// `quarantine/` (the same policy startup recovery applies).
+    pub quarantined: u64,
+    /// Top-level non-shard files left untouched (not ours to judge).
+    pub skipped: u64,
+}
+
+impl std::fmt::Display for GcReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kept {} entries ({} bytes), removed {} orphaned temp files, \
+             quarantined {} corrupt entries, skipped {} foreign files",
+            self.kept, self.kept_bytes, self.temps_removed, self.quarantined, self.skipped
+        )
+    }
+}
+
+/// Offline cache-directory compaction (`retime-serve --cache-gc`): walk
+/// every shard, delete orphaned `.tmp-*` leftovers from interrupted
+/// writes, re-verify each `.entry`'s header and payload digest (moving
+/// anything corrupt or misnamed into `quarantine/`), and report what
+/// was kept. The same validation startup recovery applies, runnable
+/// without starting a server and without loading payloads into memory
+/// beyond one at a time. Must not run concurrently with a serving
+/// process on the same directory — a temp file about to be renamed
+/// would read as an orphan.
+///
+/// # Errors
+/// Propagates directory scan failures; individual bad files are
+/// handled, not fatal.
+pub fn gc(dir: &Path) -> io::Result<GcReport> {
+    let mut report = GcReport::default();
+    let pen = dir.join(QUARANTINE_DIR);
+    for shard in fs::read_dir(dir)? {
+        let shard = shard?;
+        let shard_name = shard.file_name();
+        let Some(shard_name) = shard_name.to_str().map(str::to_string) else {
+            report.skipped += 1;
+            continue;
+        };
+        if !shard.file_type()?.is_dir() {
+            report.skipped += 1;
+            continue;
+        }
+        if shard_name == QUARANTINE_DIR {
+            continue;
+        }
+        for file in fs::read_dir(shard.path())? {
+            let file = file?;
+            let path = file.path();
+            let name = file.file_name();
+            let Some(name) = name.to_str() else {
+                report.skipped += 1;
+                continue;
+            };
+            if name.contains(TMP_INFIX) {
+                fs::remove_file(&path)?;
+                report.temps_removed += 1;
+                continue;
+            }
+            let rel = PathBuf::from(&shard_name).join(name);
+            let valid = key_of_rel_path(&rel)
+                .and_then(|key| read_entry(&path, &key).ok().map(|_| ()))
+                .is_some();
+            if valid {
+                report.kept += 1;
+                report.kept_bytes += fs::metadata(&path)?.len();
+            } else {
+                fs::create_dir_all(&pen)?;
+                fs::rename(&path, pen.join(name))?;
+                report.quarantined += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
 fn unix_now() -> u64 {
     SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
@@ -535,6 +623,49 @@ pub(crate) mod tests {
         assert!(cache.load(&key(1)).is_some());
         assert!(cache.load(&key(3)).is_some());
         assert!(cache.evictions() >= 1);
+    }
+
+    #[test]
+    fn gc_removes_temps_quarantines_corrupt_and_keeps_valid() {
+        let tmp = TempDir::new("gc");
+        let (cache, _) = open(&tmp.0, 1 << 20);
+        let k1 = key(1);
+        let k2 = key(2);
+        store(&cache, &k1, "keep me");
+        store(&cache, &k2, "flip me");
+        drop(cache);
+
+        let shard1 = tmp.0.join(&k1[..2]);
+        fs::write(shard1.join(format!("{k1}.entry.tmp-3")), b"torn").unwrap();
+        fs::write(shard1.join("notes.txt"), b"foreign in shard").unwrap();
+        fs::write(tmp.0.join("README"), b"foreign at top level").unwrap();
+        let victim = tmp.0.join(shard_rel_path(&k2));
+        let mut bytes = fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&victim, &bytes).unwrap();
+
+        let report = gc(&tmp.0).expect("gc");
+        assert_eq!(report.kept, 1);
+        assert!(report.kept_bytes > 0);
+        assert_eq!(report.temps_removed, 1);
+        assert_eq!(report.quarantined, 2, "corrupt entry + foreign shard file");
+        assert_eq!(report.skipped, 1, "top-level file left untouched");
+        assert!(!shard1.join("notes.txt").exists());
+        assert!(tmp.0.join("README").exists());
+        assert!(!victim.exists());
+
+        // A compacted directory reopens with zero discards, and gc is
+        // idempotent.
+        let (reopened, stats) = open(&tmp.0, 1 << 20);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.discarded, 0);
+        assert!(reopened.load(&k1).is_some());
+        drop(reopened);
+        let again = gc(&tmp.0).expect("gc again");
+        assert_eq!(again.kept, 1);
+        assert_eq!(again.temps_removed, 0);
+        assert_eq!(again.quarantined, 0);
     }
 
     #[test]

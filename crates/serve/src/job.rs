@@ -8,6 +8,7 @@
 
 use retime_bench::{build_case, Certification};
 use retime_circuits::paper_suite;
+use retime_convert::{CheckMode, ConvertConfig};
 use retime_core::{grar, GrarConfig};
 use retime_liberty::{EdlOverhead, Library};
 use retime_netlist::{bench, CombCloud, Netlist, NodeId};
@@ -34,6 +35,17 @@ pub enum CircuitRef {
     },
 }
 
+/// Input format of an inline `netlist` submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InputFormat {
+    /// ISCAS-style `.bench` text (the default).
+    #[default]
+    Bench,
+    /// EDIF 2.0.0 text, read by `retime-convert`'s interned-atom
+    /// parser. Only valid with an inline `netlist`.
+    Edif,
+}
+
 /// One parsed submission.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
@@ -50,6 +62,11 @@ pub struct JobSpec {
     pub clock: Option<f64>,
     /// Route the result through `retime-verify` certification.
     pub verify: bool,
+    /// How an inline `netlist` is parsed (`"bench"` | `"edif"`).
+    pub format: InputFormat,
+    /// Convert the edge-triggered submission to a two-phase
+    /// master/slave circuit (`retime-convert`) before the flow runs.
+    pub convert: bool,
 }
 
 impl JobSpec {
@@ -107,6 +124,21 @@ impl JobSpec {
             Some(Json::Bool(b)) => *b,
             Some(_) => return Err("`verify` must be a boolean".into()),
         };
+        let format = match v.get("format").and_then(Json::as_str) {
+            None | Some("bench") => InputFormat::Bench,
+            Some("edif") => InputFormat::Edif,
+            Some(other) => return Err(format!("unknown format {other:?} (bench | edif)")),
+        };
+        if format == InputFormat::Edif && !matches!(circuit, CircuitRef::Inline { .. }) {
+            return Err(
+                "`format`: \"edif\" needs an inline `netlist`, not a suite `circuit`".into(),
+            );
+        }
+        let convert = match v.get("convert") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err("`convert` must be a boolean".into()),
+        };
         Ok(JobSpec {
             circuit,
             flow,
@@ -114,6 +146,8 @@ impl JobSpec {
             model,
             clock,
             verify,
+            format,
+            convert,
         })
     }
 
@@ -168,21 +202,72 @@ pub fn resolve_circuit(circuit: &CircuitRef, lib: &Library) -> Result<ResolvedCi
         CircuitRef::Inline { name, text } => {
             let parsed =
                 bench::parse(name, text).map_err(|e| format!("netlist parse error: {e}"))?;
-            let canonical = canonical_bench(&parsed);
-            let netlist = bench::parse(name, &canonical)
-                .map_err(|e| format!("canonical re-parse error: {e}"))?;
-            let cloud =
-                CombCloud::extract(&netlist).map_err(|e| format!("cloud extraction: {e}"))?;
-            let clock = derive_clock(&cloud, lib).map_err(|e| format!("clock derivation: {e}"))?;
-            Ok(ResolvedCircuit {
-                name: name.clone(),
-                netlist,
-                cloud,
-                clock,
-                canonical,
-            })
+            resolve_parsed(name, &parsed, lib)
         }
     }
+}
+
+/// Shared inline tail: canonicalize a parsed netlist and **re-parse it
+/// from its canonical form**, so the flow result depends only on the
+/// cache key — never on the submitted statement order, and never on
+/// which format (`.bench` or EDIF) carried the circuit in. An EDIF
+/// submission and a `.bench` submission of the same circuit land on the
+/// same canonical text and therefore the same cache entry.
+fn resolve_parsed(name: &str, parsed: &Netlist, lib: &Library) -> Result<ResolvedCircuit, String> {
+    let canonical = canonical_bench(parsed);
+    let netlist =
+        bench::parse(name, &canonical).map_err(|e| format!("canonical re-parse error: {e}"))?;
+    let cloud = CombCloud::extract(&netlist).map_err(|e| format!("cloud extraction: {e}"))?;
+    let clock = derive_clock(&cloud, lib).map_err(|e| format!("clock derivation: {e}"))?;
+    Ok(ResolvedCircuit {
+        name: name.to_string(),
+        netlist,
+        cloud,
+        clock,
+        canonical,
+    })
+}
+
+/// Resolves a full submission: [`resolve_circuit`] extended with the
+/// spec's input `format` (EDIF inline text goes through
+/// `retime-convert`'s parser) and its `convert` switch (the resolved
+/// edge-triggered circuit is split into a two-phase master/slave
+/// circuit before the flow sees it, equivalence-proven by simulation
+/// unless `RETIME_CONVERT_CHECK=0`). The returned canonical text is of
+/// the circuit the flow actually runs on, so converted and unconverted
+/// submissions of the same source can never alias a cache entry even
+/// before [`KeyConfig::convert`] separates their keys.
+///
+/// # Errors
+/// Returns a one-line diagnosis for parse, conversion, equivalence, or
+/// STA failures.
+pub fn resolve_spec(spec: &JobSpec, lib: &Library) -> Result<ResolvedCircuit, String> {
+    let base = match (&spec.circuit, spec.format) {
+        (CircuitRef::Inline { name, text }, InputFormat::Edif) => {
+            let parsed =
+                retime_convert::edif::parse(text).map_err(|e| format!("EDIF parse error: {e}"))?;
+            resolve_parsed(name, &parsed, lib)?
+        }
+        _ => resolve_circuit(&spec.circuit, lib)?,
+    };
+    if !spec.convert {
+        return Ok(base);
+    }
+    let cfg = ConvertConfig {
+        clock: Some(base.clock),
+        check: CheckMode::from_env().resolve(true),
+        ..ConvertConfig::default()
+    };
+    let conv = retime_convert::convert(&base.netlist, lib, &cfg)
+        .map_err(|e| format!("conversion failed: {e}"))?;
+    let canonical = canonical_bench(&conv.netlist);
+    Ok(ResolvedCircuit {
+        name: base.name,
+        netlist: conv.netlist,
+        cloud: conv.cloud,
+        clock: conv.clock,
+        canonical,
+    })
 }
 
 /// A relaxed clock for an inline circuit with no explicit `clock`: the
@@ -227,6 +312,7 @@ pub fn prepare(spec: &JobSpec, circuit: &ResolvedCircuit, lib: &Library) -> Prep
         clock,
         model: spec.model,
         verify: spec.verify,
+        convert: spec.convert,
     };
     let key = cache_key(&circuit.canonical, lib, &key_config);
     PreparedJob { key_config, key }
@@ -443,6 +529,97 @@ mod tests {
         assert!(submit(r#"{"cmd":"submit","circuit":"x","flow":"warp"}"#).is_err());
         assert!(submit(r#"{"cmd":"submit","circuit":"x","c":-1}"#).is_err());
         assert!(submit(r#"{"cmd":"submit","circuit":"x","clock":"fast"}"#).is_err());
+        assert!(submit(r#"{"cmd":"submit","circuit":"x","format":"verilog"}"#).is_err());
+        assert!(submit(r#"{"cmd":"submit","circuit":"x","convert":"yes"}"#).is_err());
+    }
+
+    #[test]
+    fn parses_format_and_convert_options() {
+        let spec =
+            submit(r#"{"cmd":"submit","netlist":"(edif x)","format":"edif","convert":true}"#)
+                .unwrap();
+        assert_eq!(spec.format, InputFormat::Edif);
+        assert!(spec.convert);
+        let spec = submit(r#"{"cmd":"submit","circuit":"s1196","convert":true}"#).unwrap();
+        assert_eq!(spec.format, InputFormat::Bench);
+        assert!(spec.convert);
+        // EDIF is an inline-only format: a suite name has no EDIF text.
+        let err = submit(r#"{"cmd":"submit","circuit":"s1196","format":"edif"}"#).unwrap_err();
+        assert!(err.contains("inline"), "{err}");
+    }
+
+    #[test]
+    fn resolve_spec_converts_and_separates_canonical_text() {
+        let lib = Library::fdsoi28();
+        let text = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq = DFF(g)\ng = AND(a, b)\nz = OR(g, q)\n";
+        let base = JobSpec {
+            circuit: CircuitRef::Inline {
+                name: "t".into(),
+                text: text.into(),
+            },
+            flow: FlowKind::Grar,
+            overhead: EdlOverhead::MEDIUM,
+            model: DelayModel::PathBased,
+            clock: None,
+            verify: false,
+            format: InputFormat::Bench,
+            convert: false,
+        };
+        let plain = resolve_spec(&base, &lib).unwrap();
+        let converted = resolve_spec(
+            &JobSpec {
+                convert: true,
+                ..base.clone()
+            },
+            &lib,
+        )
+        .unwrap();
+        assert_eq!(plain.netlist.stats().dffs, 1);
+        assert_eq!(converted.netlist.stats().dffs, 0);
+        assert_eq!(converted.netlist.stats().masters, 1);
+        assert_ne!(plain.canonical, converted.canonical);
+        // The conversion keeps the FF circuit's derived clock.
+        assert_eq!(
+            plain.clock.max_path_delay().to_bits(),
+            converted.clock.max_path_delay().to_bits()
+        );
+    }
+
+    #[test]
+    fn resolve_spec_reads_edif_onto_the_bench_canonical_form() {
+        let lib = Library::fdsoi28();
+        let text = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq = DFF(g)\ng = AND(a, b)\nz = OR(g, q)\n";
+        let as_bench = JobSpec {
+            circuit: CircuitRef::Inline {
+                name: "t".into(),
+                text: text.into(),
+            },
+            flow: FlowKind::Grar,
+            overhead: EdlOverhead::MEDIUM,
+            model: DelayModel::PathBased,
+            clock: None,
+            verify: false,
+            format: InputFormat::Bench,
+            convert: false,
+        };
+        let edif_text = retime_convert::edif::write(&bench::parse("t", text).unwrap());
+        let as_edif = JobSpec {
+            circuit: CircuitRef::Inline {
+                name: "t".into(),
+                text: edif_text,
+            },
+            format: InputFormat::Edif,
+            ..as_bench.clone()
+        };
+        let a = resolve_spec(&as_bench, &lib).unwrap();
+        let b = resolve_spec(&as_edif, &lib).unwrap();
+        // Same circuit, either carrier format → same canonical text →
+        // same cache key.
+        assert_eq!(a.canonical, b.canonical);
+        assert_eq!(
+            prepare(&as_bench, &a, &lib).key,
+            prepare(&as_edif, &b, &lib).key
+        );
     }
 
     #[test]

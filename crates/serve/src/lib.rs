@@ -37,6 +37,13 @@
 //!    with the queue-wait vs execute split as child spans, exported as
 //!    Chrome-trace JSON on shutdown.
 //!
+//! Submissions may also arrive as EDIF 2.0.0 (`"format":"edif"` with an
+//! inline `netlist`) and may ask for the edge-triggered → two-phase
+//! conversion front door (`"convert":true`): the circuit is split into
+//! master/slave latches by `retime-convert` — equivalence-proven by
+//! simulation unless `RETIME_CONVERT_CHECK=0` — before the flow runs,
+//! and the `convert` switch is a cache-key dimension of its own.
+//!
 //! Protocol (one JSON object per line, both directions):
 //!
 //! ```text
@@ -68,11 +75,11 @@ pub mod warm;
 pub use cache::{CacheConfig, CacheStats, CachedResult, HitTier, ResultCache};
 pub use canon::{cache_key, canonical_bench, warm_key, KeyConfig};
 pub use client::Client;
-pub use disk::{shard_rel_path, DiskCache, DiskCacheConfig, RecoveryStats};
+pub use disk::{gc, shard_rel_path, DiskCache, DiskCacheConfig, GcReport, RecoveryStats};
 pub use hash::{sha256, sha256_hex};
 pub use job::{
-    execute, execute_with_slot, prepare, render_payload, resolve_circuit, CircuitRef, JobOutput,
-    JobSpec,
+    execute, execute_with_slot, prepare, render_payload, resolve_circuit, resolve_spec, CircuitRef,
+    InputFormat, JobOutput, JobSpec,
 };
 pub use metrics::Metrics;
 pub use queue::{JobQueue, PushError};

@@ -40,9 +40,7 @@ use retime_liberty::Library;
 
 use crate::cache::{CacheConfig, CachedResult, ResultCache};
 use crate::canon::{warm_key, KeyConfig};
-use crate::job::{
-    execute_with_slot, prepare, resolve_circuit, CircuitRef, JobSpec, ResolvedCircuit,
-};
+use crate::job::{execute_with_slot, prepare, resolve_spec, CircuitRef, JobSpec, ResolvedCircuit};
 use crate::json::{obj, parse, Json};
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, PushError};
@@ -143,7 +141,10 @@ struct Shared {
     metrics: Metrics,
     jobs: Mutex<JobTable>,
     warm: crate::warm::WarmPool,
-    suite_store: Mutex<HashMap<String, Arc<ResolvedCircuit>>>,
+    /// Prior suite builds, keyed by `(name, converted)` — the converted
+    /// two-phase build of a suite circuit is a different circuit than
+    /// its edge-triggered build and must never be served in its place.
+    suite_store: Mutex<HashMap<(String, bool), Arc<ResolvedCircuit>>>,
     next_id: AtomicU64,
     workers: usize,
     shutting_down: AtomicBool,
@@ -496,24 +497,32 @@ fn dispatch(shared: &Shared, reactor: usize, conn: u64, line: &str) -> LineReply
     LineReply::Now(reply.render())
 }
 
-/// Resolves a circuit, reusing prior suite builds (inline netlists are
-/// resolved fresh — their canonical form already dedups the cache key).
-fn resolve_shared(shared: &Shared, circuit: &CircuitRef) -> Result<Arc<ResolvedCircuit>, String> {
-    if let CircuitRef::Suite(name) = circuit {
-        if let Some(hit) = shared.suite_store.lock().expect("suite lock").get(name) {
+/// Resolves a submission, reusing prior suite builds (inline netlists
+/// are resolved fresh — their canonical form already dedups the cache
+/// key). Suite builds are stored per `(name, convert)` so a converted
+/// two-phase build never aliases the edge-triggered one.
+fn resolve_shared(shared: &Shared, spec: &JobSpec) -> Result<Arc<ResolvedCircuit>, String> {
+    if let CircuitRef::Suite(name) = &spec.circuit {
+        let store_key = (name.clone(), spec.convert);
+        if let Some(hit) = shared
+            .suite_store
+            .lock()
+            .expect("suite lock")
+            .get(&store_key)
+        {
             return Ok(Arc::clone(hit));
         }
-        let resolved = Arc::new(resolve_circuit(circuit, &shared.lib)?);
+        let resolved = Arc::new(resolve_spec(spec, &shared.lib)?);
         return Ok(Arc::clone(
             shared
                 .suite_store
                 .lock()
                 .expect("suite lock")
-                .entry(name.clone())
+                .entry(store_key)
                 .or_insert(resolved),
         ));
     }
-    Ok(Arc::new(resolve_circuit(circuit, &shared.lib)?))
+    Ok(Arc::new(resolve_spec(spec, &shared.lib)?))
 }
 
 fn handle_submit(shared: &Shared, v: &Json) -> Json {
@@ -529,8 +538,13 @@ fn handle_submit(shared: &Shared, v: &Json) -> Json {
     shared
         .metrics
         .inc("retime_serve_submissions_total", &label, 1);
+    if spec.convert {
+        shared
+            .metrics
+            .inc("retime_serve_convert_submissions_total", "", 1);
+    }
 
-    let circuit = match resolve_shared(shared, &spec.circuit) {
+    let circuit = match resolve_shared(shared, &spec) {
         Ok(c) => c,
         Err(e) => return error_reply(&e),
     };

@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 use retime_liberty::{EdlOverhead, Library};
 use retime_netlist::bench;
 use retime_serve::canon::{cache_key, canonical_bench, KeyConfig};
-use retime_serve::job::{prepare, resolve_circuit, CircuitRef, JobSpec};
+use retime_serve::job::{prepare, resolve_circuit, CircuitRef, InputFormat, JobSpec};
 use retime_sta::{DelayModel, TwoPhaseClock};
 use retime_verify::FlowKind;
 
@@ -77,6 +77,7 @@ fn fixed_config() -> KeyConfig {
         clock: TwoPhaseClock::from_max_delay(10.0),
         model: DelayModel::PathBased,
         verify: false,
+        convert: false,
     }
 }
 
@@ -142,6 +143,8 @@ fn tiny_suite_config_grid_has_no_collisions() {
                         model: DelayModel::PathBased,
                         clock: None,
                         verify,
+                        format: InputFormat::Bench,
+                        convert: false,
                     };
                     let prepared = prepare(&spec, &resolved, &lib);
                     assert!(
@@ -170,6 +173,8 @@ fn keys_are_identical_across_thread_counts() {
         model: DelayModel::PathBased,
         clock: None,
         verify: false,
+        format: InputFormat::Bench,
+        convert: false,
     };
     let saved = std::env::var("RETIME_THREADS").ok();
     let mut keys = Vec::new();

@@ -5,7 +5,7 @@
 //! calls, and the warm counters show up in the metrics exposition.
 
 use retime_liberty::EdlOverhead;
-use retime_serve::job::{execute, prepare, resolve_circuit, CircuitRef, JobSpec};
+use retime_serve::job::{execute, prepare, resolve_circuit, CircuitRef, InputFormat, JobSpec};
 use retime_serve::json::Json;
 use retime_serve::{Client, Server, ServerConfig};
 use retime_sta::DelayModel;
@@ -66,6 +66,8 @@ fn overhead_respin_resumes_warm_basis_bit_identically() {
             model: DelayModel::PathBased,
             clock: None,
             verify: false,
+            format: InputFormat::Bench,
+            convert: false,
         };
         let circuit = resolve_circuit(&spec.circuit, &lib).expect("resolves");
         let prepared = prepare(&spec, &circuit, &lib);

@@ -5,7 +5,7 @@
 //! across statement order, and drain-then-exit shutdown.
 
 use retime_liberty::EdlOverhead;
-use retime_serve::job::{execute, prepare, resolve_circuit, CircuitRef, JobSpec};
+use retime_serve::job::{execute, prepare, resolve_circuit, CircuitRef, InputFormat, JobSpec};
 use retime_serve::json::Json;
 use retime_serve::{Client, Server, ServerConfig};
 use retime_sta::DelayModel;
@@ -90,6 +90,8 @@ fn repeat_submission_is_served_from_cache_bit_identical() {
         model: DelayModel::PathBased,
         clock: None,
         verify: false,
+        format: InputFormat::Bench,
+        convert: false,
     };
     let lib = retime_liberty::Library::fdsoi28();
     let circuit = resolve_circuit(&spec.circuit, &lib).expect("resolves");

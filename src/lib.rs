@@ -27,6 +27,7 @@
 //! the paper-vs-measured record of every reproduced table.
 
 pub use retime_circuits as circuits;
+pub use retime_convert as convert;
 pub use retime_core as grar;
 pub use retime_engine as engine;
 pub use retime_flow as flow;
