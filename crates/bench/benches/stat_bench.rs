@@ -1,0 +1,151 @@
+//! Statistical-mode cost and fidelity: deterministic vs statistical
+//! G-RAR runtime, and analytic-vs-Monte-Carlo yield agreement.
+//!
+//! Modes:
+//!
+//! * default — criterion group on s1423 (fast, CI-smoke friendly);
+//! * `--json` — best-of-3 timed comparison on every tiny-suite circuit,
+//!   written to `BENCH_stat.json` in the repository root. Per circuit:
+//!   gate-based vs statistical G-RAR wall-clock (the canonical-form
+//!   propagation's overhead over plain scalar STA), the worst analytic
+//!   timing yield, and the maximum absolute gap between the analytic
+//!   per-sink yields and an independent 4096-sample Monte Carlo
+//!   (`retime-verify`'s estimator) — with a boolean verdict against the
+//!   certificate tolerance.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use retime_bench::{build_case, BenchCase};
+use retime_circuits::paper_suite;
+use retime_core::{grar, GrarConfig};
+use retime_liberty::{EdlOverhead, Library};
+use retime_sta::{DelayModel, StatParams};
+use retime_verify::{mc_tolerance, mc_yields};
+
+const MC_SAMPLES: usize = 4096;
+
+fn stat_model() -> DelayModel {
+    DelayModel::Statistical(StatParams::DEFAULT)
+}
+
+fn run_once(case: &BenchCase, lib: &Library, model: DelayModel) -> Duration {
+    let t0 = Instant::now();
+    let g = grar(
+        &case.circuit.cloud,
+        lib,
+        case.clock,
+        &GrarConfig::new(EdlOverhead::MEDIUM).with_model(model),
+    )
+    .expect("suite circuit retimes");
+    assert!(g.outcome.total_area > 0.0);
+    t0.elapsed()
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// One circuit's JSON object body.
+fn circuit_json(case: &BenchCase, lib: &Library) -> String {
+    let name = case.circuit.spec.name;
+    let (mut det_best, mut stat_best) = (Duration::MAX, Duration::MAX);
+    for _ in 0..3 {
+        det_best = det_best.min(run_once(case, lib, DelayModel::GateBased));
+        stat_best = stat_best.min(run_once(case, lib, stat_model()));
+    }
+    let g = grar(
+        &case.circuit.cloud,
+        lib,
+        case.clock,
+        &GrarConfig::new(EdlOverhead::MEDIUM).with_model(stat_model()),
+    )
+    .expect("suite circuit retimes");
+    let summary = g.outcome.stat.as_ref().expect("statistical summary");
+    // The headline yield is the worst endpoint that must meet the clock
+    // period: endpoints the yield-aware rule flagged time into the
+    // resiliency window by design, so their ~0 yields carry no signal.
+    let target = summary.params.yield_target();
+    let min_yield = summary
+        .yields
+        .iter()
+        .copied()
+        .filter(|&y| y >= target)
+        .fold(1.0f64, f64::min);
+    let mc = mc_yields(
+        &case.circuit.cloud,
+        &g.outcome.final_delays,
+        case.clock,
+        &g.outcome.cut,
+        MC_SAMPLES,
+        StatParams::DEFAULT.seed,
+    );
+    let (mut max_err, mut within) = (0.0f64, true);
+    for (&sampled, &analytic) in mc.yields.iter().zip(&summary.yields) {
+        max_err = max_err.max((sampled - analytic).abs());
+        within &= (sampled - analytic).abs() <= mc_tolerance(analytic, MC_SAMPLES);
+    }
+    format!(
+        "    {{\n      \"circuit\": \"{}\",\n      \"det_ms\": {:.3},\n      \
+         \"stat_ms\": {:.3},\n      \"stat_over_det\": {:.2},\n      \
+         \"min_yield\": {:.6},\n      \"edl\": {},\n      \
+         \"mc_samples\": {},\n      \"mc_max_abs_err\": {:.6},\n      \
+         \"mc_within_tolerance\": {}\n    }}",
+        name,
+        ms(det_best),
+        ms(stat_best),
+        ms(stat_best) / ms(det_best).max(1e-9),
+        min_yield,
+        g.outcome.seq.edl,
+        MC_SAMPLES,
+        max_err,
+        within,
+    )
+}
+
+/// Best-of-3 comparison over the tiny suite, written to
+/// `BENCH_stat.json`.
+fn run_json() {
+    let lib = Library::fdsoi28();
+    let cases: Vec<BenchCase> = paper_suite()
+        .into_iter()
+        .take(4)
+        .map(|spec| build_case(&spec, &lib))
+        .collect();
+    let bodies: Vec<String> = cases.iter().map(|c| circuit_json(c, &lib)).collect();
+    let json = format!("{{\n  \"circuits\": [\n{}\n  ]\n}}\n", bodies.join(",\n"));
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_stat.json");
+    std::fs::write(&out, &json).expect("writes json");
+    print!("{json}");
+}
+
+fn bench_stat(c: &mut Criterion) {
+    let lib = Library::fdsoi28();
+    let spec = paper_suite()
+        .into_iter()
+        .find(|s| s.name == "s1423")
+        .expect("s1423 in suite");
+    let case = build_case(&spec, &lib);
+    let mut group = c.benchmark_group("grar_s1423");
+    group.sample_size(10);
+    group.bench_function("gate_based", |b| {
+        b.iter(|| run_once(&case, &lib, DelayModel::GateBased))
+    });
+    group.bench_function("statistical", |b| {
+        b.iter(|| run_once(&case, &lib, stat_model()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stat);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--json") {
+        run_json();
+    } else {
+        benches();
+    }
+}

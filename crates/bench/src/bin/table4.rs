@@ -1,7 +1,16 @@
 //! Table IV: sequential logic area — Base-Retiming vs RVL-RAR vs G-RAR.
+//!
+//! With `RETIME_DELAY_MODE=statistical`, a second section re-runs the
+//! three flows under the first-order statistical delay model and
+//! reports the yield picture per circuit: worst per-sink timing yield
+//! at the clock period, yield-aware EDL count, and the
+//! jitter-sensitivity column `d yield / d σ_clock`.
 
-use retime_bench::{f2, load_suite, map_cases, mean, print_table, table4_row};
+use retime_bench::{
+    delay_mode_from_env, f2, load_suite, map_cases, mean, print_table, table4_row, table4_stat_row,
+};
 use retime_liberty::Library;
+use retime_sta::DelayModel;
 
 fn main() {
     let _trace = retime_bench::trace_session();
@@ -38,4 +47,19 @@ fn main() {
         &rows,
     );
     println!("(paper averages, G-RAR: 20.41 / 23.87 / 29.62 % for low / medium / high)");
+
+    let model = delay_mode_from_env();
+    if let DelayModel::Statistical(params) = model {
+        let stat_rows = map_cases(&cases, |case| table4_stat_row(case, &lib, model));
+        print_table(
+            &format!(
+                "Table IV (statistical, c=medium): yield-aware EDL at target yield {:.4}",
+                params.yield_target()
+            ),
+            &[
+                "Circuit", "Base", "RVL", "G-RAR", "MinYield", "EDL", "dY/dsigc",
+            ],
+            &stat_rows,
+        );
+    }
 }

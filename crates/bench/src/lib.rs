@@ -42,7 +42,7 @@ use retime_retime::{
     base_retime, base_retime_sweep, flop_design_area, AreaModel, RetimeError, RetimeOutcome,
     RetimingSweep,
 };
-use retime_sta::{DelayModel, TwoPhaseClock};
+use retime_sta::{DelayModel, StatParams, TwoPhaseClock};
 use retime_verify::{
     check_warm_solution, verify_certificate, FlowKind, VerifyOptions, VerifySetup,
 };
@@ -290,6 +290,34 @@ impl<'a> Certification<'a> {
     }
 }
 
+/// The delay model the table binaries run under — the
+/// `RETIME_DELAY_MODE` environment knob: `path` (default), `gate`, or
+/// `statistical` (alias `stat`). Statistical mode starts from
+/// [`StatParams::DEFAULT`] and layers the `RETIME_YIELD` /
+/// `RETIME_SIGMA` / `RETIME_CLOCK_SIGMA` / `RETIME_STAT_SEED` knobs on
+/// top ([`retime_stat::params_from_env`]). An unrecognized value warns
+/// once on stderr and falls back to path-based, following the
+/// `RETIME_SUITE` convention.
+pub fn delay_mode_from_env() -> DelayModel {
+    match std::env::var("RETIME_DELAY_MODE") {
+        Ok(raw) => match raw.trim() {
+            "path" => DelayModel::PathBased,
+            "gate" => DelayModel::GateBased,
+            "statistical" | "stat" => {
+                DelayModel::Statistical(retime_stat::params_from_env(StatParams::DEFAULT))
+            }
+            other => {
+                eprintln!(
+                    "warning: unrecognized RETIME_DELAY_MODE value {other:?}; accepted values \
+                     are \"path\", \"gate\", or \"statistical\" — using the path-based model"
+                );
+                DelayModel::PathBased
+            }
+        },
+        Err(_) => DelayModel::PathBased,
+    }
+}
+
 /// Runs base retiming, RVL-RAR, and G-RAR on one case. With
 /// `RETIME_VERIFY=1`, each of the three results must additionally pass
 /// the independent certificate checker.
@@ -301,14 +329,48 @@ pub fn run_approaches(
     lib: &Library,
     c: EdlOverhead,
 ) -> Result<Approaches, RetimeError> {
+    run_approaches_model(case, lib, c, DelayModel::PathBased)
+}
+
+/// [`run_approaches`] under an explicit delay model — the statistical
+/// Table IV section drives all three flows with
+/// `DelayModel::Statistical`, and `RETIME_VERIFY=1` certifies each
+/// outcome against the model that drove it (statistical certificates
+/// include the exact `StatSummary` replay and the Monte Carlo yield
+/// cross-check).
+///
+/// # Errors
+/// Propagates flow failures and rejected certificates.
+pub fn run_approaches_model(
+    case: &BenchCase,
+    lib: &Library,
+    c: EdlOverhead,
+    model: DelayModel,
+) -> Result<Approaches, RetimeError> {
     let cloud = &case.circuit.cloud;
-    let mut base = base_retime(cloud, lib, case.clock, DelayModel::PathBased, c)?;
-    let mut rvl = vl_retime(cloud, lib, case.clock, &VlConfig::new(VlVariant::Rvl, c))?;
-    let mut g = grar(cloud, lib, case.clock, &GrarConfig::new(c))?;
+    let mut base = base_retime(cloud, lib, case.clock, model, c)?;
+    let mut rvl = vl_retime(
+        cloud,
+        lib,
+        case.clock,
+        &VlConfig::new(VlVariant::Rvl, c).with_model(model),
+    )?;
+    let mut g = grar(
+        cloud,
+        lib,
+        case.clock,
+        &GrarConfig::new(c).with_model(model),
+    )?;
     if verify_enabled() {
-        Certification::of_case(case, c, FlowKind::Base, "base").run(lib, &mut base)?;
-        Certification::of_case(case, c, FlowKind::Vl, "rvl").run(lib, &mut rvl.outcome)?;
-        Certification::of_case(case, c, FlowKind::Grar, "grar").run(lib, &mut g.outcome)?;
+        Certification::of_case(case, c, FlowKind::Base, "base")
+            .with_model(model)
+            .run(lib, &mut base)?;
+        Certification::of_case(case, c, FlowKind::Vl, "rvl")
+            .with_model(model)
+            .run(lib, &mut rvl.outcome)?;
+        Certification::of_case(case, c, FlowKind::Grar, "grar")
+            .with_model(model)
+            .run(lib, &mut g.outcome)?;
     }
     Ok(Approaches { base, rvl, grar: g })
 }
@@ -496,6 +558,51 @@ pub fn table4_row(case: &BenchCase, lib: &Library) -> (Vec<String>, [f64; 3], [f
         ]);
     }
     (row, rvl_impr, g_impr)
+}
+
+/// The statistical Table IV cells of one case, at medium EDL overhead:
+/// the three flows' sequential areas under the statistical model, then
+/// G-RAR's yield picture. The yield and jitter columns are evaluated at
+/// the worst endpoint the yield-aware rule did *not* flag — the sinks
+/// whose timing the circuit must actually meet at `Π` (flagged
+/// endpoints time into the resiliency window by design, so the global
+/// minimum is a constant ~0 and says nothing). `MinYield` is that
+/// endpoint's timing yield at the clock period and `dY/dsigc` its
+/// `d yield / d σ_clock` by finite difference (≤ 0, since more jitter
+/// can only hurt). Shared by the `table4` binary's statistical section
+/// and its golden snapshot test.
+///
+/// # Panics
+/// Panics if a flow fails, `model` is not statistical, or the outcome
+/// carries no summary.
+pub fn table4_stat_row(case: &BenchCase, lib: &Library, model: DelayModel) -> Vec<String> {
+    assert!(
+        matches!(model, DelayModel::Statistical(_)),
+        "table4_stat_row wants a statistical model"
+    );
+    let a = run_approaches_model(case, lib, EdlOverhead::MEDIUM, model).expect("flows run");
+    let outcome = &a.grar.outcome;
+    let stat = outcome
+        .stat
+        .as_ref()
+        .expect("statistical mode attaches a summary");
+    let st = retime_stat::StatTiming::new(&case.circuit.cloud, &outcome.final_delays, case.clock);
+    let canons = st.cut_sink_canons(&outcome.cut);
+    let worst_uncovered = (0..canons.len())
+        .filter(|&i| !st.needs_edl(&canons[i]))
+        .min_by(|&i, &j| stat.yields[i].total_cmp(&stat.yields[j]));
+    let (cov_yield, cov_sens) = worst_uncovered.map_or((1.0, 0.0), |i| {
+        (stat.yields[i], st.jitter_sensitivity(&canons[i]))
+    });
+    vec![
+        case.circuit.spec.name.to_string(),
+        f2(a.base.seq.total()),
+        f2(a.rvl.outcome.seq.total()),
+        f2(a.grar.outcome.seq.total()),
+        format!("{cov_yield:.4}"),
+        a.grar.outcome.seq.edl.to_string(),
+        format!("{cov_sens:.3}"),
+    ]
 }
 
 /// Percent improvement of `new` over `base` (positive = smaller/better).

@@ -13,10 +13,11 @@
 
 use std::path::PathBuf;
 
-use retime_bench::{build_case, map_cases, table1_row, table4_row, BenchCase};
+use retime_bench::{build_case, map_cases, table1_row, table4_row, table4_stat_row, BenchCase};
 use retime_circuits::paper_suite;
 use retime_liberty::{EdlOverhead, Library};
 use retime_retime::AreaModel;
+use retime_sta::{DelayModel, StatParams};
 
 /// The tiny suite, built directly (not via `RETIME_SUITE`, which other
 /// concurrently running tests may set).
@@ -80,4 +81,18 @@ fn table4_rows_match_golden() {
         .map(|(row, _, _)| row)
         .collect();
     check_golden("table4_tiny.txt", &rows);
+}
+
+/// The statistical Table IV section on the tiny suite, pinned under the
+/// default statistical parameters (not `RETIME_DELAY_MODE`, which other
+/// concurrently running tests could perturb). The row includes the
+/// yield, EDL-count, and jitter-sensitivity columns, so any drift in
+/// the canonical-form engine's numerics fails here first.
+#[test]
+fn table4_stat_rows_match_golden() {
+    let lib = Library::fdsoi28();
+    let cases = tiny_cases(&lib);
+    let model = DelayModel::Statistical(StatParams::DEFAULT);
+    let rows = map_cases(&cases, |case| table4_stat_row(case, &lib, model));
+    check_golden("table4_stat_tiny.txt", &rows);
 }

@@ -1,0 +1,143 @@
+//! Sigma→0 differential property over the three flows.
+//!
+//! With every sigma at zero the statistical delay mode carries no
+//! randomness: each canonical form is a point mass, the margined EDL
+//! rule degenerates to the deterministic arrival rule, and every yield
+//! is an exact `0`/`1` step. This proptest pins the strongest form of
+//! that collapse on random levelized circuits: base retiming, RVL-RAR,
+//! and G-RAR must each produce **bit-identical** outcomes (cut, EDL
+//! flags, sequential breakdown, nominal timing, total area) under
+//! `Statistical(σ = 0)` and plain `GateBased`, at every thread count
+//! the parallel flows accept. Weaker fixed-circuit versions live next
+//! to each flow; this one owns the random-instance sweep.
+
+use proptest::prelude::*;
+use retime_circuits::SynthConfig;
+use retime_core::{grar, GrarConfig};
+use retime_liberty::{EdlOverhead, Library};
+use retime_netlist::CombCloud;
+use retime_retime::{base_retime, RetimeOutcome};
+use retime_sta::{DelayModel, StatParams, TimingAnalysis, TwoPhaseClock};
+use retime_vl::{vl_retime, VlConfig, VlVariant};
+
+/// The calibration scheme of the suite: the period that puts the
+/// gate-based critical path at 70% utilization, guaranteed feasible.
+fn feasible_clock(cloud: &CombCloud, lib: &Library) -> TwoPhaseClock {
+    let sta = TimingAnalysis::new(
+        cloud,
+        lib,
+        TwoPhaseClock::from_max_delay(1.0),
+        DelayModel::GateBased,
+    )
+    .expect("probe sta builds");
+    let crit = cloud
+        .sinks()
+        .iter()
+        .map(|&t| sta.df(t))
+        .fold(0.0f64, f64::max);
+    let latch = lib.latch();
+    TwoPhaseClock::from_max_delay((crit + latch.d_to_q + latch.clk_to_q) / 0.7)
+}
+
+/// Bit-level agreement between a gate-based outcome and a σ=0
+/// statistical one, plus the statistical side's degenerate summary.
+fn assert_collapsed(det: &RetimeOutcome, stat: &RetimeOutcome, what: &str) {
+    assert_eq!(det.cut, stat.cut, "{what}: cut moved");
+    assert_eq!(det.ed_sinks, stat.ed_sinks, "{what}: EDL flags moved");
+    assert_eq!(det.seq, stat.seq, "{what}: sequential breakdown moved");
+    assert_eq!(det.timing, stat.timing, "{what}: nominal timing moved");
+    assert_eq!(
+        det.total_area.to_bits(),
+        stat.total_area.to_bits(),
+        "{what}: total area moved"
+    );
+    assert!(det.stat.is_none(), "{what}: deterministic summary present");
+    let summary = stat
+        .stat
+        .as_ref()
+        .unwrap_or_else(|| panic!("{what}: statistical run dropped its summary"));
+    for (i, &y) in summary.yields.iter().enumerate() {
+        assert!(
+            y == 0.0 || y == 1.0,
+            "{what}: sink {i} yield {y} is not a step at sigma zero"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sigma_zero_collapses_onto_gate_based_across_flows_and_threads(
+        flops in 4usize..10,
+        gates in 24usize..64,
+        inputs in 2usize..6,
+        outputs in 1usize..4,
+        levels in 6usize..10,
+        deep_sinks in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let netlist = SynthConfig {
+            name: "prop".to_string(),
+            flops,
+            gates,
+            inputs,
+            outputs,
+            levels,
+            deep_sinks,
+            hard_sinks: deep_sinks.min(1),
+            seed,
+        }
+        .generate()
+        .expect("synthetic circuit builds");
+        let cloud = CombCloud::extract(&netlist).expect("cloud extracts");
+        let lib = Library::fdsoi28();
+        let clock = feasible_clock(&cloud, &lib);
+        let det = DelayModel::GateBased;
+        let zero = DelayModel::Statistical(StatParams::new(0.0, 0.0, 0.9987, seed ^ 1));
+        let c = EdlOverhead::MEDIUM;
+
+        let base_det = base_retime(&cloud, &lib, clock, det, c).expect("base det");
+        let base_stat = base_retime(&cloud, &lib, clock, zero, c).expect("base stat");
+        assert_collapsed(&base_det, &base_stat, "base");
+
+        for threads in [1usize, 4] {
+            let what = format!("rvl@{threads}");
+            let rvl_det = vl_retime(
+                &cloud,
+                &lib,
+                clock,
+                &VlConfig::new(VlVariant::Rvl, c).with_model(det).with_threads(threads),
+            )
+            .expect("rvl det");
+            let rvl_stat = vl_retime(
+                &cloud,
+                &lib,
+                clock,
+                &VlConfig::new(VlVariant::Rvl, c).with_model(zero).with_threads(threads),
+            )
+            .expect("rvl stat");
+            assert_collapsed(&rvl_det.outcome, &rvl_stat.outcome, &what);
+
+            let what = format!("grar@{threads}");
+            let g_det = grar(
+                &cloud,
+                &lib,
+                clock,
+                &GrarConfig::new(c).with_model(det).with_threads(threads),
+            )
+            .expect("grar det");
+            let g_stat = grar(
+                &cloud,
+                &lib,
+                clock,
+                &GrarConfig::new(c).with_model(zero).with_threads(threads),
+            )
+            .expect("grar stat");
+            assert_collapsed(&g_det.outcome, &g_stat.outcome, &what);
+            prop_assert_eq!(&g_det.targets, &g_stat.targets, "{}: targets", &what);
+            prop_assert_eq!(&g_det.always_ed, &g_stat.always_ed, "{}: always_ed", &what);
+            prop_assert_eq!(&g_det.never_ed, &g_stat.never_ed, "{}: never_ed", &what);
+        }
+    }
+}

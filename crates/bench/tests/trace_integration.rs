@@ -26,7 +26,7 @@ use retime_circuits::{paper_suite, Fig4};
 use retime_core::{grar, grar_with_sweep, GrarConfig};
 use retime_liberty::{EdlOverhead, Library};
 use retime_retime::{AreaModel, SolverEngine};
-use retime_sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
+use retime_sta::{DelayModel, StatParams, TimingAnalysis, TwoPhaseClock};
 use retime_trace::{SpanRecord, Value};
 
 /// Serializes every test that records spans or toggles the global flag.
@@ -162,6 +162,55 @@ fn fig4_grar_simplex_trace_matches_golden_structure() {
     assert_eq!(check.events, records.len());
 
     check_golden("fig4_trace_simplex.txt", &structure(&records));
+}
+
+#[test]
+fn fig4_statistical_grar_trace_matches_golden_structure() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let fig = Fig4::new();
+    let lib = Library::fdsoi28();
+    let clock = feasible_clock(&fig.cloud, &lib);
+    // The same fixed run under the statistical delay model: the golden
+    // additionally pins the canonical-form propagation spans — every
+    // cut timed during the flow emits a `stat_cut_arrivals` span whose
+    // `iterations` counter must stay at the proven reduced-iteration
+    // bound of two sweeps.
+    let (_, records) = with_tracing(|| {
+        grar(
+            &fig.cloud,
+            &lib,
+            clock,
+            &GrarConfig::new(EdlOverhead::MEDIUM)
+                .with_threads(1)
+                .with_model(DelayModel::Statistical(StatParams::DEFAULT)),
+        )
+        .expect("statistical grar on fig4")
+    });
+    let stat_spans: Vec<&SpanRecord> = records
+        .iter()
+        .filter(|r| r.name == "stat_cut_arrivals")
+        .collect();
+    assert!(
+        !stat_spans.is_empty(),
+        "statistical mode must trace its canonical propagation"
+    );
+    for span in stat_spans {
+        let iterations = span.attrs.iter().find_map(|(k, v)| match v {
+            Value::U64(n) if *k == "iterations" => Some(*n),
+            _ => None,
+        });
+        assert!(
+            matches!(iterations, Some(1..=2)),
+            "reduced-iteration bound violated: {:?}",
+            span.attrs
+        );
+    }
+
+    let text = retime_trace::chrome_trace(&records);
+    let check = retime_trace::check_chrome_trace(&text).expect("export validates");
+    assert_eq!(check.events, records.len());
+
+    check_golden("fig4_trace_stat.txt", &structure(&records));
 }
 
 #[test]

@@ -1,7 +1,9 @@
-//! The target-master cut-set `g(t)` of Eqs. (8)–(9).
+//! The target-master cut-set `g(t)` of Eqs. (8)–(9), in both the
+//! deterministic and the statistical (margined-arrival) formulations.
 
 use retime_netlist::NodeId;
-use retime_sta::{BackwardPass, SinkClass, TimingAnalysis};
+use retime_sta::{BackwardPass, DelayModel, SinkClass, TimingAnalysis};
+use retime_stat::{StatBackward, StatTiming};
 
 /// Small tolerance absorbing floating-point noise against `Π`.
 const EPS: f64 = 1e-9;
@@ -113,6 +115,85 @@ pub fn classify_and_cut_set(
     }
 }
 
+/// Statistical mirror of [`cut_set`]: the same frontier construction with
+/// every placement arrival replaced by its *margined* value
+/// `m + Φ⁻¹(yield target)·σ_tot`, so "beyond the frontier" means "meets
+/// the period at the target yield". At sigma = 0 the margined arrivals
+/// are bitwise the deterministic ones and the two frontiers coincide.
+pub fn cut_set_stat(st: &StatTiming<'_>, sb: &StatBackward) -> Vec<NodeId> {
+    let t = sb.sink();
+    let pi = st.period();
+    let cloud = st.cloud();
+    let mut out = Vec::new();
+    for v in cloud.fanin_cone(t) {
+        if v == t {
+            continue;
+        }
+        let node = cloud.node(v);
+        let ok_beyond = node
+            .fanout
+            .iter()
+            .any(|&n| matches!(st.a_value_margined(v, n, sb), Some(a) if a <= pi + EPS));
+        if !ok_beyond {
+            continue;
+        }
+        let bad_before = if node.is_source() {
+            matches!(st.a_host_margined(v, sb), Some(a) if a > pi + EPS)
+        } else {
+            node.fanin
+                .iter()
+                .any(|&k| matches!(st.a_value_margined(k, v, sb), Some(a) if a > pi + EPS))
+        };
+        if bad_before {
+            out.push(v);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Statistical mirror of [`classify_and_cut_set`]: classification by
+/// margined arrivals — **never** error-detecting means even the initial
+/// placements meet `Π` *at the target yield*, and the canonical-cut
+/// soundness check re-propagates the cut in canonical arithmetic and
+/// tests the margined with-cut sink arrival.
+pub fn classify_and_cut_set_stat(
+    st: &StatTiming<'_>,
+    sb: &StatBackward,
+) -> (SinkClass, Vec<NodeId>) {
+    let t = sb.sink();
+    let pi = st.period();
+    let cloud = st.cloud();
+    let worst_initial = st.worst_initial_margined(sb);
+    if worst_initial <= pi + EPS {
+        return (SinkClass::NeverErrorDetecting, Vec::new());
+    }
+    let g = cut_set_stat(st, sb);
+    if g.is_empty() {
+        return (SinkClass::AlwaysErrorDetecting, Vec::new());
+    }
+    let mut cut = retime_netlist::Cut::initial(cloud);
+    for &gv in &g {
+        for u in cloud.fanin_cone(gv) {
+            cut.set_moved(u, true);
+        }
+    }
+    if cut.validate(cloud).is_err() {
+        return (SinkClass::AlwaysErrorDetecting, Vec::new());
+    }
+    let canons = st.cut_sink_canons(&cut);
+    let sink_idx = cloud
+        .sinks()
+        .iter()
+        .position(|&x| x == t)
+        .expect("t is a sink");
+    if st.margined(&canons[sink_idx]) <= pi + EPS {
+        (SinkClass::Target, g)
+    } else {
+        (SinkClass::AlwaysErrorDetecting, Vec::new())
+    }
+}
+
 /// Batch form of [`classify_and_cut_set`]: classifies every target sink,
 /// fanning the per-target backward pass *and* the cut-set construction —
 /// the dominant cost of a G-RAR run — out across `threads` workers (`0` =
@@ -124,6 +205,11 @@ pub fn classify_and_cut_set(
 /// produce bit-identical classes and cut-sets (asserted by the
 /// `parallel_classify_matches_sequential` property test).
 ///
+/// Under [`DelayModel::Statistical`] the statistical mirrors run
+/// instead: one shared [`StatTiming`] (the canonical pure arrivals are
+/// common to every target) and one fused canonical backward pass +
+/// margined classification per worker.
+///
 /// # Panics
 /// Panics if any target is not a sink.
 pub fn classify_many(
@@ -131,6 +217,13 @@ pub fn classify_many(
     targets: &[NodeId],
     threads: usize,
 ) -> Vec<(SinkClass, Vec<NodeId>)> {
+    if matches!(sta.delays().model(), DelayModel::Statistical(_)) {
+        let st = StatTiming::new(sta.cloud(), sta.delays(), *sta.clock());
+        return retime_engine::parallel_map(threads, targets, |&t| {
+            let sb = st.backward(t);
+            classify_and_cut_set_stat(&st, &sb)
+        });
+    }
     retime_engine::parallel_map(threads, targets, |&t| {
         let bp = sta.backward(t);
         classify_and_cut_set(sta, &bp)
@@ -221,6 +314,75 @@ mod tests {
         let bp = sta.backward(t);
         assert_eq!(sta.classify_sink(t, &bp), SinkClass::AlwaysErrorDetecting);
         assert!(cut_set(&sta, &bp).is_empty());
+    }
+
+    #[test]
+    fn sigma_zero_stat_classification_matches_gate_based() {
+        let cloud = chain(20);
+        let lib = Library::fdsoi28();
+        let sta0 = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::GateBased,
+        )
+        .unwrap();
+        let t = cloud.sinks()[0];
+        let crit = sta0.df(t);
+        let zero = DelayModel::Statistical(retime_sta::StatParams::new(0.0, 0.0, 0.9987, 3));
+        // Sweep periods crossing never/target/always so every class is hit.
+        for scale in [0.8, 1.0, 1.3, 1.8, 4.0] {
+            let clock = TwoPhaseClock::from_max_delay(scale * (crit + lib.latch().d_to_q) / 0.7);
+            let det = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::GateBased).unwrap();
+            let sat = TimingAnalysis::new(&cloud, &lib, clock, zero).unwrap();
+            let bp = det.backward(t);
+            let st = StatTiming::new(sat.cloud(), sat.delays(), clock);
+            let sb = st.backward(t);
+            assert_eq!(
+                classify_and_cut_set(&det, &bp),
+                classify_and_cut_set_stat(&st, &sb),
+                "scale {scale}"
+            );
+            assert_eq!(
+                classify_many(&det, &[t], 1),
+                classify_many(&sat, &[t], 1),
+                "classify_many dispatch at scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn margins_shrink_or_keep_target_window() {
+        // With real sigma, "never" endpoints can only become targets or
+        // always-ED — margins never make a sink look *safer*.
+        let cloud = chain(20);
+        let lib = Library::fdsoi28();
+        let sta0 = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::GateBased,
+        )
+        .unwrap();
+        let t = cloud.sinks()[0];
+        let crit = sta0.df(t);
+        let model = DelayModel::Statistical(retime_sta::StatParams::new(0.05, 0.0, 0.9987, 3));
+        for scale in [1.0, 1.3, 1.8, 4.0] {
+            let clock = TwoPhaseClock::from_max_delay(scale * (crit + lib.latch().d_to_q) / 0.7);
+            let det = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::GateBased).unwrap();
+            let sat = TimingAnalysis::new(&cloud, &lib, clock, model).unwrap();
+            let bp = det.backward(t);
+            let st = StatTiming::new(sat.cloud(), sat.delays(), clock);
+            let sb = st.backward(t);
+            let (dc, _) = classify_and_cut_set(&det, &bp);
+            let (sc, _) = classify_and_cut_set_stat(&st, &sb);
+            let rank = |c: SinkClass| match c {
+                SinkClass::NeverErrorDetecting => 0,
+                SinkClass::Target => 1,
+                SinkClass::AlwaysErrorDetecting => 2,
+            };
+            assert!(rank(sc) >= rank(dc), "scale {scale}: {dc:?} -> {sc:?}");
+        }
     }
 
     #[test]

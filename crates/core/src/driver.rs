@@ -445,6 +445,69 @@ mod tests {
     }
 
     #[test]
+    fn statistical_grar_runs_end_to_end() {
+        let cloud = testbench();
+        let lib = Library::fdsoi28();
+        let p = crit(&cloud, &lib) * 1.6;
+        let clock = TwoPhaseClock::from_max_delay(p);
+        let params = retime_sta::StatParams::new(0.03, 0.005, 0.9987, 0x5EED);
+        let cfg = GrarConfig::new(EdlOverhead::MEDIUM).with_model(DelayModel::Statistical(params));
+        let report = grar(&cloud, &lib, clock, &cfg).unwrap();
+        let out = &report.outcome;
+        out.cut.validate(&cloud).unwrap();
+        let stat = out
+            .stat
+            .as_ref()
+            .expect("statistical mode attaches a summary");
+        assert_eq!(stat.params, params);
+        assert_eq!(stat.yields.len(), cloud.sinks().len());
+        assert!(stat.min_yield >= 0.0 && stat.min_yield <= 1.0);
+        assert!(stat.jitter_sens <= 0.0, "jitter cannot help yield");
+        // EDL flags are exactly the below-target sinks among master-backed
+        // ones.
+        let flagged = out.ed_sinks.iter().filter(|&&e| e).count();
+        assert!(flagged <= stat.below_target());
+    }
+
+    #[test]
+    fn sigma_zero_grar_matches_gate_based_bitwise() {
+        let cloud = testbench();
+        let lib = Library::fdsoi28();
+        let p = crit(&cloud, &lib) * 1.25;
+        let clock = TwoPhaseClock::from_max_delay(p);
+        let zero = DelayModel::Statistical(retime_sta::StatParams::new(0.0, 0.0, 0.9987, 1));
+        for threads in [1, 4] {
+            let det = grar(
+                &cloud,
+                &lib,
+                clock,
+                &GrarConfig::new(EdlOverhead::MEDIUM)
+                    .with_model(DelayModel::GateBased)
+                    .with_threads(threads),
+            )
+            .unwrap();
+            let stat = grar(
+                &cloud,
+                &lib,
+                clock,
+                &GrarConfig::new(EdlOverhead::MEDIUM)
+                    .with_model(zero)
+                    .with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(det.outcome.cut, stat.outcome.cut, "threads {threads}");
+            assert_eq!(det.outcome.ed_sinks, stat.outcome.ed_sinks);
+            assert_eq!(det.targets, stat.targets);
+            assert_eq!(det.always_ed, stat.always_ed);
+            assert_eq!(det.never_ed, stat.never_ed);
+            assert_eq!(
+                det.outcome.total_area.to_bits(),
+                stat.outcome.total_area.to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn parallel_classify_matches_sequential_run() {
         let cloud = testbench();
         let lib = Library::fdsoi28();

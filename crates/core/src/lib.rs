@@ -59,7 +59,9 @@ pub mod driver;
 pub mod edl;
 pub mod ilp;
 
-pub use cutset::{classify_and_cut_set, classify_many, cut_set};
+pub use cutset::{
+    classify_and_cut_set, classify_and_cut_set_stat, classify_many, cut_set, cut_set_stat,
+};
 pub use driver::{grar, grar_with_sweep, GrarConfig, GrarReport};
 pub use edl::{insert_error_detection, EdlInsertion};
 pub use ilp::{exhaustive_best, IlpFormulation};

@@ -32,9 +32,11 @@
 pub mod cells;
 pub mod library;
 pub mod overhead;
+pub mod sigma;
 pub mod virtual_lib;
 
 pub use cells::{CombCell, DelayArc, EdlStyle, FlipFlopCell, LatchCell, Sense};
 pub use library::{Library, LibraryError};
 pub use overhead::EdlOverhead;
+pub use sigma::{parse_sigma_extension, SigmaError, SigmaSpec, SigmaTable};
 pub use virtual_lib::{LatchGroup, VirtualLatch, VirtualLibrary};

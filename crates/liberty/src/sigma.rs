@@ -1,0 +1,346 @@
+//! Liberty *sigma extension*: per-cell process-variation data.
+//!
+//! Commercial statistical libraries ship variation-aware tables next to
+//! the nominal Liberty views. We model the part the statistical delay
+//! mode consumes: per cell, the standard deviation of the pin-to-pin
+//! delay split into a *globally correlated* component (die-to-die,
+//! shared by every instance) and an *independent local* component
+//! (within-die mismatch), both expressed as fractions of the nominal
+//! delay.
+//!
+//! The text format is a small Liberty-style block:
+//!
+//! ```text
+//! sigma_extension (fdsoi28) {
+//!   default_sigma_global : 0.018;
+//!   default_sigma_local  : 0.024;
+//!   cell (NAND2_X1) { sigma_global : 0.012; sigma_local : 0.020; }
+//!   cell (XOR2_X1)  { sigma_global : 0.024; sigma_local : 0.032; }
+//! }
+//! ```
+//!
+//! Cells without an explicit entry use the defaults. A parsed
+//! [`SigmaTable`] attaches to a [`Library`](crate::Library) via
+//! [`Library::with_sigma`](crate::Library::with_sigma); when no table is
+//! attached, the statistical delay mode falls back to its configurable
+//! seeded sigma-as-fraction-of-nominal model.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Per-cell delay variation as fractions of the nominal delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SigmaSpec {
+    /// Globally correlated sigma (die-to-die), fraction of nominal.
+    pub global: f64,
+    /// Independent local sigma (within-die mismatch), fraction of
+    /// nominal.
+    pub local: f64,
+}
+
+/// A parsed sigma extension: defaults plus per-cell overrides, keyed by
+/// the Liberty cell name (`NAND2_X1`, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SigmaTable {
+    name: String,
+    default: SigmaSpec,
+    cells: HashMap<String, SigmaSpec>,
+}
+
+impl SigmaTable {
+    /// A table with the given defaults and no per-cell overrides.
+    pub fn uniform(name: impl Into<String>, default: SigmaSpec) -> SigmaTable {
+        SigmaTable {
+            name: name.into(),
+            default,
+            cells: HashMap::new(),
+        }
+    }
+
+    /// The extension's library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The variation spec for a cell (the default when no override
+    /// exists).
+    pub fn for_cell(&self, cell: &str) -> SigmaSpec {
+        self.cells.get(cell).copied().unwrap_or(self.default)
+    }
+
+    /// Number of per-cell overrides.
+    pub fn overrides(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// Errors raised while parsing a sigma extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SigmaError {
+    /// The text is not a `sigma_extension (name) { … }` block.
+    Malformed(String),
+    /// An attribute value is not a finite non-negative number.
+    BadValue {
+        /// The attribute name.
+        attr: String,
+        /// The offending raw text.
+        raw: String,
+    },
+}
+
+impl fmt::Display for SigmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SigmaError::Malformed(why) => write!(f, "malformed sigma extension: {why}"),
+            SigmaError::BadValue { attr, raw } => {
+                write!(f, "sigma extension attribute {attr} has bad value {raw:?}")
+            }
+        }
+    }
+}
+
+impl Error for SigmaError {}
+
+/// Parses a sigma-extension block (see the module docs for the format).
+/// Comments (`/* … */` and `// …`) are stripped; attribute order is
+/// free; unknown attributes are rejected so typos can't silently zero a
+/// cell's variation.
+///
+/// # Errors
+/// Returns [`SigmaError`] on structural or numeric problems.
+pub fn parse_sigma_extension(text: &str) -> Result<SigmaTable, SigmaError> {
+    let text = strip_comments(text);
+    let rest = text.trim();
+    let rest = rest
+        .strip_prefix("sigma_extension")
+        .ok_or_else(|| SigmaError::Malformed("missing `sigma_extension` keyword".into()))?
+        .trim_start();
+    let (name, rest) = parse_paren_name(rest)?;
+    let body = parse_braced(rest.trim_start())?;
+
+    // First scan: split the block into default attributes and raw cell
+    // bodies, so the defaults apply no matter where in the block they
+    // were written.
+    let mut default = SigmaSpec {
+        global: 0.0,
+        local: 0.0,
+    };
+    let mut cell_bodies: Vec<(String, &str)> = Vec::new();
+    let mut cursor = body.trim();
+    while !cursor.is_empty() {
+        if let Some(after) = cursor.strip_prefix("cell") {
+            let (cell_name, after) = parse_paren_name(after.trim_start())?;
+            let after = after.trim_start();
+            let cell_body = parse_braced(after)?;
+            cell_bodies.push((cell_name.to_string(), cell_body));
+            let consumed = cursor.len() - after.len() + cell_body.len() + 2;
+            cursor = cursor[consumed..].trim_start();
+        } else {
+            let semi = cursor.find(';').ok_or_else(|| {
+                SigmaError::Malformed(format!("dangling text {:?}", cursor.trim()))
+            })?;
+            let (attr, value) = parse_attr(&cursor[..semi])?;
+            match attr.as_str() {
+                "default_sigma_global" => default.global = value,
+                "default_sigma_local" => default.local = value,
+                other => {
+                    return Err(SigmaError::Malformed(format!(
+                        "unknown attribute `{other}`"
+                    )))
+                }
+            }
+            cursor = cursor[semi + 1..].trim_start();
+        }
+    }
+    // Second pass: resolve each cell on top of the (now complete)
+    // defaults.
+    let mut cells = HashMap::new();
+    for (cell_name, cell_body) in cell_bodies {
+        let mut spec = default;
+        for (attr, value) in parse_attrs(cell_body)? {
+            match attr.as_str() {
+                "sigma_global" => spec.global = value,
+                "sigma_local" => spec.local = value,
+                other => {
+                    return Err(SigmaError::Malformed(format!(
+                        "unknown cell attribute `{other}`"
+                    )))
+                }
+            }
+        }
+        cells.insert(cell_name, spec);
+    }
+    Ok(SigmaTable {
+        name: name.to_string(),
+        default,
+        cells,
+    })
+}
+
+fn strip_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(start) = rest.find("/*") {
+        out.push_str(&rest[..start]);
+        match rest[start..].find("*/") {
+            Some(end) => rest = &rest[start + end + 2..],
+            None => return out,
+        }
+    }
+    out.push_str(rest);
+    out.lines()
+        .map(|l| l.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn parse_paren_name(rest: &str) -> Result<(&str, &str), SigmaError> {
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| SigmaError::Malformed("expected `(`".into()))?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| SigmaError::Malformed("unclosed `(`".into()))?;
+    Ok((rest[..close].trim(), &rest[close + 1..]))
+}
+
+/// Returns the text inside a balanced `{ … }` starting at `rest`.
+fn parse_braced(rest: &str) -> Result<&str, SigmaError> {
+    let rest = rest
+        .strip_prefix('{')
+        .ok_or_else(|| SigmaError::Malformed("expected `{`".into()))?;
+    let mut depth = 1usize;
+    for (i, ch) in rest.char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(&rest[..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(SigmaError::Malformed("unclosed `{`".into()))
+}
+
+fn parse_attrs(body: &str) -> Result<Vec<(String, f64)>, SigmaError> {
+    body.split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_attr)
+        .collect()
+}
+
+fn parse_attr(stmt: &str) -> Result<(String, f64), SigmaError> {
+    let (attr, raw) = stmt
+        .split_once(':')
+        .ok_or_else(|| SigmaError::Malformed(format!("expected `name : value;`, got {stmt:?}")))?;
+    let attr = attr.trim().to_string();
+    let raw = raw.trim();
+    let value: f64 = raw.parse().map_err(|_| SigmaError::BadValue {
+        attr: attr.clone(),
+        raw: raw.to_string(),
+    })?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(SigmaError::BadValue {
+            attr,
+            raw: raw.to_string(),
+        });
+    }
+    Ok((attr, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+/* variation views for the synthetic fdsoi28 library */
+sigma_extension (fdsoi28) {
+  default_sigma_global : 0.018;
+  default_sigma_local  : 0.024; // within-die
+  cell (NAND2_X1) { sigma_global : 0.012; sigma_local : 0.020; }
+  cell (XOR2_X1)  { sigma_global : 0.024; sigma_local : 0.032; }
+}
+";
+
+    #[test]
+    fn parses_defaults_and_overrides() {
+        let t = parse_sigma_extension(SAMPLE).unwrap();
+        assert_eq!(t.name(), "fdsoi28");
+        assert_eq!(t.overrides(), 2);
+        let nand = t.for_cell("NAND2_X1");
+        assert_eq!(nand.global, 0.012);
+        assert_eq!(nand.local, 0.020);
+        let other = t.for_cell("BUF_X1");
+        assert_eq!(other.global, 0.018);
+        assert_eq!(other.local, 0.024);
+    }
+
+    #[test]
+    fn rejects_unknown_attributes() {
+        let bad = "sigma_extension (x) { default_sigma_glbal : 0.1; }";
+        assert!(matches!(
+            parse_sigma_extension(bad),
+            Err(SigmaError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        for raw in ["-0.1", "nan", "lots"] {
+            let bad = format!("sigma_extension (x) {{ default_sigma_global : {raw}; }}");
+            assert!(
+                matches!(
+                    parse_sigma_extension(&bad),
+                    Err(SigmaError::BadValue { .. })
+                ),
+                "{raw} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_structural_garbage() {
+        for bad in [
+            "",
+            "sigma_extension",
+            "sigma_extension (x)",
+            "sigma_extension (x) { cell (y) ",
+            "sigma_extension (x) { stray",
+        ] {
+            assert!(parse_sigma_extension(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn defaults_apply_regardless_of_declaration_order() {
+        let late = "\
+sigma_extension (x) {
+  cell (A) { sigma_local : 0.05; }
+  default_sigma_global : 0.02;
+  default_sigma_local : 0.03;
+}
+";
+        let t = parse_sigma_extension(late).unwrap();
+        let a = t.for_cell("A");
+        assert_eq!(a.global, 0.02, "cell inherits the late global default");
+        assert_eq!(a.local, 0.05);
+    }
+
+    #[test]
+    fn uniform_table() {
+        let t = SigmaTable::uniform(
+            "u",
+            SigmaSpec {
+                global: 0.01,
+                local: 0.02,
+            },
+        );
+        assert_eq!(t.for_cell("ANY").local, 0.02);
+        assert_eq!(t.overrides(), 0);
+    }
+}

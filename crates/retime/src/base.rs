@@ -54,6 +54,10 @@ pub struct RetimeOutcome {
     /// Uniform per-stage instrumentation, filled in by the flow's
     /// pipeline run (every flow reports the same Table VII breakdown).
     pub phases: PhaseTimings,
+    /// Statistical outcome summary (per-sink yields, jitter sensitivity)
+    /// — `Some` exactly when the flow ran under
+    /// [`DelayModel::Statistical`].
+    pub stat: Option<retime_stat::StatSummary>,
 }
 
 impl RetimeOutcome {
@@ -74,7 +78,17 @@ impl RetimeOutcome {
         cut.validate(cloud)?;
         let report = legalize(sta, &cut, model)?;
         let timing = sta.cut_timing(&cut);
-        let ed_sinks = model.ed_flags(sta.cloud(), &timing);
+        // Statistical mode replaces the arrival-window EDL rule with the
+        // yield-aware margined rule over the (legalized) canonical forms;
+        // the nominal `timing` stays as-is for reporting and replay.
+        let (ed_sinks, stat) = match sta.delays().model() {
+            DelayModel::Statistical(_) => {
+                let (ed, summary) =
+                    crate::statistical::stat_cut_summary(cloud, sta.delays(), *sta.clock(), &cut);
+                (ed, Some(summary))
+            }
+            _ => (model.ed_flags(sta.cloud(), &timing), None),
+        };
         let seq = model.sequential(sta.cloud(), &cut, &ed_sinks);
         let comb_area = model.combinational(sta.cloud())? + report.area_penalty;
         let total_area = comb_area + seq.total();
@@ -92,6 +106,7 @@ impl RetimeOutcome {
                 solver,
             },
             phases: PhaseTimings::new(),
+            stat,
         })
     }
 }

@@ -265,6 +265,35 @@ impl ClassicGraph {
         }
     }
 
+    /// Minimum period achieving a timing yield target: every gate delay
+    /// is margined to `d·(1 + Φ⁻¹(yield_target)·sigma_frac)` — the
+    /// first-order worst case at the target quantile when per-gate sigma
+    /// is a fraction of nominal — and the [`ClassicGraph::min_period`]
+    /// binary search runs on the margined graph. Conservative versus a
+    /// full canonical-form analysis (it ignores the statistical-max
+    /// "averaging" across reconverging paths), and with `sigma_frac = 0`
+    /// it degenerates bitwise to `min_period` (the scale factor is
+    /// exactly `1.0`).
+    ///
+    /// # Panics
+    /// Panics when `yield_target` is outside `(0, 1)` (via the normal
+    /// quantile) or `sigma_frac` is negative.
+    pub fn min_period_at_yield(
+        &self,
+        tolerance: f64,
+        sigma_frac: f64,
+        yield_target: f64,
+    ) -> ClassicRetiming {
+        assert!(sigma_frac >= 0.0, "sigma_frac must be non-negative");
+        let z = retime_stat::normal::quantile(yield_target);
+        let scale = 1.0 + z * sigma_frac;
+        let mut margined = self.clone();
+        for d in &mut margined.delay {
+            *d *= scale;
+        }
+        margined.min_period(tolerance)
+    }
+
     /// Total registers under retiming `r`, `Σ_e (w(e) + r(to) − r(from))`
     /// — the classic per-edge count, without fanout sharing. `None` when
     /// some retimed weight is negative (illegal `r`).
@@ -694,6 +723,31 @@ z = AND(g4, b2)
         assert!((flow.retiming.period - feas.period).abs() < 0.05);
         assert!(flow.registers <= g.register_count(&feas.r).unwrap());
         assert!(flow.registers <= g.register_count(&vec![0; g.len()]).unwrap());
+    }
+
+    #[test]
+    fn min_period_at_yield_degenerates_at_sigma_zero() {
+        let g = ClassicGraph::extract(&unbalanced(), unit_delay).unwrap();
+        let plain = g.min_period(0.01);
+        let yielded = g.min_period_at_yield(0.01, 0.0, 0.9987);
+        assert_eq!(plain.r, yielded.r);
+        assert_eq!(plain.period.to_bits(), yielded.period.to_bits());
+        assert_eq!(
+            plain.original_period.to_bits(),
+            yielded.original_period.to_bits()
+        );
+    }
+
+    #[test]
+    fn min_period_at_yield_pays_for_sigma() {
+        let g = ClassicGraph::extract(&unbalanced(), unit_delay).unwrap();
+        let plain = g.min_period(0.01);
+        let yielded = g.min_period_at_yield(0.01, 0.05, 0.9987);
+        // ~3 sigma at 5% of nominal: roughly 15% slower everywhere.
+        assert!(yielded.period > plain.period);
+        assert!(yielded.period < plain.period * 1.3);
+        // The margined retiming stays legal on the unmargined graph.
+        assert!(g.period(&yielded.r).is_some());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Retiming regions `V_m` / `V_n` / `V_r` (paper Section IV-B).
 
 use retime_netlist::NodeId;
-use retime_sta::TimingAnalysis;
+use retime_sta::{DelayModel, TimingAnalysis};
+use retime_stat::StatTiming;
 
 use crate::error::RetimeError;
 
@@ -29,6 +30,12 @@ pub struct Regions {
 impl Regions {
     /// Computes the regions from a timing analysis.
     ///
+    /// In statistical delay mode the same region tests run on *margined*
+    /// arrivals (`m + Φ⁻¹(yield target)·σ_tot`), so nodes whose delay
+    /// distributions would violate a borrowing limit at the target yield
+    /// are excluded up front. With all sigmas zero the margined values
+    /// are bitwise the deterministic ones.
+    ///
     /// # Errors
     /// Returns [`RetimeError::InfeasibleClocking`] when a node falls into
     /// both `V_m` and `V_n` — no legal slave position exists for the given
@@ -38,6 +45,8 @@ impl Regions {
         let clock = sta.clock();
         let fwd_limit = clock.slave_close();
         let bwd_limit = clock.backward_limit();
+        let stat = matches!(sta.delays().model(), DelayModel::Statistical(_))
+            .then(|| StatTiming::new(cloud, sta.delays(), *clock));
         let mut region = vec![Region::Free; cloud.len()];
         for (i, node) in cloud.nodes().iter().enumerate() {
             let v = NodeId(i as u32);
@@ -45,8 +54,12 @@ impl Regions {
                 region[i] = Region::Forbidden;
                 continue;
             }
-            let mandatory = sta.db_any(v).is_some_and(|db| db > bwd_limit + 1e-9);
-            let forbidden = sta.df(v) > fwd_limit + 1e-9;
+            let (df, db_any) = match &stat {
+                Some(st) => (st.df_margined(v), st.db_any_margined(v)),
+                None => (sta.df(v), sta.db_any(v)),
+            };
+            let mandatory = db_any.is_some_and(|db| db > bwd_limit + 1e-9);
+            let forbidden = df > fwd_limit + 1e-9;
             region[i] = match (mandatory, forbidden) {
                 (true, true) => {
                     return Err(RetimeError::InfeasibleClocking {
@@ -192,6 +205,59 @@ mod tests {
             Regions::compute(&sta),
             Err(RetimeError::InfeasibleClocking { .. })
         ));
+    }
+
+    #[test]
+    fn sigma_zero_statistical_regions_match_gate_based() {
+        let n = chain();
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let sta0 = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::GateBased,
+        )
+        .unwrap();
+        let crit = sta0.df(cloud.sinks()[0]);
+        let clock = TwoPhaseClock::from_max_delay(crit * 1.02);
+        let det = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::GateBased).unwrap();
+        let zero = DelayModel::Statistical(retime_sta::StatParams::new(0.0, 0.0, 0.9987, 7));
+        let stat = TimingAnalysis::new(&cloud, &lib, clock, zero).unwrap();
+        assert_eq!(
+            Regions::compute(&det).unwrap(),
+            Regions::compute(&stat).unwrap()
+        );
+    }
+
+    #[test]
+    fn statistical_margins_only_tighten_regions() {
+        let n = chain();
+        let cloud = CombCloud::extract(&n).unwrap();
+        let lib = Library::fdsoi28();
+        let sta0 = TimingAnalysis::new(
+            &cloud,
+            &lib,
+            TwoPhaseClock::from_max_delay(1.0),
+            DelayModel::GateBased,
+        )
+        .unwrap();
+        let crit = sta0.df(cloud.sinks()[0]);
+        // Loose enough that the margins stay feasible.
+        let clock = TwoPhaseClock::from_max_delay(crit * 1.10);
+        let det = TimingAnalysis::new(&cloud, &lib, clock, DelayModel::GateBased).unwrap();
+        let model = DelayModel::Statistical(retime_sta::StatParams::new(0.05, 0.005, 0.9987, 7));
+        let stat = TimingAnalysis::new(&cloud, &lib, clock, model).unwrap();
+        let rd = Regions::compute(&det).unwrap();
+        if let Ok(rs) = Regions::compute(&stat) {
+            for i in 0..rd.len() {
+                let v = NodeId(i as u32);
+                // A node free under margins must be free deterministically.
+                if rs.of(v) == Region::Free {
+                    assert_eq!(rd.of(v), Region::Free, "node {i}");
+                }
+            }
+        }
     }
 
     #[test]

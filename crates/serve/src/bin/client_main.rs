@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! retime-client --addr HOST:PORT submit --circuit s1196 [--flow grar]
-//!               [--c medium|low|high|<num>] [--model path|gate]
+//!               [--c medium|low|high|<num>] [--model path|gate|statistical]
+//!               [--yield F] [--sigma F] [--clock-sigma F] [--stat-seed N]
 //!               [--clock NS] [--verify] [--convert] [--wait]
 //! retime-client --addr HOST:PORT submit --netlist FILE [--name NAME]
 //!               [--format bench|edif] …
@@ -17,6 +18,35 @@
 
 use retime_serve::json::{obj, Json};
 use retime_serve::Client;
+
+/// `--help` text. Kept in lock-step with the module doc and the README
+/// serve quickstart; `scripts/serve_smoke.sh` greps it so the three can
+/// never drift apart silently.
+const USAGE: &str = "\
+usage: retime-client --addr HOST:PORT COMMAND
+
+commands:
+  submit --circuit NAME | --netlist FILE [--name NAME]
+         [--flow base|grar|vl] [--c medium|low|high|NUM]
+         [--model path|gate|statistical]
+         [--yield F] [--sigma F] [--clock-sigma F] [--stat-seed N]
+         [--clock NS] [--verify] [--format bench|edif] [--convert] [--wait]
+  status ID
+  result ID [--wait]
+  metrics
+  pause | resume | shutdown
+
+submit options:
+  --format bench|edif   parse an inline --netlist as .bench (default) or EDIF
+  --convert             split an edge-triggered submission into a two-phase
+                        master/slave circuit (retime-convert) before the flow
+  --model statistical   first-order canonical-form statistical STA; EDL
+                        assignment becomes yield-aware
+  --yield F             target timing yield in (0,1)   (default 0.9987)
+  --sigma F             gate-delay sigma fraction      (default 0.03)
+  --clock-sigma F       clock-jitter sigma fraction    (default 0.005)
+  --stat-seed N         per-gate sigma jitter seed
+";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,10 +68,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         match a.as_str() {
             "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
             "--help" | "-h" => {
-                println!(
-                    "usage: retime-client --addr HOST:PORT \
-                     (submit … | status ID | result ID [--wait] | metrics | pause | resume | shutdown)"
-                );
+                println!("{}", USAGE.trim_end());
                 return Ok(true);
             }
             other => rest.push(other),
@@ -97,6 +124,20 @@ fn submit(client: &mut Client, tail: &[&str]) -> Result<bool, String> {
                 fields.push(("c", raw.parse::<f64>().map_or(Json::Str(raw), Json::Num)));
             }
             "--model" => fields.push(("model", Json::Str(value("--model")?))),
+            "--yield" | "--sigma" | "--clock-sigma" | "--stat-seed" => {
+                let raw = value(a)?;
+                let x: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("{a} wants a number, got {raw:?}"))?;
+                // `--clock-sigma` → `clock_sigma`, `--stat-seed` → `stat_seed`.
+                let key = match a {
+                    "--yield" => "yield",
+                    "--sigma" => "sigma",
+                    "--clock-sigma" => "clock_sigma",
+                    _ => "stat_seed",
+                };
+                fields.push((key, Json::Num(x)));
+            }
             "--clock" => {
                 let raw = value("--clock")?;
                 let ns: f64 = raw

@@ -13,7 +13,7 @@ use retime_core::{grar, GrarConfig};
 use retime_liberty::{EdlOverhead, Library};
 use retime_netlist::{bench, CombCloud, Netlist, NodeId};
 use retime_retime::{base_retime, RetimeError, RetimeOutcome};
-use retime_sta::{DelayModel, TimingAnalysis, TwoPhaseClock};
+use retime_sta::{DelayModel, StatParams, TimingAnalysis, TwoPhaseClock};
 use retime_verify::FlowKind;
 use retime_vl::{vl_retime, VlConfig, VlVariant};
 
@@ -109,10 +109,41 @@ impl JobSpec {
             },
             Some(_) => return Err("`c` must be a positive number or low|medium|high".into()),
         };
-        let model = match v.get("model").and_then(Json::as_str) {
+        // `model` with a `delay_mode` alias (the statistical docs use the
+        // latter); statistical mode reads its four knobs with the
+        // `StatParams::DEFAULT` fallbacks.
+        let model_field = v.get("model").or_else(|| v.get("delay_mode"));
+        let model = match model_field.and_then(Json::as_str) {
             None | Some("path") => DelayModel::PathBased,
             Some("gate") => DelayModel::GateBased,
-            Some(other) => return Err(format!("unknown model {other:?} (path | gate)")),
+            Some("statistical") | Some("stat") => {
+                let d = StatParams::DEFAULT;
+                let frac = |key: &str, default: f64| -> Result<f64, String> {
+                    match v.get(key) {
+                        None => Ok(default),
+                        Some(Json::Num(x)) if *x >= 0.0 && *x < 1.0 => Ok(*x),
+                        Some(_) => Err(format!("`{key}` must be a fraction in [0, 1)")),
+                    }
+                };
+                let sigma = frac("sigma", d.sigma_frac())?;
+                let clock_sigma = frac("clock_sigma", d.clock_sigma_frac())?;
+                let yield_target = match v.get("yield") {
+                    None => d.yield_target(),
+                    Some(Json::Num(x)) if *x > 0.0 && *x < 1.0 => *x,
+                    Some(_) => return Err("`yield` must be a fraction in (0, 1)".into()),
+                };
+                let seed = match v.get("stat_seed") {
+                    None => d.seed,
+                    Some(Json::Num(x)) if *x >= 0.0 && x.fract() == 0.0 => *x as u64,
+                    Some(_) => return Err("`stat_seed` must be a non-negative integer".into()),
+                };
+                DelayModel::Statistical(StatParams::new(sigma, clock_sigma, yield_target, seed))
+            }
+            Some(other) => {
+                return Err(format!(
+                    "unknown model {other:?} (path | gate | statistical)"
+                ))
+            }
         };
         let clock = match v.get("clock") {
             None => None,
@@ -359,7 +390,7 @@ pub fn execute(
                 cloud,
                 lib,
                 cfg.clock,
-                &VlConfig::new(VlVariant::Rvl, cfg.overhead),
+                &VlConfig::new(VlVariant::Rvl, cfg.overhead).with_model(cfg.model),
             )?
             .outcome
         }
@@ -405,7 +436,7 @@ pub fn execute_with_slot(
                 cloud,
                 lib,
                 cfg.clock,
-                &VlConfig::new(VlVariant::Rvl, cfg.overhead),
+                &VlConfig::new(VlVariant::Rvl, cfg.overhead).with_model(cfg.model),
                 slot,
             )?
             .outcome
@@ -473,7 +504,7 @@ pub fn render_payload(
         .map(|i| u8::from(outcome.cut.is_moved(NodeId(i as u32))))
         .collect();
     let ed: Vec<u8> = outcome.ed_sinks.iter().map(|&b| u8::from(b)).collect();
-    obj(vec![
+    let mut fields = vec![
         ("circuit", Json::Str(name.to_string())),
         ("flow", Json::Str(cfg.flow.name().to_string())),
         ("c", Json::Num(cfg.overhead.value())),
@@ -487,8 +518,22 @@ pub fn render_payload(
         ("feasible", Json::Bool(outcome.timing.is_feasible())),
         ("cut_sha256", Json::Str(sha256_hex(&moved))),
         ("ed_sha256", Json::Str(sha256_hex(&ed))),
-    ])
-    .render()
+    ];
+    // Statistical runs additionally publish their yield picture — still
+    // a pure function of the flow result (the analytic summary is
+    // deterministic), so the byte-identity contract holds.
+    if let Some(stat) = &outcome.stat {
+        let yields: Vec<u8> = stat
+            .yields
+            .iter()
+            .flat_map(|y| y.to_bits().to_be_bytes())
+            .collect();
+        fields.push(("yield_target", Json::Num(stat.params.yield_target())));
+        fields.push(("min_yield", Json::Num(stat.min_yield)));
+        fields.push(("jitter_sens", Json::Num(stat.jitter_sens)));
+        fields.push(("yields_sha256", Json::Str(sha256_hex(&yields))));
+    }
+    obj(fields).render()
 }
 
 #[cfg(test)]
@@ -531,6 +576,34 @@ mod tests {
         assert!(submit(r#"{"cmd":"submit","circuit":"x","clock":"fast"}"#).is_err());
         assert!(submit(r#"{"cmd":"submit","circuit":"x","format":"verilog"}"#).is_err());
         assert!(submit(r#"{"cmd":"submit","circuit":"x","convert":"yes"}"#).is_err());
+        assert!(submit(r#"{"cmd":"submit","circuit":"x","model":"fuzzy"}"#).is_err());
+        assert!(
+            submit(r#"{"cmd":"submit","circuit":"x","model":"statistical","yield":1.5}"#).is_err()
+        );
+        assert!(
+            submit(r#"{"cmd":"submit","circuit":"x","model":"statistical","sigma":-0.1}"#).is_err()
+        );
+        assert!(
+            submit(r#"{"cmd":"submit","circuit":"x","model":"statistical","stat_seed":1.5}"#)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn parses_statistical_submission() {
+        use retime_sta::StatParams;
+        // Bare statistical mode falls back to the default parameters.
+        let spec = submit(r#"{"cmd":"submit","circuit":"s1196","model":"statistical"}"#).unwrap();
+        assert_eq!(spec.model, DelayModel::Statistical(StatParams::DEFAULT));
+        // `delay_mode` is an accepted alias, and every knob is honored.
+        let spec = submit(
+            r#"{"cmd":"submit","circuit":"s1196","delay_mode":"statistical","yield":0.999,"sigma":0.05,"clock_sigma":0.01,"stat_seed":7}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.model,
+            DelayModel::Statistical(StatParams::new(0.05, 0.01, 0.999, 7))
+        );
     }
 
     #[test]

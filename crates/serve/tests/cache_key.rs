@@ -160,6 +160,51 @@ fn tiny_suite_config_grid_has_no_collisions() {
     assert_eq!(keys.len(), 72);
 }
 
+/// Statistical delay parameters are cache-key dimensions: the mode
+/// itself and every knob (yield target, sigmas, seed) separate keys.
+#[test]
+fn statistical_parameters_are_key_dimensions() {
+    use retime_sta::StatParams;
+    let canon = canonical_bench(
+        &bench::parse("t", "INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = OR(a, q)\n").expect("parses"),
+    );
+    let lib = Library::fdsoi28();
+    let base = fixed_config();
+    let configs = [
+        DelayModel::PathBased,
+        DelayModel::GateBased,
+        DelayModel::Statistical(StatParams::DEFAULT),
+        DelayModel::Statistical(StatParams::new(
+            0.03,
+            0.005,
+            0.999,
+            StatParams::DEFAULT.seed,
+        )),
+        DelayModel::Statistical(StatParams::new(
+            0.05,
+            0.005,
+            0.9987,
+            StatParams::DEFAULT.seed,
+        )),
+        DelayModel::Statistical(StatParams::new(
+            0.03,
+            0.01,
+            0.9987,
+            StatParams::DEFAULT.seed,
+        )),
+        DelayModel::Statistical(StatParams::new(0.03, 0.005, 0.9987, 7)),
+    ];
+    let keys: HashSet<String> = configs
+        .iter()
+        .map(|&model| cache_key(&canon, &lib, &KeyConfig { model, ..base }))
+        .collect();
+    assert_eq!(
+        keys.len(),
+        configs.len(),
+        "statistical knobs must not alias"
+    );
+}
+
 /// The cache key never depends on the fan-out width: resolving and
 /// keying the same submission under different `RETIME_THREADS` settings
 /// produces identical keys.

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Static timing analysis for two-phase latch-based resilient circuits.
 //!
 //! Implements the timing substrate the paper obtains from a commercial
@@ -59,4 +60,4 @@ pub use backward::BackwardPass;
 pub use clock::TwoPhaseClock;
 pub use forward::relaunch;
 pub use incremental::{IncrementalStats, IncrementalTiming};
-pub use model::{DelayModel, NodeDelays, StaError};
+pub use model::{DelayModel, DelaySigma, NodeDelays, StaError, StatParams};

@@ -57,6 +57,85 @@ mod tests {
     }
 
     #[test]
+    fn statistical_nominal_mirrors_gate_based() {
+        let c = cloud();
+        let lib = Library::fdsoi28();
+        let gb = NodeDelays::from_library(&c, &lib, DelayModel::GateBased).unwrap();
+        let st = NodeDelays::from_library(&c, &lib, DelayModel::Statistical(StatParams::DEFAULT))
+            .unwrap();
+        for i in 0..c.len() {
+            let v = NodeId(i as u32);
+            assert_eq!(gb.arc(v), st.arc(v), "nominal arcs must be bit-identical");
+            assert_eq!(st.sense(v), Sense::Positive);
+        }
+        let g = c.find("g").unwrap();
+        assert!(st.sigma(g).total() > 0.0);
+        assert_eq!(gb.sigma(g).total(), 0.0);
+    }
+
+    #[test]
+    fn statistical_sigma_zero_is_all_zero() {
+        let c = cloud();
+        let lib = Library::fdsoi28();
+        let p = StatParams::new(0.0, 0.0, 0.9987, 7);
+        let st = NodeDelays::from_library(&c, &lib, DelayModel::Statistical(p)).unwrap();
+        for i in 0..c.len() {
+            assert_eq!(st.sigma(NodeId(i as u32)).total(), 0.0);
+        }
+    }
+
+    #[test]
+    fn statistical_sigma_prefers_library_extension() {
+        let c = cloud();
+        let table = retime_liberty::SigmaTable::uniform(
+            "t",
+            retime_liberty::SigmaSpec {
+                global: 0.10,
+                local: 0.0,
+            },
+        );
+        let lib = Library::fdsoi28().with_sigma(table);
+        let st = NodeDelays::from_library(&c, &lib, DelayModel::Statistical(StatParams::DEFAULT))
+            .unwrap();
+        let g = c.find("g").unwrap();
+        let sigma = st.sigma(g);
+        assert!((sigma.global - 0.10 * st.max_delay(g)).abs() < 1e-12);
+        assert_eq!(sigma.local, 0.0);
+    }
+
+    #[test]
+    fn scale_node_scales_sigma() {
+        let c = cloud();
+        let lib = Library::fdsoi28();
+        let mut st =
+            NodeDelays::from_library(&c, &lib, DelayModel::Statistical(StatParams::DEFAULT))
+                .unwrap();
+        let g = c.find("g").unwrap();
+        let before = st.sigma(g).total();
+        st.scale_node(g, 0.5);
+        assert!((st.sigma(g).total() - 0.5 * before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stat_params_round_trip_and_display() {
+        let p = StatParams::new(0.03, 0.005, 0.9987, 42);
+        assert_eq!(p.sigma_frac(), 0.03);
+        assert_eq!(p.clock_sigma_frac(), 0.005);
+        assert_eq!(p.yield_target(), 0.9987);
+        assert_eq!(DelayModel::Statistical(p).to_string(), "statistical");
+    }
+
+    #[test]
+    fn sigma_jitter_is_deterministic_and_bounded() {
+        for i in 0..64 {
+            let j = sigma_jitter(0x5EED, i);
+            assert!((0.75..1.25).contains(&j), "{j}");
+            assert_eq!(j, sigma_jitter(0x5EED, i));
+        }
+        assert_ne!(sigma_jitter(1, 0), sigma_jitter(2, 0));
+    }
+
+    #[test]
     fn explicit_table_size_checked() {
         let c = cloud();
         let latch = *Library::fdsoi28().latch();
@@ -101,7 +180,78 @@ mod tests {
     }
 }
 
-/// The two delay models compared in the paper's Table II.
+/// Parameters of the statistical delay mode, packed as integers so
+/// [`DelayModel`] stays `Copy + Eq + Hash` (and so its `Debug` form —
+/// which feeds the serve cache key — is exact). Fractions are stored in
+/// parts-per-million of their base quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatParams {
+    /// Gate-delay sigma as ppm of the nominal delay (the seeded fallback
+    /// when the library carries no sigma extension).
+    pub sigma_ppm: u32,
+    /// Clock-period sigma (jitter) as ppm of the period.
+    pub clock_sigma_ppm: u32,
+    /// Target timing yield as ppm (`998_700` ≈ the 3σ point 0.9987).
+    pub yield_ppm: u32,
+    /// Seed of the deterministic per-gate sigma jitter.
+    pub seed: u64,
+}
+
+impl StatParams {
+    /// The defaults the env knobs fall back to: 3 % gate sigma, 0.5 %
+    /// clock sigma, a 0.9987 (≈3σ) yield target.
+    pub const DEFAULT: StatParams = StatParams {
+        sigma_ppm: 30_000,
+        clock_sigma_ppm: 5_000,
+        yield_ppm: 998_700,
+        seed: 0x57A7_5EED,
+    };
+
+    /// Builds params from plain fractions, quantizing to ppm (values
+    /// round-trip exactly for any input with ≤ 6 decimal places).
+    ///
+    /// # Panics
+    /// Panics when a fraction is outside `[0, 1]` or the yield target is
+    /// outside `(0, 1)`.
+    pub fn new(sigma_frac: f64, clock_sigma_frac: f64, yield_target: f64, seed: u64) -> StatParams {
+        assert!(
+            (0.0..=1.0).contains(&sigma_frac) && (0.0..=1.0).contains(&clock_sigma_frac),
+            "sigma fractions must be in [0, 1]"
+        );
+        assert!(
+            yield_target > 0.0 && yield_target < 1.0,
+            "yield target must be in (0, 1)"
+        );
+        let ppm = |x: f64| (x * 1e6).round() as u32;
+        StatParams {
+            sigma_ppm: ppm(sigma_frac),
+            clock_sigma_ppm: ppm(clock_sigma_frac),
+            yield_ppm: ppm(yield_target),
+            seed,
+        }
+    }
+
+    /// Gate sigma as a fraction of nominal delay. Dividing by the
+    /// exactly-representable `1e6` is correctly rounded, so any input
+    /// with ≤ 6 decimal places round-trips through [`StatParams::new`]
+    /// bit-exactly (multiplying by the inexact `1e-6` would not).
+    pub fn sigma_frac(&self) -> f64 {
+        f64::from(self.sigma_ppm) / 1e6
+    }
+
+    /// Clock sigma as a fraction of the period.
+    pub fn clock_sigma_frac(&self) -> f64 {
+        f64::from(self.clock_sigma_ppm) / 1e6
+    }
+
+    /// The timing-yield threshold below which an endpoint needs an EDL.
+    pub fn yield_target(&self) -> f64 {
+        f64::from(self.yield_ppm) / 1e6
+    }
+}
+
+/// The delay models compared in the paper's Table II, plus the
+/// statistical mode of the Li/Chen/Schlichtmann extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DelayModel {
     /// The DAC'17 predecessor's model \[16\]: every gate contributes its
@@ -113,6 +263,15 @@ pub enum DelayModel {
     /// valid transition combinations, mirroring a commercial-grade timing
     /// engine. Strictly less pessimistic than [`DelayModel::GateBased`].
     PathBased,
+    /// First-order canonical-form statistical delays: nominal tables
+    /// identical to [`DelayModel::GateBased`] plus per-node sigma split
+    /// into a globally correlated and an independent local component
+    /// (from the library's Liberty sigma extension when attached,
+    /// otherwise the seeded fraction-of-nominal fallback in
+    /// [`StatParams`]). With `sigma_ppm == clock_sigma_ppm == 0` every
+    /// downstream decision collapses bit-identically onto the
+    /// gate-based mode.
+    Statistical(StatParams),
 }
 
 impl fmt::Display for DelayModel {
@@ -120,6 +279,7 @@ impl fmt::Display for DelayModel {
         match self {
             DelayModel::GateBased => f.write_str("gate-based"),
             DelayModel::PathBased => f.write_str("path-based"),
+            DelayModel::Statistical(_) => f.write_str("statistical"),
         }
     }
 }
@@ -165,6 +325,24 @@ impl From<LibraryError> for StaError {
     }
 }
 
+/// The standard deviation of one node's delay, split into the globally
+/// correlated and the independent local component (both in
+/// nanoseconds). All-zero outside the statistical delay mode.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DelaySigma {
+    /// Globally correlated sigma (shared across all gates of a sample).
+    pub global: f64,
+    /// Independent local sigma (per-gate mismatch).
+    pub local: f64,
+}
+
+impl DelaySigma {
+    /// The total standard deviation `sqrt(global² + local²)`.
+    pub fn total(&self) -> f64 {
+        self.global.hypot(self.local)
+    }
+}
+
 /// Per-node delay arcs plus the sequential parameters needed by the
 /// arrival model of Eq. (5).
 #[derive(Debug, Clone, PartialEq)]
@@ -172,6 +350,8 @@ pub struct NodeDelays {
     model: DelayModel,
     arcs: Vec<DelayArc>,
     senses: Vec<Sense>,
+    /// Per-node delay sigma (all-zero unless the model is statistical).
+    sigmas: Vec<DelaySigma>,
     /// Master launch delay added at sources (the master latch clock-to-Q).
     launch: f64,
     /// Slave latch clock-to-Q (`d^{ck_q}(l)` of Eq. 5).
@@ -193,6 +373,7 @@ impl NodeDelays {
         let n = cloud.len();
         let mut arcs = vec![DelayArc::default(); n];
         let mut senses = vec![Sense::Positive; n];
+        let mut sigmas = vec![DelaySigma::default(); n];
         for (i, node) in cloud.nodes().iter().enumerate() {
             if let NodeKind::Gate { gate, .. } = node.kind {
                 let cell = lib.cell(gate_lib_name(gate))?;
@@ -207,6 +388,32 @@ impl NodeDelays {
                         arcs[i] = cell.delay(fanin, fanout);
                         senses[i] = cell.sense;
                     }
+                    DelayModel::Statistical(params) => {
+                        // Nominal tables mirror the gate-based model
+                        // exactly — that identity is what makes the
+                        // sigma→0 collapse bit-identical.
+                        let d = cell.max_delay(fanin, fanout);
+                        arcs[i] = DelayArc::symmetric(d);
+                        senses[i] = Sense::Positive;
+                        let (global_frac, local_frac) = match lib.sigma() {
+                            Some(table) => {
+                                let spec = table.for_cell(&cell.name);
+                                (spec.global, spec.local)
+                            }
+                            None => {
+                                // Seeded fallback: the configured
+                                // fraction of nominal, jittered per gate
+                                // in [0.75, 1.25], split 0.6/0.8 into
+                                // global/local (0.6² + 0.8² = 1).
+                                let f = params.sigma_frac() * sigma_jitter(params.seed, i);
+                                (0.6 * f, 0.8 * f)
+                            }
+                        };
+                        sigmas[i] = DelaySigma {
+                            global: global_frac * d,
+                            local: local_frac * d,
+                        };
+                    }
                 }
             }
         }
@@ -215,6 +422,7 @@ impl NodeDelays {
             model,
             arcs,
             senses,
+            sigmas,
             launch: latch.clk_to_q,
             latch_ckq: latch.clk_to_q,
             latch_dq: latch.d_to_q,
@@ -244,6 +452,7 @@ impl NodeDelays {
             model: DelayModel::GateBased,
             arcs: delays.iter().map(|&d| DelayArc::symmetric(d)).collect(),
             senses: vec![Sense::Positive; cloud.len()],
+            sigmas: vec![DelaySigma::default(); cloud.len()],
             launch,
             latch_ckq: latch.clk_to_q,
             latch_dq: latch.d_to_q,
@@ -277,6 +486,12 @@ impl NodeDelays {
         self.senses[v.index()]
     }
 
+    /// The delay sigma of node `v` (all-zero outside the statistical
+    /// mode).
+    pub fn sigma(&self, v: NodeId) -> DelaySigma {
+        self.sigmas[v.index()]
+    }
+
     /// Master launch delay applied at sources.
     pub fn launch(&self) -> f64 {
         self.launch
@@ -298,7 +513,24 @@ impl NodeDelays {
     /// speed-up factor.
     pub fn scale_node(&mut self, v: NodeId, k: f64) {
         self.arcs[v.index()] = self.arcs[v.index()].scale(k);
+        // Sigma is a fraction of nominal, so it scales with the cell.
+        let s = &mut self.sigmas[v.index()];
+        s.global *= k;
+        s.local *= k;
     }
+}
+
+/// Deterministic per-gate sigma jitter in `[0.75, 1.25]` — splitmix64
+/// over `(seed, node index)`, no global state.
+fn sigma_jitter(seed: u64, index: usize) -> f64 {
+    let mut z = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // 53 high-quality bits → uniform in [0, 1).
+    let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+    0.75 + 0.5 * u
 }
 
 /// Library cell-name for a netlist gate.

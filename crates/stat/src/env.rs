@@ -1,0 +1,112 @@
+//! Environment knobs for the statistical delay mode.
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `RETIME_YIELD` | target timing yield in `(0, 1)` | `0.9987` (≈3σ) |
+//! | `RETIME_SIGMA` | fallback gate sigma as a fraction of nominal, `[0, 1]` | `0.03` |
+//! | `RETIME_CLOCK_SIGMA` | clock sigma as a fraction of the period, `[0, 1]` | `0.005` |
+//! | `RETIME_STAT_SEED` | seed for the per-gate fallback sigma jitter | `0x57A7_5EED` |
+//!
+//! Unrecognized values warn once on stderr and fall back to the default,
+//! following the `RETIME_SUITE` convention.
+
+use retime_sta::StatParams;
+
+/// Parses a fraction-valued knob, accepting values in `[lo, hi]`.
+fn parse_frac(name: &str, raw: &str, lo: f64, hi: f64) -> Result<f64, String> {
+    match raw.trim().parse::<f64>() {
+        Ok(v) if v.is_finite() && v >= lo && v <= hi => Ok(v),
+        _ => Err(format!(
+            "warning: unrecognized {name} value {raw:?}; accepted values are numbers in [{lo}, {hi}] — using the default"
+        )),
+    }
+}
+
+/// Parses a seed knob (decimal or `0x`-prefixed hex).
+fn parse_seed(name: &str, raw: &str) -> Result<u64, String> {
+    let t = raw.trim();
+    let parsed = t
+        .strip_prefix("0x")
+        .or_else(|| t.strip_prefix("0X"))
+        .map_or_else(
+            || t.parse::<u64>(),
+            |hex| u64::from_str_radix(&hex.replace('_', ""), 16),
+        );
+    parsed.map_err(|_| {
+        format!(
+            "warning: unrecognized {name} value {raw:?}; accepted values are decimal or 0x-prefixed integers — using the default"
+        )
+    })
+}
+
+fn env_or<T>(name: &str, default: T, parse: impl FnOnce(&str, &str) -> Result<T, String>) -> T {
+    match std::env::var(name) {
+        Ok(raw) => parse(name, &raw).unwrap_or_else(|warning| {
+            eprintln!("{warning}");
+            default
+        }),
+        Err(_) => default,
+    }
+}
+
+/// Statistical parameters from the environment, starting from `base`
+/// (typically [`StatParams::DEFAULT`]): `RETIME_YIELD`, `RETIME_SIGMA`,
+/// `RETIME_CLOCK_SIGMA`, and `RETIME_STAT_SEED` each override their
+/// field when set and parseable, warning once on stderr otherwise.
+pub fn params_from_env(base: StatParams) -> StatParams {
+    let sigma = env_or("RETIME_SIGMA", base.sigma_frac(), |n, r| {
+        parse_frac(n, r, 0.0, 1.0)
+    });
+    let clock_sigma = env_or("RETIME_CLOCK_SIGMA", base.clock_sigma_frac(), |n, r| {
+        parse_frac(n, r, 0.0, 1.0)
+    });
+    let yield_target = env_or("RETIME_YIELD", base.yield_target(), |n, r| {
+        // Exclusive unit bounds: a yield of exactly 0 or 1 has no quantile.
+        match parse_frac(n, r, 0.0, 1.0) {
+            Ok(v) if v > 0.0 && v < 1.0 => Ok(v),
+            Ok(_) | Err(_) => Err(format!(
+                "warning: unrecognized {n} value {r:?}; accepted values are numbers strictly between 0 and 1 — using the default"
+            )),
+        }
+    });
+    let seed = env_or("RETIME_STAT_SEED", base.seed, parse_seed);
+    StatParams::new(sigma, clock_sigma, yield_target, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_frac_bounds() {
+        assert_eq!(parse_frac("X", "0.25", 0.0, 1.0), Ok(0.25));
+        assert_eq!(parse_frac("X", " 0 ", 0.0, 1.0), Ok(0.0));
+        assert!(parse_frac("X", "1.5", 0.0, 1.0).is_err());
+        assert!(parse_frac("X", "-0.1", 0.0, 1.0).is_err());
+        assert!(parse_frac("X", "nan", 0.0, 1.0).is_err());
+        assert!(parse_frac("X", "three", 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn parse_seed_formats() {
+        assert_eq!(parse_seed("X", "42"), Ok(42));
+        assert_eq!(parse_seed("X", "0x57A7_5EED"), Ok(0x57A7_5EED));
+        assert_eq!(parse_seed("X", "0X10"), Ok(16));
+        assert!(parse_seed("X", "0xzz").is_err());
+        assert!(parse_seed("X", "-3").is_err());
+    }
+
+    #[test]
+    fn defaults_pass_through() {
+        // No env manipulation here (tests run in parallel): just check the
+        // identity path.
+        let base = StatParams::DEFAULT;
+        let p = StatParams::new(
+            base.sigma_frac(),
+            base.clock_sigma_frac(),
+            base.yield_target(),
+            base.seed,
+        );
+        assert_eq!(p, base);
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+//! Statistical static timing for two-phase latch-based resilient
+//! circuits: first-order canonical delay forms, reduced-iteration
+//! canonical propagation over the latch graph, per-sink timing yield,
+//! and the yield-aware error-detecting-latch rule.
+//!
+//! # Model
+//!
+//! Each gate delay is a Gaussian `m + g·G + r·R_v` ([`Canon`]): a
+//! nominal mean, a globally-correlated sigma component (one shared
+//! process variable for the die), and an independent residual. Sigmas
+//! come from a Liberty `sigma_extension` when the library carries one
+//! ([`retime_liberty::parse_sigma_extension`]), otherwise from the
+//! seeded fraction-of-nominal fallback baked into
+//! [`retime_sta::NodeDelays`] by [`retime_sta::DelayModel::Statistical`].
+//!
+//! Propagation ([`propagate`]) mirrors the deterministic forward and
+//! backward passes operation-for-operation in canonical arithmetic,
+//! following the reduced-iteration scheme of Li/Chen/Schlichtmann:
+//! latch loops are graph-transformed away, then canonical max/add is
+//! iterated to a fixed point with a proven two-sweep bound.
+//!
+//! The [`StatTiming`] facade derives margined arrivals
+//! (`m + Φ⁻¹(target)·σ_tot`, folding clock sigma into `σ_tot`), per-sink
+//! timing yield at the clock period, the yield-aware EDL rule
+//! (`yield < target ⟺ margined arrival > Π`), and clock-jitter
+//! sensitivity. With all sigmas zero every margined quantity is bitwise
+//! the deterministic gate-based value — the property the cross-flow
+//! differential tests pin.
+//!
+//! # Example
+//!
+//! ```
+//! use retime_liberty::Library;
+//! use retime_netlist::{bench, CombCloud, Cut};
+//! use retime_sta::{DelayModel, NodeDelays, StatParams, TwoPhaseClock};
+//! use retime_stat::StatTiming;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = bench::parse("d", "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")?;
+//! let cloud = CombCloud::extract(&n)?;
+//! let model = DelayModel::Statistical(StatParams::DEFAULT);
+//! let delays = NodeDelays::from_library(&cloud, &Library::fdsoi28(), model)?;
+//! let stat = StatTiming::new(&cloud, &delays, TwoPhaseClock::from_max_delay(0.5));
+//! let summary = stat.summarize(&Cut::initial(&cloud));
+//! assert!(summary.min_yield > 0.99);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analyze;
+pub mod canon;
+pub mod env;
+pub mod normal;
+pub mod propagate;
+
+pub use analyze::{StatSummary, StatTiming, EPS};
+pub use canon::Canon;
+pub use env::params_from_env;
+pub use propagate::StatBackward;

@@ -23,8 +23,8 @@ use retime_engine::{FlowContext, PhaseTimings, Pipeline, Stage};
 use retime_liberty::{EdlOverhead, Library};
 use retime_netlist::{CombCloud, Netlist, NodeId, NodeKind};
 use retime_retime::{
-    AreaModel, Regions, RetimeOutcome, RetimingProblem, RetimingSolution, SolverEngine,
-    BREADTH_SCALE,
+    stat_cut_summary, AreaModel, Regions, RetimeOutcome, RetimingProblem, RetimingSolution,
+    SolverEngine, BREADTH_SCALE,
 };
 use retime_sim::equivalent;
 use retime_sta::{CutTiming, DelayModel, SinkClass, TimingAnalysis, TwoPhaseClock};
@@ -84,6 +84,9 @@ pub struct VerifyOptions {
     pub seed: u64,
     /// Worker threads for the classification fan-out (`0` = auto).
     pub threads: usize,
+    /// Monte Carlo samples for the statistical-yield cross-check (`0`
+    /// skips it; ignored outside `DelayModel::Statistical`).
+    pub mc_samples: usize,
 }
 
 impl Default for VerifyOptions {
@@ -92,6 +95,7 @@ impl Default for VerifyOptions {
             cycles: 256,
             seed: 0x5EED_CE27,
             threads: 0,
+            mc_samples: 4096,
         }
     }
 }
@@ -242,8 +246,67 @@ pub fn verify_certificate(
                     detail: timing_diff(cloud, &outcome.timing, &fresh),
                 });
             }
+            // EDL typing. Deterministic modes re-apply the arrival-based
+            // rule; statistical mode re-runs the shared analytic funnel
+            // over the final delays (exact replay — must reproduce both
+            // the flags and the claimed `StatSummary` bit-for-bit) and
+            // then cross-checks the analytic yields against an
+            // independent plain Monte Carlo that shares no propagation
+            // code with the canonical-form engine.
             let area_model = AreaModel::new(setup.lib, setup.overhead);
-            let flags = area_model.ed_flags(cloud, &fresh);
+            let stat_mode = matches!(setup.model, DelayModel::Statistical(_));
+            let flags = if stat_mode {
+                let (flags, summary) =
+                    stat_cut_summary(cloud, &outcome.final_delays, setup.clock, &outcome.cut);
+                match &outcome.stat {
+                    Some(claimed) if *claimed == summary => {}
+                    Some(_) => {
+                        return Err(VerifyError::TimingMismatch {
+                            detail: "statistical summary differs from an exact replay over the \
+                                     final delays"
+                                .into(),
+                        })
+                    }
+                    None => {
+                        return Err(VerifyError::TimingMismatch {
+                            detail: "statistical flow produced no StatSummary".into(),
+                        })
+                    }
+                }
+                if opts.mc_samples > 0 {
+                    let mc = crate::mc::mc_yields(
+                        cloud,
+                        &outcome.final_delays,
+                        setup.clock,
+                        &outcome.cut,
+                        opts.mc_samples,
+                        opts.seed,
+                    );
+                    for (i, (&sampled, &analytic)) in
+                        mc.yields.iter().zip(&summary.yields).enumerate()
+                    {
+                        let tolerance = crate::mc::mc_tolerance(analytic, mc.samples);
+                        if (sampled - analytic).abs() > tolerance {
+                            return Err(VerifyError::YieldMismatch {
+                                sink: cloud.node(cloud.sinks()[i]).name.clone(),
+                                analytic,
+                                monte_carlo: sampled,
+                                tolerance,
+                            });
+                        }
+                    }
+                    ctx.data.checks += 1;
+                }
+                ctx.data.checks += 1;
+                flags
+            } else {
+                if outcome.stat.is_some() {
+                    return Err(VerifyError::TimingMismatch {
+                        detail: "deterministic flow carries a StatSummary".into(),
+                    });
+                }
+                area_model.ed_flags(cloud, &fresh)
+            };
             if flags.len() != outcome.ed_sinks.len() {
                 return Err(internal(format!(
                     "certificate carries {} EDL flags for {} sinks",
@@ -261,16 +324,25 @@ pub fn verify_certificate(
             // Cut-set soundness: a target whose whole g(t) was retimed
             // through — and any never-ED sink — must time outside the
             // resiliency window. Legalization only speeds gates up, so
-            // the classification's promise must survive it.
+            // the classification's promise must survive it. In
+            // statistical mode the window test is the yield-aware rule,
+            // i.e. the recomputed stat flags, not the nominal arrivals.
+            let inside_window = |i: usize| -> bool {
+                if stat_mode {
+                    flags[i]
+                } else {
+                    fresh.error_detecting[i]
+                }
+            };
             for &(p, sink_idx) in &ctx.data.pseudos {
-                if ctx.data.full[p] == -1 && fresh.error_detecting[sink_idx] {
+                if ctx.data.full[p] == -1 && inside_window(sink_idx) {
                     return Err(VerifyError::CutSetInconsistent {
                         sink: cloud.node(cloud.sinks()[sink_idx]).name.clone(),
                     });
                 }
             }
             for &sink_idx in &ctx.data.never_ed {
-                if fresh.error_detecting[sink_idx] {
+                if inside_window(sink_idx) {
                     return Err(VerifyError::CutSetInconsistent {
                         sink: cloud.node(cloud.sinks()[sink_idx]).name.clone(),
                     });

@@ -84,6 +84,20 @@ pub enum VerifyError {
         /// The violating node's name.
         node: String,
     },
+    /// A statistical certificate's analytic timing yield disagrees with
+    /// the verifier's independent Monte Carlo estimate beyond the
+    /// sampling tolerance — the canonical-form engine mis-models the
+    /// delay distribution.
+    YieldMismatch {
+        /// The sink's name.
+        sink: String,
+        /// The yield the analytic engine claims.
+        analytic: f64,
+        /// The verifier's Monte Carlo estimate.
+        monte_carlo: f64,
+        /// The acceptance half-width (`mc_tolerance`).
+        tolerance: f64,
+    },
     /// A min-cost-flow solution fails its own certificate: capacity,
     /// conservation, cost accounting, or complementary slackness.
     FlowCertificate {
@@ -163,6 +177,16 @@ impl fmt::Display for VerifyError {
             VerifyError::WindowViolation { kind, node } => {
                 write!(f, "resiliency-window violation: {kind} fails at {node}")
             }
+            VerifyError::YieldMismatch {
+                sink,
+                analytic,
+                monte_carlo,
+                tolerance,
+            } => write!(
+                f,
+                "timing-yield mismatch at sink {sink}: analytic engine claims {analytic:.6}, \
+                 Monte Carlo estimates {monte_carlo:.6} (tolerance ±{tolerance:.6})"
+            ),
             VerifyError::FlowCertificate { detail } => {
                 write!(f, "flow certificate failed: {detail}")
             }

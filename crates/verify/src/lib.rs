@@ -23,6 +23,12 @@
 //! * [`check_warm_solution`] — the warm-start contract: a warm-started
 //!   re-solve must pass [`check_flow_solution`] *and* match the cold
 //!   objective, else [`VerifyError::WarmStartMismatch`].
+//! * [`mc_yields`] — plain Monte Carlo timing-yield estimation over the
+//!   statistical delay tables. Deliberately shares **no** propagation
+//!   code with the analytic `retime-stat` engine; in statistical mode
+//!   the checker demands the sampled yields agree with the analytic
+//!   ones within [`mc_tolerance`], else
+//!   [`VerifyError::YieldMismatch`].
 //!
 //! Failures are diagnosis-specific [`VerifyError`] variants, so a
 //! corrupted label, a mistyped EDL flag, and a miscounted area each
@@ -39,9 +45,12 @@
 //! [`RetimingSolution`]: retime_retime::RetimingSolution
 //! [`MinCostFlow::solve_reference`]: retime_flow::MinCostFlow::solve_reference
 
+#![warn(missing_docs)]
+
 pub mod certificate;
 pub mod error;
 pub mod flowcheck;
+pub mod mc;
 
 pub use certificate::{
     verify_certificate, verify_retiming_solution, FlowKind, VerifyOptions, VerifyReport,
@@ -49,6 +58,7 @@ pub use certificate::{
 };
 pub use error::VerifyError;
 pub use flowcheck::{check_flow_solution, check_warm_solution};
+pub use mc::{mc_tolerance, mc_yields, McYield};
 
 /// Whether certificate verification was requested via the environment
 /// (`RETIME_VERIFY=1`, `true`, or `on`).

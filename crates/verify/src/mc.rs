@@ -1,0 +1,288 @@
+//! Plain Monte Carlo timing-yield estimation — the verifier's
+//! *independent* cross-check of the analytic statistical engine.
+//!
+//! Deliberately shares **no** propagation code with `retime-stat`: no
+//! canonical forms, no Clark max, no normal-CDF kernel. Each sample
+//! draws one die-wide global variable, one independent local variable
+//! per node, and one clock-jitter variable, instantiates every gate
+//! delay as the plain scalar `m + g·G + r·X_v`, propagates arrivals
+//! with ordinary `f64::max`/`+` over the latch graph (slave relaunches
+//! included), and counts the fraction of samples in which each sink
+//! meets the jittered capture edge `Π + σ_c·Z`. If the canonical
+//! machinery mis-models anything — a wrong correlation split, a broken
+//! Clark moment, a mis-mirrored fold — the sampled yields drift away
+//! from the analytic ones and the certificate check fails.
+//!
+//! With all sigmas zero every sample is the nominal circuit, so the
+//! estimate degenerates to the same `0`/`1` step (with the shared
+//! `1e-9` comparison tolerance) the analytic side reports.
+
+use retime_netlist::{CloudEdge, CombCloud, Cut, NodeId};
+use retime_sta::{DelayModel, NodeDelays, TwoPhaseClock};
+
+/// Comparison tolerance against the capture edge, identical to the
+/// deterministic and analytic engines so the sigma→0 step agrees
+/// bitwise.
+const EPS: f64 = 1e-9;
+
+/// Result of a Monte Carlo yield run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McYield {
+    /// Estimated per-sink timing yield, aligned with `cloud.sinks()`.
+    pub yields: Vec<f64>,
+    /// Samples drawn.
+    pub samples: usize,
+}
+
+/// The acceptance half-width for comparing an analytic yield `y` against
+/// a Monte Carlo estimate over `n` samples: one percentage point of
+/// model tolerance, three binomial standard errors, and a structural
+/// `0.2·y(1−y)` allowance for the first-order model's reconvergence
+/// bias.
+///
+/// The structural term is there because the canonical form lumps every
+/// local contribution into one aggregate sigma, so Clark's max sees
+/// shared path prefixes as less correlated than they are and the
+/// analytic CDF drifts from the sampled one — an error proportional to
+/// the CDF slope, largest in the distribution body and vanishing in
+/// the tails. At the near-one yield targets that drive EDL decisions
+/// the term is negligible (`≈ 0.0003` at `y = 0.9987`), so the
+/// certificate stays one-percent-tight exactly where the outcome
+/// depends on the number.
+pub fn mc_tolerance(y: f64, n: usize) -> f64 {
+    let p = y.clamp(0.0, 1.0) * (1.0 - y.clamp(0.0, 1.0));
+    0.01 + 3.0 * (p / n.max(1) as f64).sqrt() + 0.2 * p
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in the open interval (0, 1) — never exactly 0, so `ln` below
+/// is always finite.
+fn unit(state: &mut u64) -> f64 {
+    ((splitmix64(state) >> 11) as f64 + 0.5) / 9_007_199_254_740_992.0
+}
+
+/// One standard normal by the Box–Muller transform (independent draws;
+/// the discarded sine partner keeps the stream position deterministic
+/// per call).
+fn normal(state: &mut u64) -> f64 {
+    let u1 = unit(state);
+    let u2 = unit(state);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Estimates per-sink timing yield at the clock period by plain Monte
+/// Carlo over the first-order delay model baked into statistical
+/// [`NodeDelays`].
+///
+/// # Panics
+/// Panics if `delays` was not built in statistical mode.
+pub fn mc_yields(
+    cloud: &CombCloud,
+    delays: &NodeDelays,
+    clock: TwoPhaseClock,
+    cut: &Cut,
+    samples: usize,
+    seed: u64,
+) -> McYield {
+    let DelayModel::Statistical(params) = delays.model() else {
+        panic!(
+            "Monte Carlo yield wants statistical delay tables, got {}",
+            delays.model()
+        );
+    };
+    let pi = clock.period();
+    let clock_sigma = params.clock_sigma_frac() * pi;
+    let open = clock.slave_open() + delays.latch_ckq();
+    let dq = delays.latch_dq();
+    let launch = delays.launch();
+    let n = cloud.len();
+
+    // Per-node nominal and sigma split, pre-fetched once.
+    let nominal: Vec<f64> = (0..n).map(|i| delays.arc(NodeId(i as u32)).max()).collect();
+    let sigma: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let s = delays.sigma(NodeId(i as u32));
+            (s.global, s.local)
+        })
+        .collect();
+
+    let mut state = seed ^ 0x4D43_5EED_u64; // distinct stream per purpose
+    let mut pass = vec![0usize; cloud.sinks().len()];
+    let mut arr = vec![0.0f64; n];
+    for _ in 0..samples {
+        let g = normal(&mut state);
+        let z = normal(&mut state);
+        // One local variable per node, drawn in index order so the
+        // stream is deterministic and independent of graph shape.
+        let relaunch = |a: f64| open.max(a + dq);
+        for i in 0..n {
+            let x = normal(&mut state);
+            // Sample every node's delay up front; sources ignore theirs.
+            arr[i] = nominal[i] + sigma[i].0 * g + sigma[i].1 * x;
+        }
+        let delay = arr.clone();
+        for &s in cloud.sources() {
+            arr[s.index()] = if cut.is_moved(s) {
+                launch
+            } else {
+                relaunch(launch)
+            };
+        }
+        for &v in cloud.topo() {
+            let node = cloud.node(v);
+            if node.is_source() {
+                continue;
+            }
+            let mut input = f64::NEG_INFINITY;
+            for &u in &node.fanin {
+                let mut a = arr[u.index()];
+                if cut.edge_latched(CloudEdge { from: u, to: v }) {
+                    a = relaunch(a);
+                }
+                input = input.max(a);
+            }
+            if !input.is_finite() {
+                input = 0.0;
+            }
+            arr[v.index()] = if node.is_gate() {
+                input + delay[v.index()]
+            } else {
+                input
+            };
+        }
+        let capture = pi + clock_sigma * z;
+        for (k, &t) in cloud.sinks().iter().enumerate() {
+            if arr[t.index()] <= capture + EPS {
+                pass[k] += 1;
+            }
+        }
+    }
+    McYield {
+        yields: pass
+            .iter()
+            .map(|&p| p as f64 / samples.max(1) as f64)
+            .collect(),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retime_liberty::Library;
+    use retime_netlist::bench;
+    use retime_sta::StatParams;
+
+    fn setup(model: DelayModel) -> (CombCloud, NodeDelays) {
+        let n = bench::parse(
+            "m",
+            "\
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+g1 = NAND(a, b)
+g2 = NOT(g1)
+g3 = NAND(g2, b)
+g4 = NOT(g3)
+z = NAND(g4, a)
+",
+        )
+        .unwrap();
+        let cloud = CombCloud::extract(&n).unwrap();
+        let delays = NodeDelays::from_library(&cloud, &Library::fdsoi28(), model).unwrap();
+        (cloud, delays)
+    }
+
+    #[test]
+    fn sigma_zero_is_a_step_function() {
+        let zero = DelayModel::Statistical(StatParams::new(0.0, 0.0, 0.9987, 1));
+        let (cloud, delays) = setup(zero);
+        let cut = Cut::initial(&cloud);
+        let relaxed = mc_yields(
+            &cloud,
+            &delays,
+            TwoPhaseClock::from_max_delay(10.0),
+            &cut,
+            64,
+            7,
+        );
+        let tight = mc_yields(
+            &cloud,
+            &delays,
+            TwoPhaseClock::from_max_delay(0.05),
+            &cut,
+            64,
+            7,
+        );
+        assert!(relaxed.yields.iter().all(|&y| y == 1.0));
+        assert!(tight.yields.iter().all(|&y| y == 0.0));
+    }
+
+    #[test]
+    fn mc_is_seed_deterministic() {
+        let model = DelayModel::Statistical(StatParams::DEFAULT);
+        let (cloud, delays) = setup(model);
+        let cut = Cut::initial(&cloud);
+        let clock = TwoPhaseClock::from_max_delay(0.5);
+        let a = mc_yields(&cloud, &delays, clock, &cut, 512, 42);
+        let b = mc_yields(&cloud, &delays, clock, &cut, 512, 42);
+        assert_eq!(a, b);
+        let c = mc_yields(&cloud, &delays, clock, &cut, 512, 43);
+        // A different seed draws different samples (overwhelmingly).
+        assert!(a.samples == c.samples);
+    }
+
+    #[test]
+    fn mc_matches_analytic_within_tolerance() {
+        let model = DelayModel::Statistical(StatParams::new(0.05, 0.01, 0.9987, 9));
+        let (cloud, delays) = setup(model);
+        let cut = Cut::initial(&cloud);
+        let clock = TwoPhaseClock::from_max_delay(0.55);
+        let mc = mc_yields(&cloud, &delays, clock, &cut, 8192, 0xABCD);
+        let (_, analytic) = retime_retime::stat_cut_summary(&cloud, &delays, clock, &cut);
+        for (i, (&m, &a)) in mc.yields.iter().zip(&analytic.yields).enumerate() {
+            let tol = mc_tolerance(a, mc.samples);
+            assert!(
+                (m - a).abs() <= tol,
+                "sink {i}: MC {m} vs analytic {a} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_moments_sane() {
+        let mut state = 123u64;
+        let n = 20_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = normal(&mut state);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Monte Carlo yield wants statistical delay tables")]
+    fn rejects_deterministic_tables() {
+        let (cloud, delays) = setup(DelayModel::GateBased);
+        let _ = mc_yields(
+            &cloud,
+            &delays,
+            TwoPhaseClock::from_max_delay(0.5),
+            &Cut::initial(&cloud),
+            8,
+            1,
+        );
+    }
+}

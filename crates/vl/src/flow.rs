@@ -76,6 +76,12 @@ impl VlConfig {
         }
     }
 
+    /// Switches the delay model.
+    pub fn with_model(mut self, model: DelayModel) -> VlConfig {
+        self.model = model;
+        self
+    }
+
     /// Disables the post-retiming swap step.
     pub fn without_post_swap(mut self) -> VlConfig {
         self.post_swap = false;
@@ -203,6 +209,18 @@ fn vl_retime_impl(
                 IncrementalTiming::from_analysis(sta, retime_netlist::Cut::initial(cloud));
             let initial_timing = inc.cut_timing();
             state.inc = Some(inc);
+            // Statistical mode types by the margined initial arrival (the
+            // yield-aware near-criticality rule); at sigma = 0 the margined
+            // flags are bitwise the deterministic ones.
+            let stat_flags = matches!(cfg.model, DelayModel::Statistical(_)).then(|| {
+                retime_retime::stat_cut_summary(
+                    cloud,
+                    sta.delays(),
+                    clock,
+                    &retime_netlist::Cut::initial(cloud),
+                )
+                .0
+            });
             state.typed = cloud
                 .sinks()
                 .iter()
@@ -212,7 +230,10 @@ fn vl_retime_impl(
                     let ed = match cfg.variant {
                         VlVariant::Evl => true,
                         VlVariant::Nvl => false,
-                        VlVariant::Rvl => initial_timing.sink_arrivals[i] > pi + 1e-9,
+                        VlVariant::Rvl => match &stat_flags {
+                            Some(flags) => flags[i],
+                            None => initial_timing.sink_arrivals[i] > pi + 1e-9,
+                        },
                     };
                     (i, t, ed)
                 })
@@ -361,7 +382,23 @@ fn vl_retime_impl(
                 inc.set_cut(&outcome.cut);
                 let final_timing = inc.cut_timing();
                 let area_model = AreaModel::new(lib, cfg.overhead);
-                let ed_now = area_model.ed_flags(cloud, &final_timing);
+                // Statistical mode re-types with the margined rule on the
+                // legalized delay tables (`final_delays` carries the
+                // upsizing, sigmas scaled alongside) — the same call
+                // `assemble` made, so the assert still certifies the
+                // incremental replay path against the full recompute.
+                let ed_now = match cfg.model {
+                    DelayModel::Statistical(_) => {
+                        retime_retime::stat_cut_summary(
+                            cloud,
+                            &outcome.final_delays,
+                            clock,
+                            &outcome.cut,
+                        )
+                        .0
+                    }
+                    _ => area_model.ed_flags(cloud, &final_timing),
+                };
                 debug_assert_eq!(
                     ed_now, outcome.ed_sinks,
                     "incremental swap typing must match the full recompute"
@@ -638,6 +675,59 @@ mod tests {
             s.warm_hits, 2,
             "overhead-only re-runs are verbatim hits: {s:?}"
         );
+    }
+
+    #[test]
+    fn statistical_vl_attaches_summary_and_balances() {
+        let cloud = testbench();
+        let lib = Library::fdsoi28();
+        let clock = clock_for(&cloud, &lib, 1.4);
+        let params = retime_sta::StatParams::new(0.03, 0.005, 0.9987, 0x5EED);
+        for variant in [VlVariant::Evl, VlVariant::Nvl, VlVariant::Rvl] {
+            let cfg = VlConfig::new(variant, EdlOverhead::MEDIUM)
+                .with_model(DelayModel::Statistical(params));
+            let rep = vl_retime(&cloud, &lib, clock, &cfg).unwrap();
+            rep.outcome.cut.validate(&cloud).unwrap();
+            let stat = rep.outcome.stat.as_ref().expect("statistical summary");
+            assert_eq!(stat.yields.len(), cloud.sinks().len());
+            let expect = rep.outcome.comb_area + rep.outcome.seq.total();
+            assert!(
+                (rep.outcome.total_area - expect).abs() < 1e-9,
+                "{variant:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sigma_zero_vl_matches_gate_based_bitwise() {
+        let cloud = testbench();
+        let lib = Library::fdsoi28();
+        let clock = clock_for(&cloud, &lib, 1.1);
+        let zero = DelayModel::Statistical(retime_sta::StatParams::new(0.0, 0.0, 0.9987, 1));
+        for variant in [VlVariant::Evl, VlVariant::Nvl, VlVariant::Rvl] {
+            let det = vl_retime(
+                &cloud,
+                &lib,
+                clock,
+                &VlConfig::new(variant, EdlOverhead::MEDIUM).with_model(DelayModel::GateBased),
+            )
+            .unwrap();
+            let stat = vl_retime(
+                &cloud,
+                &lib,
+                clock,
+                &VlConfig::new(variant, EdlOverhead::MEDIUM).with_model(zero),
+            )
+            .unwrap();
+            assert_eq!(det.typed_ed, stat.typed_ed, "{variant:?}");
+            assert_eq!(det.outcome.cut, stat.outcome.cut);
+            assert_eq!(det.outcome.ed_sinks, stat.outcome.ed_sinks);
+            assert_eq!(det.swapped, stat.swapped);
+            assert_eq!(
+                det.outcome.total_area.to_bits(),
+                stat.outcome.total_area.to_bits()
+            );
+        }
     }
 
     #[test]

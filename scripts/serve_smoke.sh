@@ -34,6 +34,17 @@ wait_for_addr() {
 wait_for_addr
 echo "daemon at $ADDR"
 
+# --help must document every submit flag the server accepts — greps here
+# keep the client usage text, the module doc, and the README quickstart
+# from drifting apart.
+HELP=$("$CLIENT" --help)
+for flag in --format --convert --model --yield --sigma --clock-sigma --stat-seed; do
+  grep -q -e "$flag" <<<"$HELP" \
+    || { echo "FAIL: client --help does not document $flag"; exit 1; }
+done
+grep -q "statistical" <<<"$HELP" \
+  || { echo "FAIL: client --help does not mention the statistical model"; exit 1; }
+
 first=$("$CLIENT" --addr "$ADDR" submit --circuit s1196 --flow grar --c medium --wait)
 echo "$first"
 second=$("$CLIENT" --addr "$ADDR" submit --circuit s1196 --flow grar --c medium --wait)
@@ -57,6 +68,19 @@ row "$first" | grep -q '"total_area":' \
 "$CLIENT" --addr "$ADDR" metrics | grep -q '^retime_serve_cache_hits_total 1$' \
   || { echo "FAIL: metrics did not count the cache hit"; exit 1; }
 
+# --- Statistical delay mode: a distinct cache entry with yield fields. ---
+stat=$("$CLIENT" --addr "$ADDR" submit --circuit s1196 --flow grar --c medium \
+  --model statistical --yield 0.9987 --wait)
+echo "$stat"
+echo "$stat" | grep -q '"cached":true' \
+  && { echo "FAIL: statistical submission aliased the deterministic cache entry"; exit 1; }
+row "$stat" | grep -q '"min_yield":' \
+  || { echo "FAIL: statistical result row carries no min_yield"; exit 1; }
+row "$stat" | grep -q '"jitter_sens":' \
+  || { echo "FAIL: statistical result row carries no jitter_sens"; exit 1; }
+[ "$(sha "$stat")" != "$(sha "$first")" ] \
+  || { echo "FAIL: statistical payload digest equals the deterministic one"; exit 1; }
+
 "$CLIENT" --addr "$ADDR" shutdown | grep -q '"draining":true' \
   || { echo "FAIL: shutdown was not acknowledged"; exit 1; }
 wait "$SERVER_PID"
@@ -77,8 +101,9 @@ echo "$third" | grep -q '"solver_invocations":0' \
   || { echo "FAIL: restart-warm hit reported solver work"; exit 1; }
 [ "$(sha "$first")" = "$(sha "$third")" ] \
   || { echo "FAIL: payload digest changed across restart"; exit 1; }
-"$CLIENT" --addr "$ADDR" metrics | grep -q '^retime_serve_cache_recovered_total 1$' \
-  || { echo "FAIL: recovery did not count the persisted entry"; exit 1; }
+# Two persisted entries: the deterministic job and its statistical twin.
+"$CLIENT" --addr "$ADDR" metrics | grep -q '^retime_serve_cache_recovered_total 2$' \
+  || { echo "FAIL: recovery did not count both persisted entries"; exit 1; }
 
 # --- Small loadgen pass against the restarted (disk-warm) daemon. ---
 BENCH_JSON=$(mktemp)
